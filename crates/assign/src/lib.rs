@@ -1,0 +1,29 @@
+//! # sc-assign — influence-aware task assignment (paper Section IV)
+//!
+//! Implements every assignment algorithm of the paper on top of the
+//! spatio-temporal eligibility rules of Section IV-A:
+//!
+//! | Algorithm | Objective encoding | Paper |
+//! |---|---|---|
+//! | [`AlgorithmKind::Mta`] | max-flow only (influence-agnostic) | baseline (GeoCrowd) |
+//! | [`AlgorithmKind::Ia`]  | MCMF, edge cost `1/(if+1)` | IV-A |
+//! | [`AlgorithmKind::Eia`] | MCMF, edge cost `(s.e+1)/(if+1)` | IV-B |
+//! | [`AlgorithmKind::Dia`] | MCMF, edge cost `1/(F·if+1)` | IV-C |
+//! | [`AlgorithmKind::Mi`]  | greedy max total influence (two-step) | baseline |
+//! | [`AlgorithmKind::GreedyNearest`] | nearest free worker | Fig. 1 |
+//!
+//! The influence values `if(w, s)` come from an [`InfluenceOracle`] —
+//! `sc-core` provides the full DITA oracle; tests use closures.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod algorithms;
+pub mod eligibility;
+pub mod graph;
+pub mod oracle;
+
+pub use algorithms::{run, run_with_matrix, AlgorithmKind, AssignInput};
+pub use eligibility::{EligibilityMatrix, EligiblePair};
+pub use graph::AssignmentGraph;
+pub use oracle::{InfluenceFn, InfluenceOracle, ZeroInfluence};

@@ -1,0 +1,70 @@
+//! The influence oracle boundary.
+//!
+//! Assignment algorithms consume worker-task influence values without
+//! knowing how they are produced. `sc-core` implements the full DITA
+//! model (affinity × Σ willingness × propagation); unit tests inject
+//! closures; the MTA baseline uses [`ZeroInfluence`].
+
+use sc_types::{Task, WorkerId};
+
+/// Supplies `if(w, s)` for candidate pairs.
+pub trait InfluenceOracle {
+    /// Worker-task influence of assigning `task` to `worker`.
+    /// Must be non-negative and finite.
+    fn influence(&self, worker: WorkerId, task: &Task) -> f64;
+}
+
+/// The zero oracle: every pair has no influence (MTA's view of the world).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeroInfluence;
+
+impl InfluenceOracle for ZeroInfluence {
+    #[inline]
+    fn influence(&self, _worker: WorkerId, _task: &Task) -> f64 {
+        0.0
+    }
+}
+
+/// Adapter turning any closure into an oracle.
+pub struct InfluenceFn<F>(pub F);
+
+impl<F: Fn(WorkerId, &Task) -> f64> InfluenceOracle for InfluenceFn<F> {
+    #[inline]
+    fn influence(&self, worker: WorkerId, task: &Task) -> f64 {
+        (self.0)(worker, task)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_types::{CategoryId, Duration, Location, TaskId, TimeInstant};
+
+    fn task() -> Task {
+        Task::new(
+            TaskId::new(0),
+            Location::ORIGIN,
+            TimeInstant::EPOCH,
+            Duration::hours(1),
+            CategoryId::new(0),
+        )
+    }
+
+    #[test]
+    fn zero_oracle_is_zero() {
+        assert_eq!(ZeroInfluence.influence(WorkerId::new(5), &task()), 0.0);
+    }
+
+    #[test]
+    fn closure_adapter_passes_through() {
+        let oracle = InfluenceFn(|w: WorkerId, _t: &Task| w.raw() as f64 * 2.0);
+        assert_eq!(oracle.influence(WorkerId::new(3), &task()), 6.0);
+    }
+
+    #[test]
+    fn oracle_is_object_safe() {
+        let oracle = InfluenceFn(|_, _: &Task| 1.0);
+        let dynamic: &dyn InfluenceOracle = &oracle;
+        assert_eq!(dynamic.influence(WorkerId::new(0), &task()), 1.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! LDA training and inference benchmarks (paper Section III-A) plus the
+//! `lda_sweeps` ablation from DESIGN.md: how Gibbs sweep count trades
+//! training time for affinity quality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use sc_topics::{Corpus, LdaParams, LdaTrainer};
+
+/// Synthetic worker-document corpus with `n_docs` docs over `n_words`
+/// words grouped into recoverable themes.
+fn corpus(n_docs: usize, n_words: usize, doc_len: usize, seed: u64) -> Corpus {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_themes = 8.min(n_words);
+    let theme_size = n_words / n_themes;
+    let docs: Vec<Vec<u32>> = (0..n_docs)
+        .map(|d| {
+            let theme = d % n_themes;
+            (0..doc_len)
+                .map(|_| {
+                    let w = if rng.random_bool(0.85) {
+                        theme * theme_size + rng.random_range(0..theme_size)
+                    } else {
+                        rng.random_range(0..n_words)
+                    };
+                    w as u32
+                })
+                .collect()
+        })
+        .collect();
+    Corpus::from_documents(docs)
+}
+
+fn bench_training_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lda_training");
+    group.sample_size(10);
+    for &n_docs in &[200usize, 800] {
+        let corp = corpus(n_docs, 120, 30, 1);
+        group.bench_with_input(BenchmarkId::new("docs", n_docs), &n_docs, |b, _| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(2);
+                let trainer = LdaTrainer::new(LdaParams::with_topics(20).sweeps(20));
+                black_box(trainer.train(&corp, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The `lda_sweeps` ablation: sweep count vs wall time (quality is
+/// checked in sc-topics tests; here we measure the cost side).
+fn bench_sweep_ablation(c: &mut Criterion) {
+    let corp = corpus(300, 120, 30, 3);
+    let mut group = c.benchmark_group("lda_sweeps");
+    group.sample_size(10);
+    for &sweeps in &[10usize, 50, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(sweeps), &sweeps, |b, &s| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(4);
+                let trainer = LdaTrainer::new(LdaParams::with_topics(20).sweeps(s));
+                black_box(trainer.train(&corp, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let corp = corpus(300, 120, 30, 5);
+    let mut rng = SmallRng::seed_from_u64(6);
+    let model = LdaTrainer::new(LdaParams::with_topics(20).sweeps(30)).train(&corp, &mut rng);
+    let doc: Vec<u32> = (0..6).collect();
+    c.bench_function("lda_infer_task_document", |b| {
+        b.iter(|| {
+            let mut r = SmallRng::seed_from_u64(7);
+            black_box(model.infer(&doc, 10, &mut r))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_training_scaling,
+    bench_sweep_ablation,
+    bench_inference
+);
+criterion_main!(benches);

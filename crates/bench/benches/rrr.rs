@@ -1,0 +1,84 @@
+//! RRR-set sampling and RPO benchmarks (paper Sections III-C and III-E).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sc_datagen::generate_social_edges;
+use sc_influence::{Rpo, RpoParams, RrrPool, SocialNetwork};
+
+fn network(n: usize, seed: u64) -> SocialNetwork {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let edges = generate_social_edges(n, 4, &mut rng);
+    SocialNetwork::from_undirected_edges(n, &edges)
+}
+
+fn bench_pool_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rrr_pool_generation");
+    group.sample_size(10);
+    for &n in &[500usize, 2000] {
+        let net = network(n, 1);
+        group.bench_with_input(BenchmarkId::new("sets_10k", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(2);
+                black_box(RrrPool::generate(&net, 10_000, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rpo_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpo_algorithm1");
+    group.sample_size(10);
+    for &n in &[500usize, 2000] {
+        let net = network(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(4);
+                let rpo = Rpo::new(RpoParams {
+                    max_sets: 50_000,
+                    ..Default::default()
+                });
+                black_box(rpo.build_pool(&net, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let net = network(2000, 5);
+    let mut rng = SmallRng::seed_from_u64(6);
+    let pool = RrrPool::generate(&net, 50_000, &mut rng);
+    let weights = vec![0.5f64; 2000];
+
+    let mut group = c.benchmark_group("rrr_estimators");
+    group.bench_function("sigma_all_workers", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for w in 0..2000u32 {
+                acc += pool.sigma(w);
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("weighted_propagation_all_workers", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for w in 0..2000u32 {
+                acc += pool.weighted_propagation(w, &weights);
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pool_generation,
+    bench_rpo_end_to_end,
+    bench_estimators
+);
+criterion_main!(benches);

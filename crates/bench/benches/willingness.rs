@@ -1,0 +1,57 @@
+//! Willingness-model benchmarks (paper Section III-B): fitting the
+//! Historical Acceptance model and the per-task population evaluation
+//! that dominates influence scoring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sc_datagen::{DatasetProfile, SyntheticDataset};
+use sc_mobility::WillingnessModel;
+use sc_types::Location;
+
+fn dataset() -> SyntheticDataset {
+    let mut profile = DatasetProfile::brightkite_small();
+    profile.n_workers = 1_000;
+    profile.n_venues = 800;
+    profile.checkins_per_worker = 20;
+    SyntheticDataset::generate(&profile, 11)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let data = dataset();
+    let mut group = c.benchmark_group("willingness_fit");
+    group.sample_size(10);
+    group.bench_function("fit_1000_workers", |b| {
+        b.iter(|| black_box(WillingnessModel::fit(&data.histories)));
+    });
+    group.finish();
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let data = dataset();
+    let model = WillingnessModel::fit(&data.histories);
+    let mut group = c.benchmark_group("willingness_eval");
+    for &n_targets in &[10usize, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("population_eval_targets", n_targets),
+            &n_targets,
+            |b, &n| {
+                let targets: Vec<Location> = (0..n)
+                    .map(|i| Location::new(i as f64 * 2.5, (i % 7) as f64 * 3.0))
+                    .collect();
+                let mut buf = Vec::new();
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for t in &targets {
+                        model.willingness_all(t, &mut buf);
+                        acc += buf.iter().sum::<f64>();
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_eval);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Figure 11: effect of |W| on BK.
+fn main() {
+    sc_bench::comparison_figure("fig11", "BK", sc_bench::AxisSel::Workers,
+        "Effect of |W| on BK (five metrics, five algorithms)");
+}

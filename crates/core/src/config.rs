@@ -1,0 +1,91 @@
+//! DITA configuration (paper defaults from Section V-A / Table II).
+
+use sc_influence::RpoParams;
+use sc_topics::LdaParams;
+
+/// Configuration of the DITA training pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DitaConfig {
+    /// Number of LDA topics `|Top|` (paper: 50).
+    pub n_topics: usize,
+    /// Gibbs sweeps for LDA training.
+    pub lda_sweeps: usize,
+    /// Gibbs sweeps for per-task fold-in inference.
+    pub infer_sweeps: usize,
+    /// RPO parameters (paper: ε = 0.1, o = 1).
+    pub rpo: RpoParams,
+    /// Master seed; every random phase derives from it.
+    pub seed: u64,
+}
+
+impl Default for DitaConfig {
+    fn default() -> Self {
+        DitaConfig {
+            n_topics: 50,
+            lda_sweeps: 60,
+            infer_sweeps: 20,
+            rpo: RpoParams {
+                epsilon: 0.1,
+                o: 1.0,
+                max_sets: 400_000,
+                model: sc_influence::PropagationModel::WeightedCascade,
+            },
+            seed: 0xD17A,
+        }
+    }
+}
+
+impl DitaConfig {
+    /// The LDA hyper-parameters implied by the config.
+    pub fn lda_params(&self) -> LdaParams {
+        LdaParams::with_topics(self.n_topics).sweeps(self.lda_sweeps)
+    }
+
+    /// Derives a phase-specific RNG seed from the master seed.
+    pub fn phase_seed(&self, phase: &str) -> u64 {
+        // FNV-1a over the phase name, mixed with the master seed.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in phase.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^ self.seed.rotate_left(17)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DitaConfig::default();
+        assert_eq!(c.n_topics, 50);
+        assert!((c.rpo.epsilon - 0.1).abs() < 1e-12);
+        assert!((c.rpo.o - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lda_params_propagate() {
+        let c = DitaConfig {
+            n_topics: 10,
+            lda_sweeps: 5,
+            ..Default::default()
+        };
+        let p = c.lda_params();
+        assert_eq!(p.n_topics, 10);
+        assert_eq!(p.sweeps, 5);
+    }
+
+    #[test]
+    fn phase_seeds_differ_by_phase_and_master() {
+        let a = DitaConfig::default();
+        let b = DitaConfig {
+            seed: 99,
+            ..Default::default()
+        };
+        assert_ne!(a.phase_seed("lda"), a.phase_seed("rpo"));
+        assert_ne!(a.phase_seed("lda"), b.phase_seed("lda"));
+        assert_eq!(a.phase_seed("lda"), a.phase_seed("lda"));
+    }
+}

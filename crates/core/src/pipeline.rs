@@ -1,0 +1,313 @@
+//! The end-to-end DITA pipeline (paper Figure 2).
+
+use crate::config::DitaConfig;
+use crate::model::InfluenceModel;
+use crate::scorer::{InfluenceScorer, InfluenceVariant};
+use sc_assign::{run_with_matrix, AlgorithmKind, AssignInput, EligibilityMatrix};
+use sc_influence::SocialNetwork;
+use sc_types::{Assignment, HistoryStore, Instance, VenueId};
+
+/// Builder for [`DitaPipeline`].
+#[derive(Debug, Clone, Default)]
+pub struct DitaBuilder {
+    config: DitaConfig,
+}
+
+impl DitaBuilder {
+    /// Starts from the paper-default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the full configuration.
+    #[must_use]
+    pub fn config(mut self, config: DitaConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the topic count `|Top|`.
+    #[must_use]
+    pub fn topics(mut self, n_topics: usize) -> Self {
+        self.config.n_topics = n_topics;
+        self
+    }
+
+    /// Overrides the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Overrides the RPO sampling parameters.
+    #[must_use]
+    pub fn rpo(mut self, rpo: sc_influence::RpoParams) -> Self {
+        self.config.rpo = rpo;
+        self
+    }
+
+    /// Trains every model (LDA, willingness, entropy, RRR pool) and
+    /// returns the ready pipeline.
+    pub fn build(
+        self,
+        social: &SocialNetwork,
+        histories: &HistoryStore,
+    ) -> sc_types::Result<DitaPipeline> {
+        if self.config.n_topics == 0 {
+            return Err(sc_types::ScError::invalid("n_topics must be positive"));
+        }
+        let model = InfluenceModel::train(&self.config, social, histories);
+        Ok(DitaPipeline { model })
+    }
+}
+
+/// A trained DITA pipeline: influence modeling plus task assignment.
+#[derive(Debug)]
+pub struct DitaPipeline {
+    model: InfluenceModel,
+}
+
+impl DitaPipeline {
+    /// The trained influence model.
+    pub fn model(&self) -> &InfluenceModel {
+        &self.model
+    }
+
+    /// Creates an influence oracle (full product).
+    pub fn scorer(&self) -> InfluenceScorer<'_> {
+        InfluenceScorer::new(&self.model)
+    }
+
+    /// Creates an ablation oracle.
+    pub fn scorer_variant(&self, variant: InfluenceVariant) -> InfluenceScorer<'_> {
+        InfluenceScorer::with_variant(&self.model, variant)
+    }
+
+    /// Runs an assignment algorithm on an instance (no entropy data;
+    /// EIA degrades to IA weighting with `s.e = 0`).
+    pub fn assign(&self, instance: &Instance, kind: AlgorithmKind) -> Assignment {
+        let scorer = self.scorer();
+        let input = AssignInput::new(instance, &scorer);
+        sc_assign::run(kind, &input)
+    }
+
+    /// Runs an assignment with task→venue mapping so EIA can use real
+    /// location entropies.
+    pub fn assign_with_venues(
+        &self,
+        instance: &Instance,
+        task_venues: &[VenueId],
+        kind: AlgorithmKind,
+    ) -> Assignment {
+        let scorer = self.scorer();
+        let entropies = self.model.task_entropies(task_venues);
+        let input = AssignInput::new(instance, &scorer).with_entropy(&entropies);
+        sc_assign::run(kind, &input)
+    }
+
+    /// Runs an ablation variant of IA on an instance.
+    pub fn assign_variant(&self, instance: &Instance, variant: InfluenceVariant) -> Assignment {
+        let scorer = self.scorer_variant(variant);
+        let input = AssignInput::new(instance, &scorer);
+        sc_assign::run(AlgorithmKind::Ia, &input)
+    }
+
+    /// Runs several algorithms on one instance reusing the eligibility
+    /// matrix and the per-task influence caches; returns assignments in
+    /// the order of `kinds`.
+    pub fn assign_many(
+        &self,
+        instance: &Instance,
+        task_venues: Option<&[VenueId]>,
+        kinds: &[AlgorithmKind],
+    ) -> Vec<Assignment> {
+        let scorer = self.scorer();
+        let matrix = EligibilityMatrix::build(instance);
+        let entropies = task_venues.map(|tv| self.model.task_entropies(tv));
+        kinds
+            .iter()
+            .map(|&kind| {
+                let mut input = AssignInput::new(instance, &scorer);
+                if let Some(e) = &entropies {
+                    input = input.with_entropy(e);
+                }
+                run_with_matrix(kind, &input, &matrix)
+            })
+            .collect()
+    }
+
+    /// Average Propagation (paper Eq. 7) of an assignment:
+    /// `AP = Σ_{(s,w) ∈ A} Σ_{w' ≠ w} P_pro(w, w') / |A|`.
+    pub fn average_propagation(&self, assignment: &Assignment) -> f64 {
+        if assignment.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = assignment
+            .pairs()
+            .iter()
+            .map(|p| self.model.total_propagation(p.worker))
+            .sum();
+        total / assignment.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_types::{
+        CategoryId, CheckIn, Duration, Location, Task, TaskId, TimeInstant, Worker, WorkerId,
+    };
+
+    fn tiny_pipeline() -> DitaPipeline {
+        let social = SocialNetwork::from_undirected_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut store = HistoryStore::with_workers(4);
+        for w in 0..4u32 {
+            let x = w as f64 * 2.0;
+            for i in 0..8 {
+                store.push(CheckIn::at(
+                    WorkerId::new(w),
+                    sc_types::VenueId::new(w * 10 + (i % 2)),
+                    Location::new(x, (i % 2) as f64),
+                    TimeInstant::from_seconds(w as i64 * 100 + i as i64),
+                    vec![CategoryId::new(w % 3)],
+                ));
+            }
+        }
+        DitaBuilder::new()
+            .topics(3)
+            .seed(11)
+            .rpo(sc_influence::RpoParams {
+                max_sets: 10_000,
+                ..Default::default()
+            })
+            .build(&social, &store)
+            .unwrap()
+    }
+
+    fn instance() -> Instance {
+        Instance::new(
+            TimeInstant::at(0, 9),
+            (0..4)
+                .map(|w| Worker::new(WorkerId::new(w), Location::new(w as f64 * 2.0, 0.0), 25.0))
+                .collect(),
+            (0..3)
+                .map(|t| {
+                    Task::new(
+                        TaskId::new(t),
+                        Location::new(t as f64 * 3.0, 0.5),
+                        TimeInstant::at(0, 8),
+                        Duration::hours(5),
+                        CategoryId::new(t % 3),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn builder_rejects_zero_topics() {
+        let social = SocialNetwork::from_directed_edges(2, &[(0, 1)]);
+        let store = HistoryStore::with_workers(2);
+        let err = DitaBuilder::new().topics(0).build(&social, &store);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn assign_produces_valid_assignment() {
+        let p = tiny_pipeline();
+        let inst = instance();
+        let a = p.assign(&inst, AlgorithmKind::Ia);
+        assert_eq!(a.len(), 3, "all tasks reachable with r=25");
+        for pair in a.pairs() {
+            assert!(pair.influence >= 0.0);
+            assert!(pair.distance_km <= 25.0);
+        }
+    }
+
+    #[test]
+    fn assign_many_matches_individual_runs() {
+        let p = tiny_pipeline();
+        let inst = instance();
+        let kinds = [AlgorithmKind::Mta, AlgorithmKind::Ia, AlgorithmKind::Mi];
+        let many = p.assign_many(&inst, None, &kinds);
+        for (kind, got) in kinds.iter().zip(many.iter()) {
+            let solo = p.assign(&inst, *kind);
+            assert_eq!(got.len(), solo.len(), "{kind}");
+            assert!((got.total_influence() - solo.total_influence()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn variants_run_and_differ_from_full() {
+        let p = tiny_pipeline();
+        let inst = instance();
+        let full = p.assign_variant(&inst, InfluenceVariant::Full);
+        assert_eq!(full.len(), 3);
+        for v in InfluenceVariant::ALL {
+            let a = p.assign_variant(&inst, v);
+            assert_eq!(a.len(), 3, "{}", v.label());
+        }
+    }
+
+    #[test]
+    fn average_propagation_is_mean_of_worker_totals() {
+        let p = tiny_pipeline();
+        let inst = instance();
+        let a = p.assign(&inst, AlgorithmKind::Ia);
+        let ap = p.average_propagation(&a);
+        let manual: f64 = a
+            .pairs()
+            .iter()
+            .map(|pair| p.model().total_propagation(pair.worker))
+            .sum::<f64>()
+            / a.len() as f64;
+        assert!((ap - manual).abs() < 1e-12);
+        assert_eq!(p.average_propagation(&Assignment::new()), 0.0);
+    }
+
+    #[test]
+    fn pipeline_runs_under_linear_threshold_model() {
+        // The propagation component is pluggable: switching RPO to the
+        // Linear Threshold model trains and assigns end-to-end.
+        let social = SocialNetwork::from_undirected_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut store = HistoryStore::with_workers(4);
+        for w in 0..4u32 {
+            for i in 0..6 {
+                store.push(CheckIn::at(
+                    WorkerId::new(w),
+                    sc_types::VenueId::new(w * 10 + i),
+                    Location::new(w as f64, i as f64 * 0.2),
+                    TimeInstant::from_seconds((w * 10 + i) as i64),
+                    vec![CategoryId::new(w % 2)],
+                ));
+            }
+        }
+        let p = DitaBuilder::new()
+            .topics(3)
+            .seed(5)
+            .rpo(sc_influence::RpoParams {
+                max_sets: 5_000,
+                model: sc_influence::PropagationModel::LinearThreshold,
+                ..Default::default()
+            })
+            .build(&social, &store)
+            .unwrap();
+        let a = p.assign(&instance(), AlgorithmKind::Ia);
+        assert_eq!(a.len(), 3);
+        assert!(a.pairs().iter().all(|pair| pair.influence >= 0.0));
+    }
+
+    #[test]
+    fn entropy_aware_assignment_runs() {
+        let p = tiny_pipeline();
+        let inst = instance();
+        let venues = vec![
+            sc_types::VenueId::new(0),
+            sc_types::VenueId::new(10),
+            sc_types::VenueId::new(20),
+        ];
+        let a = p.assign_with_venues(&inst, &venues, AlgorithmKind::Eia);
+        assert_eq!(a.len(), 3);
+    }
+}

@@ -1,0 +1,382 @@
+//! The worker-task influence oracle (paper Section III-D).
+//!
+//! `if(w_s, s) = P_aff(w_s, s) · Σ_{w_i ≠ w_s} P_wil(w_i, s) · P_pro(w_s, w_i)`
+//!
+//! Through the RRR pool the inner sum collapses to a single scan of the
+//! sets containing `w_s`, weighting each set by the willingness of its
+//! root towards the task (see `sc_influence::RrrPool::weighted_propagation`).
+//! The per-task quantities — the task's topic distribution and the
+//! population willingness vector — are cached on first use, because every
+//! algorithm queries many workers against the same task.
+
+use crate::model::InfluenceModel;
+use parking_lot::Mutex;
+use sc_assign::InfluenceOracle;
+use sc_types::{Task, WorkerId};
+use std::collections::HashMap;
+
+/// Which factors of the influence product are active — the evaluation's
+/// ablation variants (Section V-B1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InfluenceVariant {
+    /// Full IA influence: affinity × Σ willingness × propagation.
+    #[default]
+    Full,
+    /// IA-WP: willingness + propagation (affinity factor dropped).
+    NoAffinity,
+    /// IA-AP: affinity + propagation (willingness weights dropped;
+    /// the inner sum degenerates to total propagation).
+    NoWillingness,
+    /// IA-AW: affinity + willingness (propagation dropped; the model
+    /// falls back to the candidate's own willingness towards the task).
+    NoPropagation,
+}
+
+impl InfluenceVariant {
+    /// The evaluation's display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            InfluenceVariant::Full => "IA",
+            InfluenceVariant::NoAffinity => "IA-WP",
+            InfluenceVariant::NoWillingness => "IA-AP",
+            InfluenceVariant::NoPropagation => "IA-AW",
+        }
+    }
+
+    /// All four variants in the order the figures plot them.
+    pub const ALL: [InfluenceVariant; 4] = [
+        InfluenceVariant::Full,
+        InfluenceVariant::NoAffinity,
+        InfluenceVariant::NoWillingness,
+        InfluenceVariant::NoPropagation,
+    ];
+}
+
+/// Per-task cached quantities.
+struct TaskCache {
+    topics: Vec<f64>,
+    willingness: Vec<f64>,
+}
+
+/// A factor-by-factor breakdown of one worker-task influence value —
+/// useful for debugging assignments and for explaining to a task issuer
+/// *why* a worker was chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InfluenceBreakdown {
+    /// `P_aff(w, s)` — topic affinity of the worker towards the task.
+    pub affinity: f64,
+    /// `Σ_{w_i ≠ w} P_wil(w_i, s) · P_pro(w, w_i)` — the expected
+    /// willingness-weighted audience the worker can inform.
+    pub weighted_propagation: f64,
+    /// The worker's own willingness `P_wil(w, s)` to visit the task.
+    pub own_willingness: f64,
+    /// `Σ_{w_i ≠ w} P_pro(w, w_i)` — raw expected audience size.
+    pub total_propagation: f64,
+    /// The full influence `affinity × weighted_propagation`
+    /// (Section III-D).
+    pub score: f64,
+}
+
+/// An influence oracle over a trained [`InfluenceModel`].
+pub struct InfluenceScorer<'a> {
+    model: &'a InfluenceModel,
+    variant: InfluenceVariant,
+    cache: Mutex<HashMap<u32, TaskCache>>,
+}
+
+impl<'a> InfluenceScorer<'a> {
+    /// Creates a scorer for the full influence product.
+    pub fn new(model: &'a InfluenceModel) -> Self {
+        Self::with_variant(model, InfluenceVariant::Full)
+    }
+
+    /// Creates a scorer for an ablation variant.
+    pub fn with_variant(model: &'a InfluenceModel, variant: InfluenceVariant) -> Self {
+        InfluenceScorer {
+            model,
+            variant,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The active variant.
+    pub fn variant(&self) -> InfluenceVariant {
+        self.variant
+    }
+
+    fn with_task_cache<T>(&self, task: &Task, f: impl FnOnce(&TaskCache) -> T) -> T {
+        let mut cache = self.cache.lock();
+        let entry = cache.entry(task.id.raw()).or_insert_with(|| {
+            let topics = self.model.task_topics(task);
+            let mut willingness = Vec::new();
+            self.model.willingness_all(&task.location, &mut willingness);
+            TaskCache { topics, willingness }
+        });
+        f(entry)
+    }
+
+    /// Evaluates the (variant's) influence of `worker` on `task`.
+    pub fn score(&self, worker: WorkerId, task: &Task) -> f64 {
+        if worker.index() >= self.model.n_workers() {
+            return 0.0;
+        }
+        self.with_task_cache(task, |cache| match self.variant {
+            InfluenceVariant::Full => {
+                let aff = self.model.affinity_with(worker, &cache.topics);
+                if aff == 0.0 {
+                    return 0.0;
+                }
+                let spread = self
+                    .model
+                    .pool()
+                    .weighted_propagation(worker.raw(), &cache.willingness);
+                aff * spread
+            }
+            InfluenceVariant::NoAffinity => self
+                .model
+                .pool()
+                .weighted_propagation(worker.raw(), &cache.willingness),
+            InfluenceVariant::NoWillingness => {
+                let aff = self.model.affinity_with(worker, &cache.topics);
+                aff * self.model.total_propagation(worker)
+            }
+            InfluenceVariant::NoPropagation => {
+                let aff = self.model.affinity_with(worker, &cache.topics);
+                aff * cache.willingness[worker.index()]
+            }
+        })
+    }
+}
+
+impl InfluenceScorer<'_> {
+    /// Explains the full influence value of a pair factor by factor.
+    /// Always reports the *full* model regardless of the active variant.
+    pub fn explain(&self, worker: WorkerId, task: &Task) -> InfluenceBreakdown {
+        if worker.index() >= self.model.n_workers() {
+            return InfluenceBreakdown {
+                affinity: 0.0,
+                weighted_propagation: 0.0,
+                own_willingness: 0.0,
+                total_propagation: 0.0,
+                score: 0.0,
+            };
+        }
+        self.with_task_cache(task, |cache| {
+            let affinity = self.model.affinity_with(worker, &cache.topics);
+            let weighted_propagation = self
+                .model
+                .pool()
+                .weighted_propagation(worker.raw(), &cache.willingness);
+            InfluenceBreakdown {
+                affinity,
+                weighted_propagation,
+                own_willingness: cache.willingness[worker.index()],
+                total_propagation: self.model.total_propagation(worker),
+                score: affinity * weighted_propagation,
+            }
+        })
+    }
+}
+
+impl InfluenceOracle for InfluenceScorer<'_> {
+    fn influence(&self, worker: WorkerId, task: &Task) -> f64 {
+        self.score(worker, task)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DitaConfig;
+    use sc_influence::SocialNetwork;
+    use sc_types::{
+        CategoryId, CheckIn, Duration, HistoryStore, Location, TaskId, TimeInstant, VenueId,
+    };
+
+    fn world() -> (SocialNetwork, HistoryStore) {
+        // 6 workers in two triangles bridged by an edge; two category
+        // groups and two home regions as in the model tests.
+        let social = SocialNetwork::from_undirected_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        );
+        let mut store = HistoryStore::with_workers(6);
+        for w in 0..6u32 {
+            let (x, cat) = if w < 3 { (0.0, 0) } else { (10.0, 20) };
+            for i in 0..10 {
+                store.push(CheckIn::at(
+                    WorkerId::new(w),
+                    VenueId::new(w * 10 + (i % 2)),
+                    Location::new(x + (i % 2) as f64, 0.0),
+                    TimeInstant::from_seconds(w as i64 * 100 + i as i64),
+                    vec![CategoryId::new(cat + (i % 2))],
+                ));
+            }
+        }
+        (social, store)
+    }
+
+    fn config() -> DitaConfig {
+        DitaConfig {
+            n_topics: 4,
+            lda_sweeps: 60,
+            infer_sweeps: 20,
+            rpo: sc_influence::RpoParams {
+                max_sets: 30_000,
+                ..Default::default()
+            },
+            seed: 3,
+        }
+    }
+
+    fn task_a() -> Task {
+        Task::new(
+            TaskId::new(0),
+            Location::new(0.5, 0.0),
+            TimeInstant::EPOCH,
+            Duration::hours(5),
+            CategoryId::new(0),
+        )
+    }
+
+    #[test]
+    fn full_influence_is_nonnegative_and_finite() {
+        let (social, store) = world();
+        let model = InfluenceModel::train(&config(), &social, &store);
+        let scorer = InfluenceScorer::new(&model);
+        for w in 0..6 {
+            let v = scorer.score(WorkerId::new(w), &task_a());
+            assert!(v.is_finite() && v >= 0.0, "worker {w}: {v}");
+        }
+    }
+
+    #[test]
+    fn full_score_is_product_of_factors() {
+        let (social, store) = world();
+        let model = InfluenceModel::train(&config(), &social, &store);
+        let scorer = InfluenceScorer::new(&model);
+        let task = task_a();
+        let w = WorkerId::new(1);
+        let theta = model.task_topics(&task);
+        let aff = model.affinity_with(w, &theta);
+        let mut wil = Vec::new();
+        model.willingness_all(&task.location, &mut wil);
+        let spread = model.pool().weighted_propagation(w.raw(), &wil);
+        assert!((scorer.score(w, &task) - aff * spread).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variants_drop_their_factor() {
+        let (social, store) = world();
+        let model = InfluenceModel::train(&config(), &social, &store);
+        let task = task_a();
+        let w = WorkerId::new(0);
+
+        let theta = model.task_topics(&task);
+        let aff = model.affinity_with(w, &theta);
+        let mut wil = Vec::new();
+        model.willingness_all(&task.location, &mut wil);
+
+        let wp = InfluenceScorer::with_variant(&model, InfluenceVariant::NoAffinity);
+        assert!(
+            (wp.score(w, &task) - model.pool().weighted_propagation(w.raw(), &wil)).abs() < 1e-12
+        );
+
+        let ap = InfluenceScorer::with_variant(&model, InfluenceVariant::NoWillingness);
+        assert!((ap.score(w, &task) - aff * model.total_propagation(w)).abs() < 1e-12);
+
+        let aw = InfluenceScorer::with_variant(&model, InfluenceVariant::NoPropagation);
+        assert!((aw.score(w, &task) - aff * wil[w.index()]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_affine_worker_outranks_remote_on_full_model() {
+        let (social, store) = world();
+        let model = InfluenceModel::train(&config(), &social, &store);
+        let scorer = InfluenceScorer::new(&model);
+        // Worker 0 lives at x≈0 doing category 0; worker 5 lives at x≈10
+        // doing category 20. Task A (cat 0, x=0.5) should favour worker 0
+        // decisively.
+        let s0 = scorer.score(WorkerId::new(0), &task_a());
+        let s5 = scorer.score(WorkerId::new(5), &task_a());
+        assert!(s0 > s5, "local worker {s0} vs remote {s5}");
+    }
+
+    #[test]
+    fn cache_returns_identical_values() {
+        let (social, store) = world();
+        let model = InfluenceModel::train(&config(), &social, &store);
+        let scorer = InfluenceScorer::new(&model);
+        let a = scorer.score(WorkerId::new(2), &task_a());
+        let b = scorer.score(WorkerId::new(2), &task_a());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oracle_trait_dispatch() {
+        let (social, store) = world();
+        let model = InfluenceModel::train(&config(), &social, &store);
+        let scorer = InfluenceScorer::new(&model);
+        let oracle: &dyn InfluenceOracle = &scorer;
+        assert_eq!(
+            oracle.influence(WorkerId::new(1), &task_a()),
+            scorer.score(WorkerId::new(1), &task_a())
+        );
+    }
+
+    #[test]
+    fn unknown_worker_scores_zero() {
+        let (social, store) = world();
+        let model = InfluenceModel::train(&config(), &social, &store);
+        let scorer = InfluenceScorer::new(&model);
+        assert_eq!(scorer.score(WorkerId::new(100), &task_a()), 0.0);
+    }
+
+    #[test]
+    fn explain_is_consistent_with_score() {
+        let (social, store) = world();
+        let model = InfluenceModel::train(&config(), &social, &store);
+        let scorer = InfluenceScorer::new(&model);
+        let task = task_a();
+        for w in 0..6 {
+            let worker = WorkerId::new(w);
+            let b = scorer.explain(worker, &task);
+            assert!((b.score - b.affinity * b.weighted_propagation).abs() < 1e-12);
+            assert!((b.score - scorer.score(worker, &task)).abs() < 1e-12);
+            // The willingness-weighted audience can never exceed the raw
+            // audience (weights are probabilities ≤ 1).
+            assert!(b.weighted_propagation <= b.total_propagation + 1e-9);
+            assert!((0.0..=1.0 + 1e-9).contains(&b.own_willingness));
+        }
+    }
+
+    #[test]
+    fn explain_reports_full_model_under_any_variant() {
+        let (social, store) = world();
+        let model = InfluenceModel::train(&config(), &social, &store);
+        let full = InfluenceScorer::new(&model);
+        let wp = InfluenceScorer::with_variant(&model, InfluenceVariant::NoAffinity);
+        let task = task_a();
+        let a = full.explain(WorkerId::new(1), &task);
+        let b = wp.explain(WorkerId::new(1), &task);
+        assert_eq!(a, b, "explain is variant-independent");
+    }
+
+    #[test]
+    fn explain_out_of_range_worker_is_zeroed() {
+        let (social, store) = world();
+        let model = InfluenceModel::train(&config(), &social, &store);
+        let scorer = InfluenceScorer::new(&model);
+        let b = scorer.explain(WorkerId::new(99), &task_a());
+        assert_eq!(b.score, 0.0);
+        assert_eq!(b.total_propagation, 0.0);
+    }
+
+    #[test]
+    fn variant_labels() {
+        assert_eq!(InfluenceVariant::Full.label(), "IA");
+        assert_eq!(InfluenceVariant::NoAffinity.label(), "IA-WP");
+        assert_eq!(InfluenceVariant::NoWillingness.label(), "IA-AP");
+        assert_eq!(InfluenceVariant::NoPropagation.label(), "IA-AW");
+    }
+}

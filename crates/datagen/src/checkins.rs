@@ -1,0 +1,215 @@
+//! Check-in trajectory generation.
+//!
+//! Each worker gets a *home cluster* and walks venue-to-venue:
+//!
+//! * hop lengths are Pareto-distributed (`profile.hop_shape`) — the
+//!   self-similar displacement behaviour the willingness model assumes;
+//! * with probability `roam_probability` a hop may jump to a random
+//!   cluster (long-tail travel);
+//! * the next venue is the one nearest to the proposed hop endpoint
+//!   (snapping keeps the walk on real venues);
+//! * check-in times advance through the profile's day span.
+
+use crate::profile::DatasetProfile;
+use crate::venues::VenueMap;
+use rand::{Rng, RngExt};
+use sc_spatial::GridIndex;
+use sc_stats::Pareto;
+use sc_types::{CheckIn, Duration, HistoryStore, Location, TimeInstant, WorkerId};
+
+/// Generates the complete check-in history for every worker.
+pub fn generate_checkins<R: Rng + ?Sized>(
+    profile: &DatasetProfile,
+    venues: &VenueMap,
+    rng: &mut R,
+) -> HistoryStore {
+    profile.validate();
+    let mut store = HistoryStore::with_workers(profile.n_workers);
+    if venues.is_empty() {
+        return store;
+    }
+
+    let locations: Vec<Location> = venues.venues().iter().map(|v| v.location).collect();
+    let grid = GridIndex::build(&locations, (profile.cluster_sigma_km / 2.0).max(0.25));
+    let hop = Pareto::unit_scale(profile.hop_shape);
+
+    for w in 0..profile.n_workers {
+        let home_cluster = rng.random_range(0..venues.n_clusters());
+        let n_checkins = sample_poissonish(profile.checkins_per_worker, rng);
+        if n_checkins == 0 {
+            continue;
+        }
+
+        // Start at a random venue of the home cluster.
+        let home_venues = venues.cluster_venues(home_cluster);
+        let mut current = if home_venues.is_empty() {
+            rng.random_range(0..venues.len())
+        } else {
+            home_venues[rng.random_range(0..home_venues.len())] as usize
+        };
+
+        // Spread check-ins over the day span.
+        let total_secs = profile.n_days as i64 * 86_400;
+        let mut times: Vec<i64> = (0..n_checkins)
+            .map(|_| rng.random_range(0..total_secs))
+            .collect();
+        times.sort_unstable();
+
+        for t in times {
+            let venue = venues.venue(sc_types::VenueId::from(current));
+            let arrived = TimeInstant::from_seconds(t);
+            let completed = arrived + Duration::minutes(rng.random_range(5..90));
+            store.push(CheckIn {
+                worker: WorkerId::from(w),
+                venue: venue.id,
+                location: venue.location,
+                arrived,
+                completed,
+                categories: venue.categories.clone(),
+            });
+
+            // Choose the next venue: Pareto hop, possibly roaming.
+            current = if rng.random_bool(profile.roam_probability) {
+                rng.random_range(0..venues.len())
+            } else {
+                let hop_km = hop.sample(rng) - 1.0; // shift back to ≥ 0
+                let angle = rng.random::<f64>() * std::f64::consts::TAU;
+                let target = Location::new(
+                    venue.location.x + hop_km * angle.cos(),
+                    venue.location.y + hop_km * angle.sin(),
+                );
+                grid.nearest(&target).map(|(i, _)| i).unwrap_or(current)
+            };
+        }
+    }
+    store
+}
+
+/// Small integer jitter around the mean (±50%), cheap stand-in for a
+/// Poisson sample that keeps the generator dependency-free.
+fn sample_poissonish<R: Rng + ?Sized>(mean: usize, rng: &mut R) -> usize {
+    if mean == 0 {
+        return 0;
+    }
+    let lo = mean / 2;
+    let hi = mean + mean / 2;
+    rng.random_range(lo..=hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn generate(seed: u64) -> (DatasetProfile, VenueMap, HistoryStore) {
+        let profile = DatasetProfile::brightkite_small();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let venues = VenueMap::generate(&profile, &mut rng);
+        let store = generate_checkins(&profile, &venues, &mut rng);
+        (profile, venues, store)
+    }
+
+    #[test]
+    fn volume_is_near_expectation() {
+        let (profile, _, store) = generate(1);
+        let expect = profile.n_workers * profile.checkins_per_worker;
+        let got = store.total_checkins();
+        assert!(
+            (got as f64) > 0.7 * expect as f64 && (got as f64) < 1.3 * expect as f64,
+            "got {got}, expected ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn histories_are_time_ordered() {
+        let (_, _, store) = generate(2);
+        for (_, history) in store.iter() {
+            let times: Vec<i64> = history
+                .records()
+                .iter()
+                .map(|r| r.arrived.as_seconds())
+                .collect();
+            let mut sorted = times.clone();
+            sorted.sort_unstable();
+            assert_eq!(times, sorted);
+        }
+    }
+
+    #[test]
+    fn checkins_reference_real_venues() {
+        let (_, venues, store) = generate(3);
+        for (_, history) in store.iter() {
+            for r in history.records() {
+                let v = venues.venue(r.venue);
+                assert_eq!(v.location, r.location);
+                assert_eq!(v.categories, r.categories);
+            }
+        }
+    }
+
+    #[test]
+    fn displacements_are_heavy_tailed_but_mostly_local() {
+        let (profile, _, store) = generate(4);
+        let mut short = 0usize;
+        let mut long = 0usize;
+        let mut total = 0usize;
+        for (_, history) in store.iter() {
+            for d in history.displacements_km() {
+                total += 1;
+                if d < 2.0 * profile.cluster_sigma_km {
+                    short += 1;
+                }
+                if d > profile.world_km / 4.0 {
+                    long += 1;
+                }
+            }
+        }
+        assert!(total > 1_000);
+        assert!(
+            short as f64 / total as f64 > 0.5,
+            "most hops should be local: {short}/{total}"
+        );
+        assert!(long > 0, "some hops must be long-range");
+    }
+
+    #[test]
+    fn workers_have_home_bias() {
+        // A worker's modal cluster should hold a clear plurality of their
+        // check-ins.
+        let (_, venues, store) = generate(5);
+        let mut biased = 0usize;
+        let mut counted = 0usize;
+        for (_, history) in store.iter() {
+            if history.len() < 10 {
+                continue;
+            }
+            counted += 1;
+            let mut by_cluster = std::collections::HashMap::new();
+            for r in history.records() {
+                *by_cluster
+                    .entry(venues.venue(r.venue).cluster)
+                    .or_insert(0usize) += 1;
+            }
+            let max = by_cluster.values().max().copied().unwrap_or(0);
+            if max as f64 >= 0.4 * history.len() as f64 {
+                biased += 1;
+            }
+        }
+        assert!(
+            biased as f64 / counted as f64 > 0.6,
+            "home bias too weak: {biased}/{counted}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (_, _, a) = generate(6);
+        let (_, _, b) = generate(6);
+        assert_eq!(a.total_checkins(), b.total_checkins());
+        assert_eq!(
+            a.history(WorkerId::new(0)).records(),
+            b.history(WorkerId::new(0)).records()
+        );
+    }
+}

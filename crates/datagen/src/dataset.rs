@@ -1,0 +1,365 @@
+//! The assembled synthetic dataset and per-day instance extraction.
+
+use crate::checkins::generate_checkins;
+use crate::profile::DatasetProfile;
+use crate::social::generate_social_edges;
+use crate::venues::VenueMap;
+use rand::rngs::SmallRng;
+use rand::seq::index::sample as index_sample;
+use rand::{RngExt, SeedableRng};
+use sc_influence::SocialNetwork;
+use sc_types::{
+    Duration, Instance, Task, TaskId, TimeInstant, VenueId, Worker, WorkerId,
+};
+
+/// A complete synthetic LBSN dataset: social graph, venues, histories.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// The profile that generated the dataset.
+    pub profile: DatasetProfile,
+    /// Undirected friendship edges.
+    pub social_edges: Vec<(u32, u32)>,
+    /// The social network (both directions of every friendship).
+    pub social: SocialNetwork,
+    /// Venues with locations and categories.
+    pub venues: VenueMap,
+    /// Per-worker check-in histories.
+    pub histories: sc_types::HistoryStore,
+    seed: u64,
+}
+
+/// Options for extracting a per-day instance (Table II parameters).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceOptions {
+    /// Task valid time `φ` in hours (paper default 5 h).
+    pub valid_hours: f64,
+    /// Worker reachable radius `r` in km (paper default 25 km).
+    pub radius_km: f64,
+    /// Hour of day of the assignment instance.
+    pub now_hour: i64,
+    /// Mean worker travel speed in km/h (paper default 5 km/h).
+    pub speed_kmh: f64,
+    /// Relative speed heterogeneity in `[0, 1)`: each worker's speed is
+    /// drawn uniformly from `speed_kmh · [1 − j, 1 + j]`. The paper's
+    /// setup uses a uniform speed (`j = 0`) but notes the algorithms
+    /// handle heterogeneous speeds; this switch exercises that claim.
+    pub speed_jitter: f64,
+}
+
+impl Default for InstanceOptions {
+    fn default() -> Self {
+        InstanceOptions {
+            valid_hours: 5.0,
+            radius_km: 25.0,
+            now_hour: 9,
+            speed_kmh: sc_types::worker::DEFAULT_SPEED_KMH,
+            speed_jitter: 0.0,
+        }
+    }
+}
+
+impl InstanceOptions {
+    /// Draws a worker speed according to the jitter setting.
+    pub(crate) fn draw_speed<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        assert!((0.0..1.0).contains(&self.speed_jitter), "jitter must be in [0,1)");
+        if self.speed_jitter == 0.0 {
+            self.speed_kmh
+        } else {
+            let lo = self.speed_kmh * (1.0 - self.speed_jitter);
+            let hi = self.speed_kmh * (1.0 + self.speed_jitter);
+            rng.random_range(lo..hi)
+        }
+    }
+}
+
+/// An extracted instance plus the venue behind each task (EIA's location
+/// entropy is keyed by venue).
+#[derive(Debug, Clone)]
+pub struct DayInstance {
+    /// The assignment-ready snapshot.
+    pub instance: Instance,
+    /// Venue of each task, aligned with `instance.tasks`.
+    pub task_venues: Vec<VenueId>,
+}
+
+impl SyntheticDataset {
+    /// Generates the dataset deterministically from a profile and seed.
+    pub fn generate(profile: &DatasetProfile, seed: u64) -> Self {
+        profile.validate();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let social_edges =
+            generate_social_edges(profile.n_workers, profile.edges_per_node, &mut rng);
+        let social = SocialNetwork::from_undirected_edges(profile.n_workers, &social_edges);
+        let venues = VenueMap::generate(profile, &mut rng);
+        let histories = generate_checkins(profile, &venues, &mut rng);
+        SyntheticDataset {
+            profile: profile.clone(),
+            social_edges,
+            social,
+            venues,
+            histories,
+            seed,
+        }
+    }
+
+    /// The generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of workers in the population.
+    pub fn n_workers(&self) -> usize {
+        self.profile.n_workers
+    }
+
+    /// Extracts the instance of `day`: `n_workers` online workers at
+    /// their last check-in location and `n_tasks` tasks drawn from the
+    /// venues, published shortly before `now`. Deterministic per
+    /// `(dataset seed, day)`.
+    pub fn instance_for_day(
+        &self,
+        day: usize,
+        n_tasks: usize,
+        n_workers: usize,
+        opts: InstanceOptions,
+    ) -> DayInstance {
+        let mut rng = SmallRng::seed_from_u64(
+            self.seed ^ (day as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let now = TimeInstant::at(day as i64, opts.now_hour);
+
+        // Sample online workers (dense ids preserved from the population).
+        let n_w = n_workers.min(self.profile.n_workers);
+        let worker_ids = index_sample(&mut rng, self.profile.n_workers, n_w);
+        let mut workers = Vec::with_capacity(n_w);
+        for idx in worker_ids {
+            let id = WorkerId::from(idx);
+            let location = self
+                .histories
+                .history(id)
+                .last_location()
+                .unwrap_or_else(|| {
+                    let v = rng.random_range(0..self.venues.len());
+                    self.venues.venue(VenueId::from(v)).location
+                });
+            let speed = opts.draw_speed(&mut rng);
+            workers.push(Worker::new(id, location, opts.radius_km).with_speed(speed));
+        }
+
+        // Sample task venues.
+        let n_t = n_tasks.min(self.venues.len());
+        let venue_ids = index_sample(&mut rng, self.venues.len(), n_t);
+        let mut tasks = Vec::with_capacity(n_t);
+        let mut task_venues = Vec::with_capacity(n_t);
+        for (ti, vidx) in venue_ids.into_iter().enumerate() {
+            let venue = self.venues.venue(VenueId::from(vidx));
+            // Published up to an hour before the instance.
+            let published =
+                TimeInstant::from_seconds(now.as_seconds() - rng.random_range(0..3_600));
+            tasks.push(Task::with_categories(
+                TaskId::from(ti),
+                venue.location,
+                published,
+                Duration::hours_f64(opts.valid_hours),
+                venue.categories.clone(),
+            ));
+            task_venues.push(venue.id);
+        }
+
+        DayInstance {
+            instance: Instance::new(now, workers, tasks),
+            task_venues,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> SyntheticDataset {
+        SyntheticDataset::generate(&DatasetProfile::brightkite_small(), 42)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = dataset();
+        let b = dataset();
+        assert_eq!(a.social_edges, b.social_edges);
+        assert_eq!(a.venues, b.venues);
+        assert_eq!(a.histories.total_checkins(), b.histories.total_checkins());
+    }
+
+    #[test]
+    fn social_network_matches_edges() {
+        let d = dataset();
+        assert_eq!(d.social.n_workers(), d.profile.n_workers);
+        assert_eq!(d.social.n_edges(), d.social_edges.len() * 2);
+    }
+
+    #[test]
+    fn instance_sizes_and_ids() {
+        let d = dataset();
+        let day = d.instance_for_day(3, 100, 80, InstanceOptions::default());
+        assert_eq!(day.instance.n_tasks(), 100);
+        assert_eq!(day.instance.n_workers(), 80);
+        assert_eq!(day.task_venues.len(), 100);
+        // Worker ids index the population (needed by the influence model).
+        for w in &day.instance.workers {
+            assert!(w.id.index() < d.profile.n_workers);
+        }
+        // Distinct workers and tasks.
+        let mut ids: Vec<u32> = day.instance.workers.iter().map(|w| w.id.raw()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 80);
+    }
+
+    #[test]
+    fn instance_is_deterministic_per_day_and_differs_across_days() {
+        let d = dataset();
+        let a = d.instance_for_day(1, 50, 40, InstanceOptions::default());
+        let b = d.instance_for_day(1, 50, 40, InstanceOptions::default());
+        let c = d.instance_for_day(2, 50, 40, InstanceOptions::default());
+        assert_eq!(a.instance, b.instance);
+        assert_ne!(
+            a.instance.workers.iter().map(|w| w.id).collect::<Vec<_>>(),
+            c.instance.workers.iter().map(|w| w.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn tasks_are_alive_at_instance_time() {
+        let d = dataset();
+        let day = d.instance_for_day(0, 200, 50, InstanceOptions::default());
+        let now = day.instance.now;
+        for t in &day.instance.tasks {
+            assert!(t.published <= now);
+            assert!(!t.is_expired_at(now), "φ = 5h leaves every task alive");
+        }
+    }
+
+    #[test]
+    fn options_control_radius_and_validity() {
+        let d = dataset();
+        let opts = InstanceOptions {
+            valid_hours: 2.0,
+            radius_km: 10.0,
+            now_hour: 12,
+            ..Default::default()
+        };
+        let day = d.instance_for_day(0, 10, 10, opts);
+        assert!(day.instance.workers.iter().all(|w| w.radius_km == 10.0));
+        assert!(day
+            .instance
+            .tasks
+            .iter()
+            .all(|t| t.valid_for == Duration::hours(2)));
+        assert_eq!(day.instance.now, TimeInstant::at(0, 12));
+    }
+
+    #[test]
+    fn oversized_requests_clamp_to_population() {
+        let d = dataset();
+        let day = d.instance_for_day(0, 10_000, 10_000, InstanceOptions::default());
+        assert_eq!(day.instance.n_tasks(), d.venues.len());
+        assert_eq!(day.instance.n_workers(), d.profile.n_workers);
+    }
+
+    #[test]
+    fn task_venue_alignment() {
+        let d = dataset();
+        let day = d.instance_for_day(5, 60, 30, InstanceOptions::default());
+        for (task, venue_id) in day.instance.tasks.iter().zip(day.task_venues.iter()) {
+            let venue = d.venues.venue(*venue_id);
+            assert_eq!(task.location, venue.location);
+            assert_eq!(task.categories, venue.categories);
+        }
+    }
+}
+
+#[cfg(test)]
+mod speed_tests {
+    use super::*;
+
+    #[test]
+    fn default_speed_is_uniform_paper_value() {
+        let d = SyntheticDataset::generate(&DatasetProfile::brightkite_small(), 42);
+        let day = d.instance_for_day(0, 10, 30, InstanceOptions::default());
+        for w in &day.instance.workers {
+            assert_eq!(w.speed_kmh, sc_types::worker::DEFAULT_SPEED_KMH);
+        }
+    }
+
+    #[test]
+    fn speed_jitter_varies_within_bounds() {
+        let d = SyntheticDataset::generate(&DatasetProfile::brightkite_small(), 42);
+        let opts = InstanceOptions {
+            speed_kmh: 10.0,
+            speed_jitter: 0.4,
+            ..Default::default()
+        };
+        let day = d.instance_for_day(0, 10, 50, opts);
+        let speeds: Vec<f64> = day.instance.workers.iter().map(|w| w.speed_kmh).collect();
+        for &s in &speeds {
+            assert!((6.0..14.0).contains(&s), "speed {s} outside jitter band");
+        }
+        let distinct = speeds
+            .iter()
+            .map(|s| (s * 1e6) as i64)
+            .collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 10, "speeds should actually vary");
+    }
+
+    #[test]
+    fn heterogeneous_speeds_change_eligibility() {
+        // Faster workers meet deadlines farther away: with φ = 1h and the
+        // same radius, doubling speed must not shrink any worker's
+        // eligible set.
+        use sc_assign::EligibilityMatrix;
+        let d = SyntheticDataset::generate(&DatasetProfile::brightkite_small(), 7);
+        let slow = d.instance_for_day(
+            0,
+            120,
+            80,
+            InstanceOptions {
+                valid_hours: 1.0,
+                speed_kmh: 2.0,
+                ..Default::default()
+            },
+        );
+        let fast = d.instance_for_day(
+            0,
+            120,
+            80,
+            InstanceOptions {
+                valid_hours: 1.0,
+                speed_kmh: 20.0,
+                ..Default::default()
+            },
+        );
+        let m_slow = EligibilityMatrix::build(&slow.instance);
+        let m_fast = EligibilityMatrix::build(&fast.instance);
+        assert!(
+            m_fast.n_pairs() > m_slow.n_pairs(),
+            "faster workers should unlock more pairs ({} vs {})",
+            m_fast.n_pairs(),
+            m_slow.n_pairs()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter must be in [0,1)")]
+    fn invalid_jitter_panics() {
+        let d = SyntheticDataset::generate(&DatasetProfile::brightkite_small(), 42);
+        let _ = d.instance_for_day(
+            0,
+            5,
+            5,
+            InstanceOptions {
+                speed_jitter: 1.5,
+                ..Default::default()
+            },
+        );
+    }
+}

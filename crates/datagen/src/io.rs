@@ -1,0 +1,199 @@
+//! Dataset persistence.
+//!
+//! Two formats:
+//!
+//! * **TSV** for the raw relations (social edges, check-ins) — the same
+//!   shape the real Brightkite/FourSquare dumps use, so loaders written
+//!   against this crate also ingest the real data after projection.
+//! * **JSON** (serde) for structured pieces (profiles, venue maps).
+
+use sc_types::{CategoryId, CheckIn, HistoryStore, Location, ScError, TimeInstant, VenueId, WorkerId};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Writes undirected social edges as `src\tdst` lines.
+pub fn write_edges_tsv(path: &Path, edges: &[(u32, u32)]) -> sc_types::Result<()> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    for (u, v) in edges {
+        writeln!(out, "{u}\t{v}")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads edges written by [`write_edges_tsv`].
+pub fn read_edges_tsv(path: &Path) -> sc_types::Result<Vec<(u32, u32)>> {
+    let file = BufReader::new(std::fs::File::open(path)?);
+    let mut edges = Vec::new();
+    for (lineno, line) in file.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split('\t');
+        let parse = |s: Option<&str>| -> sc_types::Result<u32> {
+            s.ok_or_else(|| ScError::data(format!("line {}: missing field", lineno + 1)))?
+                .trim()
+                .parse()
+                .map_err(|e| ScError::data(format!("line {}: {e}", lineno + 1)))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        edges.push((u, v));
+    }
+    Ok(edges)
+}
+
+/// Writes check-ins as
+/// `worker\tvenue\tx\ty\tarrived\tcompleted\tcat,cat,...` lines.
+pub fn write_checkins_tsv(path: &Path, store: &HistoryStore) -> sc_types::Result<()> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    for (worker, history) in store.iter() {
+        for r in history.records() {
+            let cats: Vec<String> = r.categories.iter().map(|c| c.raw().to_string()).collect();
+            writeln!(
+                out,
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                worker.raw(),
+                r.venue.raw(),
+                r.location.x,
+                r.location.y,
+                r.arrived.as_seconds(),
+                r.completed.as_seconds(),
+                cats.join(",")
+            )?;
+        }
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads check-ins written by [`write_checkins_tsv`].
+pub fn read_checkins_tsv(path: &Path) -> sc_types::Result<HistoryStore> {
+    let file = BufReader::new(std::fs::File::open(path)?);
+    let mut store = HistoryStore::default();
+    for (lineno, line) in file.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 7 {
+            return Err(ScError::data(format!(
+                "line {}: expected 7 fields, got {}",
+                lineno + 1,
+                fields.len()
+            )));
+        }
+        let err = |e: &dyn std::fmt::Display| ScError::data(format!("line {}: {e}", lineno + 1));
+        let worker: u32 = fields[0].trim().parse().map_err(|e| err(&e))?;
+        let venue: u32 = fields[1].trim().parse().map_err(|e| err(&e))?;
+        let x: f64 = fields[2].trim().parse().map_err(|e| err(&e))?;
+        let y: f64 = fields[3].trim().parse().map_err(|e| err(&e))?;
+        let arrived: i64 = fields[4].trim().parse().map_err(|e| err(&e))?;
+        let completed: i64 = fields[5].trim().parse().map_err(|e| err(&e))?;
+        let categories: Vec<CategoryId> = if fields[6].trim().is_empty() {
+            Vec::new()
+        } else {
+            fields[6]
+                .split(',')
+                .map(|c| c.trim().parse::<u32>().map(CategoryId::new))
+                .collect::<std::result::Result<_, _>>()
+                .map_err(|e| err(&e))?
+        };
+        store.push(CheckIn {
+            worker: WorkerId::new(worker),
+            venue: VenueId::new(venue),
+            location: Location::new(x, y),
+            arrived: TimeInstant::from_seconds(arrived),
+            completed: TimeInstant::from_seconds(completed),
+            categories,
+        });
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SyntheticDataset;
+    use crate::profile::DatasetProfile;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sc_datagen_io_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn edges_roundtrip() {
+        let path = tmp("edges.tsv");
+        let edges = vec![(0, 1), (1, 2), (0, 3)];
+        write_edges_tsv(&path, &edges).unwrap();
+        let back = read_edges_tsv(&path).unwrap();
+        assert_eq!(edges, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkins_roundtrip_full_dataset() {
+        let path = tmp("checkins.tsv");
+        let data = SyntheticDataset::generate(&DatasetProfile::brightkite_small(), 3);
+        write_checkins_tsv(&path, &data.histories).unwrap();
+        let back = read_checkins_tsv(&path).unwrap();
+        assert_eq!(back.total_checkins(), data.histories.total_checkins());
+        let w = WorkerId::new(0);
+        assert_eq!(back.history(w).records(), data.histories.history(w).records());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn blank_lines_and_comments_skipped() {
+        let path = tmp("comments.tsv");
+        std::fs::write(&path, "# header\n\n0\t1\n").unwrap();
+        assert_eq!(read_edges_tsv(&path).unwrap(), vec![(0, 1)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let path = tmp("bad.tsv");
+        std::fs::write(&path, "0\tnot_a_number\n").unwrap();
+        let err = read_edges_tsv(&path).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkin_field_count_enforced() {
+        let path = tmp("short.tsv");
+        std::fs::write(&path, "0\t1\t2.0\n").unwrap();
+        let err = read_checkins_tsv(&path).unwrap_err();
+        assert!(err.to_string().contains("expected 7 fields"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_data_error() {
+        let err = read_edges_tsv(Path::new("/nonexistent/file.tsv")).unwrap_err();
+        assert!(matches!(err, ScError::Data(_)));
+    }
+
+    #[test]
+    fn empty_categories_roundtrip() {
+        let path = tmp("emptycat.tsv");
+        let mut store = HistoryStore::default();
+        store.push(CheckIn {
+            worker: WorkerId::new(0),
+            venue: VenueId::new(0),
+            location: Location::new(1.0, 2.0),
+            arrived: TimeInstant::from_seconds(10),
+            completed: TimeInstant::from_seconds(20),
+            categories: vec![],
+        });
+        write_checkins_tsv(&path, &store).unwrap();
+        let back = read_checkins_tsv(&path).unwrap();
+        assert_eq!(back.history(WorkerId::new(0)).records()[0].categories, vec![]);
+        std::fs::remove_file(&path).ok();
+    }
+}

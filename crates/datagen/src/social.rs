@@ -1,0 +1,153 @@
+//! Social-graph generation (preferential attachment).
+//!
+//! Barabási–Albert-style growth: each new node attaches `m` undirected
+//! edges to existing nodes chosen proportionally to their current degree
+//! (implemented with the repeated-endpoint trick: sampling a uniform
+//! endpoint from the edge list is degree-proportional). The result is the
+//! heavy-tailed friendship distribution real LBSN graphs show, which is
+//! what makes worker propagation skewed.
+
+use rand::{Rng, RngExt};
+
+/// Generates undirected friendship edges `(u, v)`, `u < v`, over
+/// `n` nodes with `m` attachments per new node. Deterministic given the
+/// RNG. Panics when `n < 2` or `m < 1`.
+pub fn generate_social_edges<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Vec<(u32, u32)> {
+    assert!(n >= 2, "need at least two nodes");
+    assert!(m >= 1, "need at least one edge per node");
+
+    // Endpoint pool: every edge contributes both endpoints, so uniform
+    // sampling from the pool is degree-proportional.
+    let mut endpoint_pool: Vec<u32> = Vec::with_capacity(2 * n * m);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * m);
+
+    // Seed: a path over the first min(m+1, n) nodes.
+    let seed = (m + 1).min(n);
+    for v in 1..seed as u32 {
+        edges.push((v - 1, v));
+        endpoint_pool.push(v - 1);
+        endpoint_pool.push(v);
+    }
+
+    for v in seed as u32..n as u32 {
+        let mut targets: Vec<u32> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while targets.len() < m.min(v as usize) && guard < 100 * m {
+            guard += 1;
+            let t = endpoint_pool[rng.random_range(0..endpoint_pool.len())];
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            let (a, b) = if t < v { (t, v) } else { (v, t) };
+            edges.push((a, b));
+            endpoint_pool.push(v);
+            endpoint_pool.push(t);
+        }
+    }
+    edges
+}
+
+/// Degree sequence of an undirected edge list over `n` nodes.
+pub fn degree_sequence(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+    let mut deg = vec![0u32; n];
+    for &(u, v) in edges {
+        deg[u as usize] += 1;
+        deg[v as usize] += 1;
+    }
+    deg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edge_count_close_to_nm() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 2_000;
+        let m = 4;
+        let edges = generate_social_edges(n, m, &mut rng);
+        let expect = n * m;
+        assert!(
+            (edges.len() as i64 - expect as i64).unsigned_abs() < (expect / 10) as u64,
+            "got {} edges, expected ≈ {expect}",
+            edges.len()
+        );
+    }
+
+    #[test]
+    fn no_self_loops_and_ordered_pairs() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for (u, v) in generate_social_edges(500, 3, &mut rng) {
+            assert!(u < v, "({u},{v})");
+        }
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 300;
+        let edges = generate_social_edges(n, 2, &mut rng);
+        // Union-find connectivity check.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for (u, v) in edges {
+            let (ru, rv) = (find(&mut parent, u as usize), find(&mut parent, v as usize));
+            parent[ru] = rv;
+        }
+        let root = find(&mut parent, 0);
+        for x in 1..n {
+            assert_eq!(find(&mut parent, x), root, "node {x} disconnected");
+        }
+    }
+
+    #[test]
+    fn degrees_are_heavy_tailed() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let n = 3_000;
+        let edges = generate_social_edges(n, 4, &mut rng);
+        let mut deg = degree_sequence(n, &edges);
+        deg.sort_unstable_by(|a, b| b.cmp(a));
+        let max = deg[0] as f64;
+        let mean = deg.iter().map(|&d| d as f64).sum::<f64>() / n as f64;
+        // Preferential attachment: the hub should be far above the mean
+        // (uniform random graphs keep max/mean close to 2-3 at this size).
+        assert!(
+            max / mean > 5.0,
+            "max degree {max} vs mean {mean}: tail too light"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate_social_edges(200, 3, &mut SmallRng::seed_from_u64(9));
+        let b = generate_social_edges(200, 3, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_graphs_work() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let edges = generate_social_edges(2, 1, &mut rng);
+        assert_eq!(edges, vec![(0, 1)]);
+        let edges3 = generate_social_edges(3, 5, &mut rng);
+        assert!(!edges3.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn single_node_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = generate_social_edges(1, 1, &mut rng);
+    }
+}

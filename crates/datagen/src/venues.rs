@@ -1,0 +1,260 @@
+//! Venue generation: clustered locations with themed categories.
+//!
+//! Venues form Gaussian clusters over the world square. Each cluster has
+//! a *theme*: a distribution over category groups that concentrates on a
+//! few groups. A venue draws 1–3 leaf categories from its cluster theme
+//! with Zipf-skewed popularity inside each group. Workers living in a
+//! cluster therefore accumulate themed category documents, which is the
+//! structure the LDA affinity model recovers.
+
+use crate::profile::DatasetProfile;
+use rand::{Rng, RngExt};
+use sc_stats::Zipf;
+use sc_types::{CategoryId, Location, VenueId};
+use serde::{Deserialize, Serialize};
+
+/// A generated venue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Venue {
+    /// Venue id (dense).
+    pub id: VenueId,
+    /// Planar location in km.
+    pub location: Location,
+    /// Cluster index the venue belongs to.
+    pub cluster: u32,
+    /// Leaf categories (1–3).
+    pub categories: Vec<CategoryId>,
+}
+
+/// All venues of a dataset plus cluster geometry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VenueMap {
+    venues: Vec<Venue>,
+    cluster_centers: Vec<Location>,
+    /// Venue ids per cluster.
+    by_cluster: Vec<Vec<u32>>,
+}
+
+impl VenueMap {
+    /// Generates venues for a profile.
+    pub fn generate<R: Rng + ?Sized>(profile: &DatasetProfile, rng: &mut R) -> Self {
+        profile.validate();
+        let k = profile.n_clusters.max(1);
+        let cluster_centers: Vec<Location> = (0..k)
+            .map(|_| {
+                Location::new(
+                    rng.random_range(0.0..profile.world_km),
+                    rng.random_range(0.0..profile.world_km),
+                )
+            })
+            .collect();
+
+        // Theme per cluster: Zipf over a rotation of the category groups,
+        // so every cluster prefers a different couple of groups.
+        let groups = profile.n_category_groups;
+        let group_size = profile.n_categories / groups;
+        let theme_zipf = Zipf::new(groups, 1.6);
+        let leaf_zipf = Zipf::new(group_size.max(1), profile.venue_zipf);
+
+        let mut venues = Vec::with_capacity(profile.n_venues);
+        let mut by_cluster = vec![Vec::new(); k];
+        for i in 0..profile.n_venues {
+            let cluster = rng.random_range(0..k);
+            let center = cluster_centers[cluster];
+            let loc = Location::new(
+                gaussian(rng, center.x, profile.cluster_sigma_km)
+                    .clamp(0.0, profile.world_km),
+                gaussian(rng, center.y, profile.cluster_sigma_km)
+                    .clamp(0.0, profile.world_km),
+            );
+            let n_cats = rng.random_range(1..=3usize);
+            let mut categories = Vec::with_capacity(n_cats);
+            for _ in 0..n_cats {
+                // Rotate the theme by the cluster index: cluster c's most
+                // popular group is (rank-1 + c) mod groups.
+                let rank = theme_zipf.sample_index(rng);
+                let group = (rank + cluster) % groups;
+                let leaf = leaf_zipf.sample_index(rng).min(group_size - 1);
+                let cat = CategoryId::from(group * group_size + leaf);
+                if !categories.contains(&cat) {
+                    categories.push(cat);
+                }
+            }
+            by_cluster[cluster].push(i as u32);
+            venues.push(Venue {
+                id: VenueId::from(i),
+                location: loc,
+                cluster: cluster as u32,
+                categories,
+            });
+        }
+
+        VenueMap {
+            venues,
+            cluster_centers,
+            by_cluster,
+        }
+    }
+
+    /// Number of venues.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.venues.len()
+    }
+
+    /// Whether there are no venues.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.venues.is_empty()
+    }
+
+    /// A venue by dense id.
+    #[inline]
+    pub fn venue(&self, id: VenueId) -> &Venue {
+        &self.venues[id.index()]
+    }
+
+    /// All venues.
+    #[inline]
+    pub fn venues(&self) -> &[Venue] {
+        &self.venues
+    }
+
+    /// Cluster centres.
+    #[inline]
+    pub fn cluster_centers(&self) -> &[Location] {
+        &self.cluster_centers
+    }
+
+    /// Venue ids of one cluster.
+    pub fn cluster_venues(&self, cluster: usize) -> &[u32] {
+        &self.by_cluster[cluster]
+    }
+
+    /// Number of clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.cluster_centers.len()
+    }
+}
+
+/// Box–Muller Gaussian sample.
+fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + sigma * z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn small_map(seed: u64) -> VenueMap {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        VenueMap::generate(&DatasetProfile::brightkite_small(), &mut rng)
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let map = small_map(1);
+        assert_eq!(map.len(), DatasetProfile::brightkite_small().n_venues);
+        assert!(!map.is_empty());
+    }
+
+    #[test]
+    fn venues_stay_in_world() {
+        let profile = DatasetProfile::brightkite_small();
+        let map = small_map(2);
+        for v in map.venues() {
+            assert!(v.location.x >= 0.0 && v.location.x <= profile.world_km);
+            assert!(v.location.y >= 0.0 && v.location.y <= profile.world_km);
+        }
+    }
+
+    #[test]
+    fn every_venue_has_categories_in_range() {
+        let profile = DatasetProfile::brightkite_small();
+        let map = small_map(3);
+        for v in map.venues() {
+            assert!(!v.categories.is_empty() && v.categories.len() <= 3);
+            for c in &v.categories {
+                assert!((c.index()) < profile.n_categories);
+            }
+        }
+    }
+
+    #[test]
+    fn clusters_are_spatially_tight() {
+        let profile = DatasetProfile::brightkite_small();
+        let map = small_map(4);
+        // Mean distance to own cluster centre should be around σ·√(π/2),
+        // far below the world scale.
+        let mut total = 0.0;
+        for v in map.venues() {
+            total += v
+                .location
+                .distance_km(&map.cluster_centers()[v.cluster as usize]);
+        }
+        let mean = total / map.len() as f64;
+        assert!(
+            mean < 3.0 * profile.cluster_sigma_km,
+            "mean cluster spread {mean}"
+        );
+    }
+
+    #[test]
+    fn cluster_index_is_consistent() {
+        let map = small_map(5);
+        for cluster in 0..map.n_clusters() {
+            for &vid in map.cluster_venues(cluster) {
+                assert_eq!(map.venue(VenueId::new(vid)).cluster as usize, cluster);
+            }
+        }
+        let total: usize = (0..map.n_clusters())
+            .map(|c| map.cluster_venues(c).len())
+            .sum();
+        assert_eq!(total, map.len());
+    }
+
+    #[test]
+    fn themes_differ_between_clusters() {
+        // Category histograms of two different clusters should diverge:
+        // their most common category group should usually differ.
+        let profile = DatasetProfile::brightkite_small();
+        let group_size = profile.n_categories / profile.n_category_groups;
+        let map = small_map(6);
+        let group_hist = |cluster: usize| -> Vec<usize> {
+            let mut hist = vec![0usize; profile.n_category_groups];
+            for &vid in map.cluster_venues(cluster) {
+                for c in &map.venue(VenueId::new(vid)).categories {
+                    hist[c.index() / group_size] += 1;
+                }
+            }
+            hist
+        };
+        let argmax = |hist: &[usize]| {
+            hist.iter()
+                .enumerate()
+                .max_by_key(|&(_, v)| *v)
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        // Check a few pairs; themed rotation guarantees different peaks
+        // for clusters with different indices mod groups.
+        let tops: Vec<usize> = (0..4).map(|c| argmax(&group_hist(c))).collect();
+        let distinct: std::collections::HashSet<_> = tops.iter().collect();
+        assert!(
+            distinct.len() >= 3,
+            "cluster themes should differ, got {tops:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = small_map(7);
+        let b = small_map(7);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,204 @@
+//! Compressed-sparse-row directed graphs.
+//!
+//! Nodes are dense `u32` indices. Parallel edges are allowed (the social
+//! generators never produce them, but the structure does not forbid them);
+//! self-loops are allowed but typically filtered by callers.
+
+/// A directed graph in CSR form: `offsets[u]..offsets[u+1]` indexes the
+/// out-neighbour slice of `u` in `targets`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    in_degrees: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Builds a graph with `n` nodes from directed `(src, dst)` edges.
+    /// Panics when an endpoint is out of range.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut counts = vec![0u32; n + 1];
+        let mut in_degrees = vec![0u32; n];
+        for &(s, d) in edges {
+            assert!((s as usize) < n && (d as usize) < n, "edge out of range");
+            counts[s as usize + 1] += 1;
+            in_degrees[d as usize] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0u32; edges.len()];
+        for &(s, d) in edges {
+            targets[cursor[s as usize] as usize] = d;
+            cursor[s as usize] += 1;
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            in_degrees,
+        }
+    }
+
+    /// Builds an undirected graph: every `(u, v)` edge is inserted in both
+    /// directions.
+    pub fn from_undirected_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut both = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            both.push((u, v));
+            both.push((v, u));
+        }
+        Self::from_edges(n, &both)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbours of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: u32) -> u32 {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    /// In-degree of `u` (precomputed at construction). The IC model's
+    /// edge probability `P_j(w_j, w_i) = 1 / in-degree(w_i)` reads this.
+    #[inline]
+    pub fn in_degree(&self, u: u32) -> u32 {
+        self.in_degrees[u as usize]
+    }
+
+    /// The reverse graph `G'` (every edge flipped), used to sample RRR sets.
+    pub fn reverse(&self) -> CsrGraph {
+        let n = self.n_nodes();
+        let mut edges = Vec::with_capacity(self.n_edges());
+        for u in 0..n as u32 {
+            for &v in self.neighbors(u) {
+                edges.push((v, u));
+            }
+        }
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    /// Iterates over all `(src, dst)` edges in CSR order.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.n_nodes() as u32)
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Sum of all out-degrees divided by n — the average degree.
+    pub fn average_degree(&self) -> f64 {
+        if self.n_nodes() == 0 {
+            0.0
+        } else {
+            self.n_edges() as f64 / self.n_nodes() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn adjacency_and_degrees() {
+        let g = diamond();
+        assert_eq!(g.n_nodes(), 4);
+        assert_eq!(g.n_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn reverse_flips_edges() {
+        let g = diamond();
+        let r = g.reverse();
+        assert_eq!(r.neighbors(3), &[1, 2]);
+        assert_eq!(r.neighbors(1), &[0]);
+        assert_eq!(r.in_degree(0), 2);
+        // Reversing twice restores the original edge multiset.
+        let rr = r.reverse();
+        let mut a: Vec<_> = g.edges().collect();
+        let mut b: Vec<_> = rr.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn undirected_doubles_edges() {
+        let g = CsrGraph::from_undirected_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(g.n_edges(), 4);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.in_degree(1), 2);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = CsrGraph::from_edges(3, &[]);
+        assert_eq!(g.n_nodes(), 3);
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.neighbors(1), &[] as &[u32]);
+        assert_eq!(g.average_degree(), 0.0);
+
+        let empty = CsrGraph::from_edges(0, &[]);
+        assert_eq!(empty.n_nodes(), 0);
+        assert_eq!(empty.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn parallel_edges_and_self_loops_are_kept() {
+        let g = CsrGraph::from_edges(2, &[(0, 1), (0, 1), (1, 1)]);
+        assert_eq!(g.neighbors(0), &[1, 1]);
+        assert_eq!(g.in_degree(1), 3);
+        assert_eq!(g.out_degree(1), 1);
+    }
+
+    #[test]
+    fn edges_iterator_matches_input() {
+        let input = [(0u32, 1u32), (2, 0), (1, 2)];
+        let g = CsrGraph::from_edges(3, &input);
+        let mut got: Vec<_> = g.edges().collect();
+        let mut expect = input.to_vec();
+        got.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge out of range")]
+    fn out_of_range_edge_panics() {
+        let _ = CsrGraph::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn average_degree() {
+        let g = diamond();
+        assert!((g.average_degree() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests for graph traversals.
+
+use proptest::prelude::*;
+use sc_graph::traverse::{bfs_distances, dfs_preorder, reachable_from, weakly_connected_components};
+use sc_graph::CsrGraph;
+
+fn arb_graph(n: u32) -> impl Strategy<Value = CsrGraph> {
+    prop::collection::vec((0..n, 0..n), 0..(n as usize * 3))
+        .prop_map(move |edges| CsrGraph::from_edges(n as usize, &edges))
+}
+
+proptest! {
+    #[test]
+    fn bfs_satisfies_triangle_inequality_on_edges(g in arb_graph(14), src in 0u32..14) {
+        let dist = bfs_distances(&g, src);
+        for u in 0..g.n_nodes() as u32 {
+            if dist[u as usize] == u32::MAX {
+                continue;
+            }
+            for &v in g.neighbors(u) {
+                prop_assert!(
+                    dist[v as usize] <= dist[u as usize] + 1,
+                    "edge ({u},{v}) violates BFS optimality"
+                );
+            }
+        }
+        prop_assert_eq!(dist[src as usize], 0);
+    }
+
+    #[test]
+    fn dfs_and_bfs_visit_the_same_node_set(g in arb_graph(14), src in 0u32..14) {
+        let mut dfs: Vec<u32> = dfs_preorder(&g, src);
+        let mut bfs: Vec<u32> = reachable_from(&g, src);
+        dfs.sort_unstable();
+        bfs.sort_unstable();
+        prop_assert_eq!(dfs, bfs);
+    }
+
+    #[test]
+    fn components_partition_and_respect_edges(g in arb_graph(14)) {
+        let (labels, count) = weakly_connected_components(&g);
+        // Every edge joins nodes of the same component.
+        for (u, v) in g.edges() {
+            prop_assert_eq!(labels[u as usize], labels[v as usize]);
+        }
+        // Count matches the number of distinct labels.
+        let mut distinct: Vec<u32> = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(distinct.len(), count);
+    }
+
+    #[test]
+    fn reverse_preserves_degree_sums(g in arb_graph(14)) {
+        let r = g.reverse();
+        prop_assert_eq!(g.n_edges(), r.n_edges());
+        for u in 0..g.n_nodes() as u32 {
+            prop_assert_eq!(g.out_degree(u), r.in_degree(u));
+            prop_assert_eq!(g.in_degree(u), r.out_degree(u));
+        }
+    }
+}

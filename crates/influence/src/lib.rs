@@ -1,0 +1,40 @@
+//! # sc-influence — worker propagation via RRR sets
+//!
+//! Paper Section III-C measures *worker propagation* — the probability
+//! that worker `w_i` learns about a task known to worker `w_s` — under the
+//! Independent Cascade model with in-degree edge probabilities
+//! (`P_j(w_j, w_i) = 1 / indeg(w_i)`, the classic weighted cascade).
+//!
+//! Enumerating cascades is infeasible, so the paper samples **Random
+//! Reverse Reachable (RRR) sets** (Definition 5) and estimates
+//!
+//! `P_pro(w_s, w_i) = |W|/N · E[# RRR sets rooted at w_i containing w_s]`
+//! (Eq. 3), with the **RPO** algorithm (Algorithm 1) choosing the number
+//! of sets `N` through two lower bounds: the iteration-based `NR(k)`
+//! (Lemma 6) and the threshold-based `N'_R(γ)` (Lemma 5), with
+//! `ε* = √2·ε`, `λ = |W|^{−o}`, `λ* = 1/(|W|^o log₂|W|)`.
+//!
+//! Crate layout:
+//!
+//! * [`network`] — the social network with cascade probabilities.
+//! * [`cascade`] — forward IC simulation (ground truth for tests and the
+//!   propagation-validation benches).
+//! * [`rrr`] — single RRR-set sampling on the reverse graph.
+//! * [`pool`] — a shared pool of RRR sets with per-worker and per-root
+//!   indexes; all estimators read from it.
+//! * [`rpo`] — Algorithm 1: decides how many sets the pool needs.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cascade;
+pub mod network;
+pub mod pool;
+pub mod rpo;
+pub mod rrr;
+
+pub use cascade::{IndependentCascade, LinearThreshold};
+pub use network::SocialNetwork;
+pub use pool::{PropagationModel, RrrPool};
+pub use rpo::{Rpo, RpoParams, RpoStats};
+pub use rrr::{sample_rrr_set, sample_rrr_set_lt};

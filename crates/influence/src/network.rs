@@ -1,0 +1,145 @@
+//! The social network of workers.
+//!
+//! Wraps a directed [`CsrGraph`] together with the Independent Cascade
+//! edge probabilities of the paper's evaluation:
+//! `P_j(w_j, w_i) = 1 / indeg(w_i)` — the probability that an informed
+//! neighbour `w_j` informs `w_i` is one over the number of edges entering
+//! `w_i` ("a ratio between 1 and w_i's in-degree").
+//!
+//! The reverse graph `G'` is materialized once at construction because
+//! the RRR sampler walks it for every set.
+
+use sc_graph::CsrGraph;
+use sc_types::WorkerId;
+
+/// A worker social network under the weighted-cascade model.
+#[derive(Debug, Clone)]
+pub struct SocialNetwork {
+    forward: CsrGraph,
+    reverse: CsrGraph,
+    /// `1 / indeg(v)` per node (0 when indeg = 0).
+    inform_prob: Vec<f64>,
+}
+
+impl SocialNetwork {
+    /// Builds a network from directed follower edges `(src, dst)` meaning
+    /// "src can inform dst".
+    pub fn from_directed_edges(n_workers: usize, edges: &[(u32, u32)]) -> Self {
+        Self::from_graph(CsrGraph::from_edges(n_workers, edges))
+    }
+
+    /// Builds a network from undirected friendships (both directions).
+    pub fn from_undirected_edges(n_workers: usize, edges: &[(u32, u32)]) -> Self {
+        Self::from_graph(CsrGraph::from_undirected_edges(n_workers, edges))
+    }
+
+    /// Wraps an existing graph.
+    pub fn from_graph(forward: CsrGraph) -> Self {
+        let reverse = forward.reverse();
+        let inform_prob = (0..forward.n_nodes() as u32)
+            .map(|v| {
+                let d = forward.in_degree(v);
+                if d == 0 {
+                    0.0
+                } else {
+                    1.0 / d as f64
+                }
+            })
+            .collect();
+        SocialNetwork {
+            forward,
+            reverse,
+            inform_prob,
+        }
+    }
+
+    /// Number of workers `|W|`.
+    #[inline]
+    pub fn n_workers(&self) -> usize {
+        self.forward.n_nodes()
+    }
+
+    /// Number of directed edges `|E|`.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.forward.n_edges()
+    }
+
+    /// The forward graph.
+    #[inline]
+    pub fn graph(&self) -> &CsrGraph {
+        &self.forward
+    }
+
+    /// The reverse graph `G'`.
+    #[inline]
+    pub fn reverse_graph(&self) -> &CsrGraph {
+        &self.reverse
+    }
+
+    /// Probability that any single informed in-neighbour informs `v`.
+    #[inline]
+    pub fn inform_probability(&self, v: u32) -> f64 {
+        self.inform_prob[v as usize]
+    }
+
+    /// Out-neighbours a worker can inform.
+    #[inline]
+    pub fn informs(&self, v: u32) -> &[u32] {
+        self.forward.neighbors(v)
+    }
+
+    /// In-neighbours that can inform a worker.
+    #[inline]
+    pub fn informed_by(&self, v: u32) -> &[u32] {
+        self.reverse.neighbors(v)
+    }
+
+    /// Checks that a worker id is in range.
+    pub fn contains(&self, w: WorkerId) -> bool {
+        w.index() < self.n_workers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star() -> SocialNetwork {
+        // 0 informs 1,2,3; 1 and 2 also inform 3.
+        SocialNetwork::from_directed_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn inform_probability_is_inverse_indegree() {
+        let net = star();
+        assert_eq!(net.inform_probability(0), 0.0, "no in-edges");
+        assert_eq!(net.inform_probability(1), 1.0);
+        assert_eq!(net.inform_probability(2), 1.0);
+        assert!((net.inform_probability(3) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reverse_graph_flips_inform_direction() {
+        let net = star();
+        assert_eq!(net.informs(0), &[1, 2, 3]);
+        assert_eq!(net.informed_by(3), &[0, 1, 2]);
+        assert_eq!(net.informed_by(0), &[] as &[u32]);
+    }
+
+    #[test]
+    fn undirected_edges_inform_both_ways() {
+        let net = SocialNetwork::from_undirected_edges(2, &[(0, 1)]);
+        assert_eq!(net.informs(0), &[1]);
+        assert_eq!(net.informs(1), &[0]);
+        assert_eq!(net.inform_probability(0), 1.0);
+        assert_eq!(net.n_edges(), 2);
+    }
+
+    #[test]
+    fn contains_checks_range() {
+        let net = star();
+        assert!(net.contains(WorkerId::new(3)));
+        assert!(!net.contains(WorkerId::new(4)));
+    }
+}

@@ -1,0 +1,465 @@
+//! A shared pool of RRR sets with the estimators of paper Eq. 3.
+//!
+//! Algorithm 1 (RPO) is specified per source worker `w_s`, but the sets
+//! it generates do not depend on `w_s` — only the final estimation step
+//! does. The pool therefore samples `N` sets once (roots uniform at
+//! random, per Definition 5) and indexes them two ways:
+//!
+//! * **membership**: worker → ids of sets containing the worker, and
+//! * **roots**: set id → its root.
+//!
+//! Every per-pair/per-worker quantity is then a linear scan over a
+//! membership list:
+//!
+//! * `σ(w)      = |W|/N · |{j : w ∈ R_j}|`            (Definition 6)
+//! * `P_pro(w, r) = |W|/N · |{j : root_j = r, w ∈ R_j}|`   (Eq. 3)
+//! * `AP(w)    = |W|/N · |{j : root_j ≠ w, w ∈ R_j}|`  (Σ_i P_pro(w, wᵢ))
+//! * weighted form `|W|/N · Σ_{j : w ∈ R_j, root_j ≠ w} weight(root_j)`,
+//!   which is exactly the inner sum of the worker-task influence
+//!   (Section III-D) with `weight = P_wil(·, s)`.
+//!
+//! The `rrr_pool_vs_perworker` bench quantifies this design choice
+//! against re-running Algorithm 1 for every candidate worker.
+
+use crate::network::SocialNetwork;
+use crate::rrr::{sample_rrr_set, sample_rrr_set_lt};
+use rand::{Rng, RngExt};
+
+/// Which diffusion model the RRR sets are sampled under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PropagationModel {
+    /// Weighted-cascade Independent Cascade (the paper's model):
+    /// each informed neighbour succeeds with probability `1/indeg`.
+    #[default]
+    WeightedCascade,
+    /// Linear Threshold with in-weights `1/indeg` (live-edge sampled).
+    LinearThreshold,
+}
+
+/// A pool of `N` RRR sets over a network of `|W|` workers.
+#[derive(Debug, Clone, Default)]
+pub struct RrrPool {
+    n_workers: usize,
+    /// Root of each set.
+    roots: Vec<u32>,
+    /// CSR storage of set members.
+    set_offsets: Vec<u32>,
+    set_members: Vec<u32>,
+    /// CSR index: worker -> ids of sets containing it.
+    member_offsets: Vec<u32>,
+    member_sets: Vec<u32>,
+}
+
+impl RrrPool {
+    /// Samples a pool of `n_sets` RRR sets with uniformly random roots
+    /// under the paper's weighted-cascade IC model.
+    pub fn generate<R: Rng + ?Sized>(net: &SocialNetwork, n_sets: usize, rng: &mut R) -> Self {
+        Self::generate_with_model(net, n_sets, PropagationModel::WeightedCascade, rng)
+    }
+
+    /// Samples a pool under an explicit diffusion model.
+    pub fn generate_with_model<R: Rng + ?Sized>(
+        net: &SocialNetwork,
+        n_sets: usize,
+        model: PropagationModel,
+        rng: &mut R,
+    ) -> Self {
+        let n = net.n_workers();
+        let mut roots = Vec::with_capacity(n_sets);
+        let mut set_offsets = Vec::with_capacity(n_sets + 1);
+        let mut set_members = Vec::new();
+        set_offsets.push(0u32);
+
+        if n > 0 {
+            let mut visited = vec![0u32; n];
+            let mut buf = Vec::new();
+            for j in 0..n_sets {
+                let root = rng.random_range(0..n) as u32;
+                match model {
+                    PropagationModel::WeightedCascade => {
+                        sample_rrr_set(net, root, rng, &mut visited, j as u32 + 1, &mut buf)
+                    }
+                    PropagationModel::LinearThreshold => {
+                        sample_rrr_set_lt(net, root, rng, &mut visited, j as u32 + 1, &mut buf)
+                    }
+                }
+                roots.push(root);
+                set_members.extend_from_slice(&buf);
+                set_offsets.push(set_members.len() as u32);
+            }
+        }
+
+        let mut pool = RrrPool {
+            n_workers: n,
+            roots,
+            set_offsets,
+            set_members,
+            member_offsets: Vec::new(),
+            member_sets: Vec::new(),
+        };
+        pool.rebuild_membership();
+        pool
+    }
+
+    fn rebuild_membership(&mut self) {
+        let n = self.n_workers;
+        let mut counts = vec![0u32; n + 1];
+        for &w in &self.set_members {
+            counts[w as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        self.member_offsets = counts.clone();
+        let mut cursor = counts;
+        let mut member_sets = vec![0u32; self.set_members.len()];
+        for j in 0..self.n_sets() {
+            let lo = self.set_offsets[j] as usize;
+            let hi = self.set_offsets[j + 1] as usize;
+            for &w in &self.set_members[lo..hi] {
+                member_sets[cursor[w as usize] as usize] = j as u32;
+                cursor[w as usize] += 1;
+            }
+        }
+        self.member_sets = member_sets;
+    }
+
+    /// Number of sets `N`.
+    #[inline]
+    pub fn n_sets(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Number of workers `|W|`.
+    #[inline]
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Members of set `j` (root first).
+    #[inline]
+    pub fn set(&self, j: usize) -> &[u32] {
+        let lo = self.set_offsets[j] as usize;
+        let hi = self.set_offsets[j + 1] as usize;
+        &self.set_members[lo..hi]
+    }
+
+    /// Root of set `j`.
+    #[inline]
+    pub fn root(&self, j: usize) -> u32 {
+        self.roots[j]
+    }
+
+    /// Ids of sets containing `worker`.
+    #[inline]
+    pub fn sets_containing(&self, worker: u32) -> &[u32] {
+        let lo = self.member_offsets[worker as usize] as usize;
+        let hi = self.member_offsets[worker as usize + 1] as usize;
+        &self.member_sets[lo..hi]
+    }
+
+    /// The estimator scale `|W| / N`.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        if self.n_sets() == 0 {
+            0.0
+        } else {
+            self.n_workers as f64 / self.n_sets() as f64
+        }
+    }
+
+    /// Fraction of sets covering `worker` (`f_R(w)` in Section III-E).
+    pub fn coverage_fraction(&self, worker: u32) -> f64 {
+        if self.n_sets() == 0 {
+            0.0
+        } else {
+            self.sets_containing(worker).len() as f64 / self.n_sets() as f64
+        }
+    }
+
+    /// Estimated informed range `σ(w)` (Definition 6, includes self).
+    pub fn sigma(&self, worker: u32) -> f64 {
+        self.scale() * self.sets_containing(worker).len() as f64
+    }
+
+    /// The greedy informed worker `wᶿ` (Definition 8) and
+    /// `N_p^opt = |W| · f_R(wᶿ)`. `None` on an empty pool.
+    pub fn greedy_informed_worker(&self) -> Option<(u32, f64)> {
+        if self.n_sets() == 0 || self.n_workers == 0 {
+            return None;
+        }
+        let best = (0..self.n_workers as u32)
+            .max_by(|&a, &b| {
+                self.sets_containing(a)
+                    .len()
+                    .cmp(&self.sets_containing(b).len())
+            })
+            .expect("non-empty worker range");
+        Some((best, self.n_workers as f64 * self.coverage_fraction(best)))
+    }
+
+    /// `P_pro(source, target)` (Eq. 3): estimated probability that a
+    /// cascade from `source` informs `target`.
+    pub fn propagation_probability(&self, source: u32, target: u32) -> f64 {
+        if source == target {
+            return 0.0;
+        }
+        let count = self
+            .sets_containing(source)
+            .iter()
+            .filter(|&&j| self.roots[j as usize] == target)
+            .count();
+        self.scale() * count as f64
+    }
+
+    /// `Σ_{w ≠ source} P_pro(source, w)` — the Average-Propagation
+    /// contribution of one worker (Eq. 7 numerator term).
+    pub fn total_propagation(&self, source: u32) -> f64 {
+        let count = self
+            .sets_containing(source)
+            .iter()
+            .filter(|&&j| self.roots[j as usize] != source)
+            .count();
+        self.scale() * count as f64
+    }
+
+    /// `Σ_{w ≠ source} weight(w) · P_pro(source, w)` with per-worker
+    /// weights — the propagation-times-willingness sum of the influence
+    /// formula (Section III-D) computed in one pass over the membership
+    /// list.
+    pub fn weighted_propagation(&self, source: u32, weights: &[f64]) -> f64 {
+        debug_assert_eq!(weights.len(), self.n_workers);
+        let sum: f64 = self
+            .sets_containing(source)
+            .iter()
+            .filter(|&&j| self.roots[j as usize] != source)
+            .map(|&j| weights[self.roots[j as usize] as usize])
+            .sum();
+        self.scale() * sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cascade::IndependentCascade;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn diamond_net() -> SocialNetwork {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3 (indegrees: 1:1, 2:1, 3:2).
+        SocialNetwork::from_directed_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn pool_counts_and_indexing_agree() {
+        let net = diamond_net();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pool = RrrPool::generate(&net, 500, &mut rng);
+        assert_eq!(pool.n_sets(), 500);
+        assert_eq!(pool.n_workers(), 4);
+        // Membership index must agree with raw sets.
+        for j in 0..pool.n_sets() {
+            for &w in pool.set(j) {
+                assert!(pool.sets_containing(w).contains(&(j as u32)));
+            }
+        }
+        // Every set contains its root first.
+        for j in 0..pool.n_sets() {
+            assert_eq!(pool.set(j)[0], pool.root(j));
+        }
+    }
+
+    #[test]
+    fn sigma_matches_forward_simulation() {
+        let net = diamond_net();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let pool = RrrPool::generate(&net, 60_000, &mut rng);
+        let ic = IndependentCascade::new(&net);
+        let mut rng2 = SmallRng::seed_from_u64(3);
+        for seed in 0..4u32 {
+            let truth = ic.estimate_spread(seed, 20_000, &mut rng2);
+            let est = pool.sigma(seed);
+            assert!(
+                (est - truth).abs() < 0.08,
+                "worker {seed}: pool {est} vs forward {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn pair_probability_matches_forward_simulation() {
+        let net = diamond_net();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let pool = RrrPool::generate(&net, 120_000, &mut rng);
+        let ic = IndependentCascade::new(&net);
+        let mut rng2 = SmallRng::seed_from_u64(5);
+        for (src, dst) in [(0u32, 3u32), (0, 1), (1, 3), (2, 3)] {
+            let truth = ic.estimate_pair_probability(src, dst, 30_000, &mut rng2);
+            let est = pool.propagation_probability(src, dst);
+            assert!(
+                (est - truth).abs() < 0.03,
+                "({src}->{dst}): pool {est} vs forward {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn self_propagation_is_zero() {
+        let net = diamond_net();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let pool = RrrPool::generate(&net, 1_000, &mut rng);
+        for w in 0..4 {
+            assert_eq!(pool.propagation_probability(w, w), 0.0);
+        }
+    }
+
+    #[test]
+    fn total_propagation_excludes_self_rooted_sets() {
+        let net = diamond_net();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let pool = RrrPool::generate(&net, 5_000, &mut rng);
+        for w in 0..4u32 {
+            let total = pool.total_propagation(w);
+            let pairwise: f64 = (0..4u32)
+                .filter(|&v| v != w)
+                .map(|v| pool.propagation_probability(w, v))
+                .sum();
+            assert!((total - pairwise).abs() < 1e-9);
+            // σ includes the self-rooted sets, so it is at least AP + scale·(#self-rooted).
+            assert!(pool.sigma(w) >= total);
+        }
+    }
+
+    #[test]
+    fn weighted_propagation_with_unit_weights_is_total() {
+        let net = diamond_net();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let pool = RrrPool::generate(&net, 3_000, &mut rng);
+        let ones = vec![1.0; 4];
+        for w in 0..4 {
+            assert!((pool.weighted_propagation(w, &ones) - pool.total_propagation(w)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn weighted_propagation_is_linear_in_weights() {
+        let net = diamond_net();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let pool = RrrPool::generate(&net, 3_000, &mut rng);
+        let w1 = vec![0.3, 0.5, 0.1, 0.9];
+        let w2: Vec<f64> = w1.iter().map(|x| x * 2.0).collect();
+        for w in 0..4 {
+            let a = pool.weighted_propagation(w, &w1);
+            let b = pool.weighted_propagation(w, &w2);
+            assert!((b - 2.0 * a).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn greedy_informed_worker_is_source_in_dag() {
+        // Worker 0 reaches everyone; it must cover the most sets.
+        let net = diamond_net();
+        let mut rng = SmallRng::seed_from_u64(10);
+        let pool = RrrPool::generate(&net, 20_000, &mut rng);
+        let (best, n_opt) = pool.greedy_informed_worker().unwrap();
+        assert_eq!(best, 0);
+        assert!(n_opt > 0.0);
+        assert!((n_opt - pool.sigma(0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_pool_behaviour() {
+        let net = diamond_net();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let pool = RrrPool::generate(&net, 0, &mut rng);
+        assert_eq!(pool.n_sets(), 0);
+        assert_eq!(pool.scale(), 0.0);
+        assert!(pool.greedy_informed_worker().is_none());
+    }
+
+    #[test]
+    fn empty_network_behaviour() {
+        let net = SocialNetwork::from_directed_edges(0, &[]);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let pool = RrrPool::generate(&net, 100, &mut rng);
+        assert_eq!(pool.n_sets(), 0, "no roots can be drawn");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let net = diamond_net();
+        let a = RrrPool::generate(&net, 100, &mut SmallRng::seed_from_u64(13));
+        let b = RrrPool::generate(&net, 100, &mut SmallRng::seed_from_u64(13));
+        assert_eq!(a.roots, b.roots);
+        assert_eq!(a.set_members, b.set_members);
+    }
+
+    #[test]
+    fn lt_pool_sigma_matches_forward_lt_simulation() {
+        use crate::cascade::LinearThreshold;
+        let net = diamond_net();
+        let mut rng = SmallRng::seed_from_u64(14);
+        let pool = RrrPool::generate_with_model(
+            &net,
+            60_000,
+            PropagationModel::LinearThreshold,
+            &mut rng,
+        );
+        let lt = LinearThreshold::new(&net);
+        let mut rng2 = SmallRng::seed_from_u64(15);
+        for seed in 0..4u32 {
+            let truth = lt.estimate_spread(seed, 20_000, &mut rng2);
+            let est = pool.sigma(seed);
+            assert!(
+                (est - truth).abs() < 0.08,
+                "LT σ({seed}): pool {est} vs forward {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn lt_pool_pairwise_matches_forward_lt() {
+        use crate::cascade::LinearThreshold;
+        // 0→1, 0→2, 1→2: LT informs 2 from 0 with probability 1
+        // (IC only reaches 3/4) — the models must measurably differ.
+        let net = SocialNetwork::from_directed_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+        let mut rng = SmallRng::seed_from_u64(16);
+        let lt_pool = RrrPool::generate_with_model(
+            &net,
+            90_000,
+            PropagationModel::LinearThreshold,
+            &mut rng,
+        );
+        let ic_pool = RrrPool::generate(&net, 90_000, &mut rng);
+        let lt = LinearThreshold::new(&net);
+        let mut rng2 = SmallRng::seed_from_u64(17);
+        let truth = lt.estimate_pair_probability(0, 2, 20_000, &mut rng2);
+        assert!((truth - 1.0).abs() < 1e-9);
+        let est = lt_pool.propagation_probability(0, 2);
+        assert!((est - 1.0).abs() < 0.03, "LT pool estimate {est}");
+        let ic_est = ic_pool.propagation_probability(0, 2);
+        assert!(
+            (ic_est - 0.75).abs() < 0.03,
+            "IC pool must stay at 3/4, got {ic_est}"
+        );
+    }
+
+    #[test]
+    fn lt_sets_are_paths() {
+        use crate::rrr::sample_rrr_set_lt_alloc;
+        // In a DAG, the LT reverse walk is a simple path: strictly fewer
+        // members than the IC set can have, never duplicated.
+        let net = diamond_net();
+        let mut rng = SmallRng::seed_from_u64(18);
+        for _ in 0..200 {
+            let set = sample_rrr_set_lt_alloc(&net, 3, &mut rng);
+            assert!(!set.is_empty() && set[0] == 3);
+            let mut sorted = set.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), set.len(), "LT path must not repeat nodes");
+            assert!(set.len() <= 3, "longest reverse path in the diamond is 3");
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! The RPO algorithm (paper Algorithm 1 + Section III-E).
+//!
+//! RPO decides how many RRR sets are enough for the `(1 − ε)`
+//! approximation of worker propagation to hold with probability
+//! `1 − |W|^{−o}`:
+//!
+//! 1. Walk the candidate thresholds `K = {|W|/2, |W|/4, …, 2}`. For each
+//!    `kᵢ`, sample the iteration-based lower bound
+//!    `NR(kᵢ) = (2 + 2ε*/3)(ln|W| + ln(1/λ*)) |W| / (ε*² kᵢ)` sets
+//!    (Lemma 6) with `ε* = √2 ε` and `λ* = 1/(|W|^o log₂|W|)`.
+//! 2. Find the greedy informed worker `wᶿ` and test
+//!    `N_p^opt ≥ γ = (1 + ε*) kᵢ`. On success, `σ(wᵗ) ≥ N_p^opt·kᵢ/γ`
+//!    holds w.h.p.; this lower bound feeds the threshold-based bound
+//!    `N'_R(γ) = 2|W| ln(1/λ) / (σ_LB ε²)` (Lemma 5) with `λ = |W|^{−o}`.
+//! 3. Top the pool up to `N'_R(γ)` sets if the current pool is smaller.
+//!
+//! The returned pool serves *all* source workers (the sampling phase of
+//! Algorithm 1 does not depend on `w_s`; see `crate::pool`).
+
+use crate::network::SocialNetwork;
+use crate::pool::{PropagationModel, RrrPool};
+use rand::Rng;
+
+/// Parameters of the RPO estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RpoParams {
+    /// Approximation slack `ε` (paper default 0.1).
+    pub epsilon: f64,
+    /// Confidence exponent `o` in `λ = |W|^{−o}` (paper default 1).
+    pub o: f64,
+    /// Hard cap on pool size so laptop-scale runs stay bounded. When the
+    /// cap binds, [`RpoStats::capped`] is set and the approximation
+    /// guarantee may not hold. `usize::MAX` disables the cap.
+    pub max_sets: usize,
+    /// Diffusion model the RRR sets are sampled under (the paper uses
+    /// weighted-cascade IC; Linear Threshold is provided as an
+    /// extension).
+    pub model: PropagationModel,
+}
+
+impl Default for RpoParams {
+    fn default() -> Self {
+        RpoParams {
+            epsilon: 0.1,
+            o: 1.0,
+            max_sets: 1_000_000,
+            model: PropagationModel::WeightedCascade,
+        }
+    }
+}
+
+impl RpoParams {
+    /// `ε* = √2 · ε`, the minimizer of `max{N'_R(γ), NR(kᵢ)}`.
+    pub fn epsilon_star(&self) -> f64 {
+        std::f64::consts::SQRT_2 * self.epsilon
+    }
+
+    /// `λ = |W|^{−o}`.
+    pub fn lambda(&self, n_workers: usize) -> f64 {
+        (n_workers.max(2) as f64).powf(-self.o)
+    }
+
+    /// `λ* = 1 / (|W|^o · log₂|W|)`.
+    pub fn lambda_star(&self, n_workers: usize) -> f64 {
+        let n = n_workers.max(2) as f64;
+        1.0 / (n.powf(self.o) * n.log2())
+    }
+
+    /// Iteration-based lower bound `NR(kᵢ)` on the number of RRR sets
+    /// (Lemma 6).
+    pub fn nr(&self, n_workers: usize, k: f64) -> f64 {
+        let n = n_workers.max(2) as f64;
+        let es = self.epsilon_star();
+        (2.0 + 2.0 * es / 3.0) * (n.ln() + (1.0 / self.lambda_star(n_workers)).ln()) * n
+            / (es * es * k.max(1.0))
+    }
+
+    /// Threshold-based lower bound `N'_R(γ)` given a lower bound on
+    /// `σ(wᵗ)` (Lemma 5).
+    pub fn nr_prime(&self, n_workers: usize, sigma_lower: f64) -> f64 {
+        let n = n_workers.max(2) as f64;
+        2.0 * n * (1.0 / self.lambda(n_workers)).ln()
+            / (sigma_lower.max(1.0) * self.epsilon * self.epsilon)
+    }
+}
+
+/// Diagnostics of an RPO run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RpoStats {
+    /// Final pool size `N`.
+    pub n_sets: usize,
+    /// Halving rounds executed (size of the prefix of `K` visited).
+    pub rounds: usize,
+    /// The threshold `kᵢ` at which the test `N_p^opt ≥ γ` passed
+    /// (or the last one tried).
+    pub k_final: f64,
+    /// Whether the threshold test passed before `K` was exhausted.
+    pub test_passed: bool,
+    /// The derived lower bound on `σ(wᵗ)`.
+    pub sigma_lower_bound: f64,
+    /// The threshold-based bound `N'_R(γ)` at termination.
+    pub nr_prime: f64,
+    /// Whether the `max_sets` cap limited the pool.
+    pub capped: bool,
+}
+
+/// The RPO pool builder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rpo {
+    params: RpoParams,
+}
+
+impl Rpo {
+    /// Creates a builder with the given parameters.
+    pub fn new(params: RpoParams) -> Self {
+        Rpo { params }
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &RpoParams {
+        &self.params
+    }
+
+    /// Runs Algorithm 1 and returns the pool plus diagnostics.
+    pub fn build_pool<R: Rng + ?Sized>(
+        &self,
+        net: &SocialNetwork,
+        rng: &mut R,
+    ) -> (RrrPool, RpoStats) {
+        let n = net.n_workers();
+        if n < 2 {
+            // Degenerate networks: a handful of sets is exact.
+            let pool = RrrPool::generate_with_model(net, n, self.params.model, rng);
+            return (
+                pool,
+                RpoStats {
+                    n_sets: n,
+                    rounds: 0,
+                    k_final: 0.0,
+                    test_passed: true,
+                    sigma_lower_bound: n as f64,
+                    nr_prime: 0.0,
+                    capped: false,
+                },
+            );
+        }
+
+        let p = &self.params;
+        let mut k = n as f64 / 2.0;
+        let mut rounds = 0usize;
+        let mut capped = false;
+
+        let (mut pool, sigma_lb, test_passed) = loop {
+            rounds += 1;
+            let want = p.nr(n, k).ceil() as usize;
+            let n_gen = want.min(p.max_sets);
+            capped |= n_gen < want;
+            let pool = RrrPool::generate_with_model(net, n_gen, p.model, rng);
+
+            let gamma = (1.0 + p.epsilon_star()) * k;
+            let n_opt = pool
+                .greedy_informed_worker()
+                .map(|(_, v)| v)
+                .unwrap_or(0.0);
+            if n_opt >= gamma {
+                // Lemma 6: σ(wᵗ) ≥ kᵢ w.h.p.; refine to N_p^opt·kᵢ/γ.
+                break (pool, (n_opt * k / gamma).max(1.0), true);
+            }
+            k /= 2.0;
+            if k < 2.0 || capped {
+                // K exhausted: keep the densest pool generated; the root
+                // always covers itself, so σ(wᵗ) ≥ 1 is a valid bound.
+                break (pool, (n_opt * k.max(2.0) / gamma).max(1.0), false);
+            }
+        };
+
+        // Threshold-based bound; top the pool up if it is short.
+        let nr_prime = p.nr_prime(n, sigma_lb);
+        let target = (nr_prime.ceil() as usize).min(p.max_sets);
+        capped |= (nr_prime.ceil() as usize) > p.max_sets;
+        if pool.n_sets() < target {
+            pool = RrrPool::generate_with_model(net, target, p.model, rng);
+        }
+
+        let stats = RpoStats {
+            n_sets: pool.n_sets(),
+            rounds,
+            k_final: k,
+            test_passed,
+            sigma_lower_bound: sigma_lb,
+            nr_prime,
+            capped,
+        };
+        (pool, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ring_net(n: usize) -> SocialNetwork {
+        // Directed ring: every node has indegree 1 → deterministic
+        // cascades covering the whole ring → very large σ.
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        SocialNetwork::from_directed_edges(n, &edges)
+    }
+
+    fn sparse_net(n: usize, seed: u64) -> SocialNetwork {
+        use rand::RngExt;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for v in 1..n as u32 {
+            let u = rng.random_range(0..v);
+            edges.push((u, v));
+            if rng.random_bool(0.3) {
+                let u2 = rng.random_range(0..v);
+                edges.push((u2, v));
+            }
+        }
+        SocialNetwork::from_directed_edges(n, &edges)
+    }
+
+    #[test]
+    fn nr_bound_decreases_in_k() {
+        let p = RpoParams::default();
+        let n = 1000;
+        assert!(p.nr(n, 500.0) < p.nr(n, 250.0));
+        assert!(p.nr(n, 4.0) < p.nr(n, 2.0));
+    }
+
+    #[test]
+    fn nr_prime_decreases_in_sigma() {
+        let p = RpoParams::default();
+        assert!(p.nr_prime(1000, 100.0) < p.nr_prime(1000, 10.0));
+    }
+
+    #[test]
+    fn epsilon_star_is_sqrt2_epsilon() {
+        let p = RpoParams {
+            epsilon: 0.2,
+            ..Default::default()
+        };
+        assert!((p.epsilon_star() - 0.2 * std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_values_match_paper() {
+        let p = RpoParams::default(); // o = 1
+        assert!((p.lambda(1000) - 1e-3).abs() < 1e-12);
+        let expect = 1.0 / (1000.0 * 1000.0f64.log2());
+        assert!((p.lambda_star(1000) - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn high_influence_network_passes_test_early() {
+        // Ring cascades inform everyone: σ(wᵗ) = n, so k = n/2 passes
+        // immediately and a single round suffices.
+        let net = ring_net(64);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (pool, stats) = Rpo::new(RpoParams::default()).build_pool(&net, &mut rng);
+        assert!(stats.test_passed);
+        assert_eq!(stats.rounds, 1);
+        assert!(stats.sigma_lower_bound > 16.0);
+        assert!(pool.n_sets() >= (stats.nr_prime as usize).min(RpoParams::default().max_sets));
+    }
+
+    #[test]
+    fn sparse_network_halves_before_passing() {
+        let net = sparse_net(256, 7);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (pool, stats) = Rpo::new(RpoParams {
+            max_sets: 200_000,
+            ..Default::default()
+        })
+        .build_pool(&net, &mut rng);
+        assert!(stats.rounds >= 1);
+        assert!(pool.n_sets() > 0);
+        assert!(stats.sigma_lower_bound >= 1.0);
+    }
+
+    #[test]
+    fn cap_is_respected_and_reported() {
+        let net = sparse_net(128, 3);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (pool, stats) = Rpo::new(RpoParams {
+            max_sets: 500,
+            ..Default::default()
+        })
+        .build_pool(&net, &mut rng);
+        assert!(pool.n_sets() <= 500);
+        assert!(stats.capped);
+    }
+
+    #[test]
+    fn degenerate_networks() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let empty = SocialNetwork::from_directed_edges(0, &[]);
+        let (pool, stats) = Rpo::default().build_pool(&empty, &mut rng);
+        assert_eq!(pool.n_sets(), 0);
+        assert!(stats.test_passed);
+
+        let single = SocialNetwork::from_directed_edges(1, &[]);
+        let (pool, _) = Rpo::default().build_pool(&single, &mut rng);
+        assert_eq!(pool.n_sets(), 1);
+    }
+
+    #[test]
+    fn estimates_from_rpo_pool_track_ground_truth() {
+        use crate::cascade::IndependentCascade;
+        let net = sparse_net(64, 11);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let (pool, _) = Rpo::new(RpoParams {
+            epsilon: 0.1,
+            o: 1.0,
+            max_sets: 400_000,
+            ..Default::default()
+        })
+        .build_pool(&net, &mut rng);
+
+        let ic = IndependentCascade::new(&net);
+        let mut rng2 = SmallRng::seed_from_u64(6);
+        // Check a handful of workers' σ against forward Monte Carlo.
+        for seed in [0u32, 5, 20, 40] {
+            let truth = ic.estimate_spread(seed, 8_000, &mut rng2);
+            let est = pool.sigma(seed);
+            let tol = (0.15 * truth).max(0.4);
+            assert!(
+                (est - truth).abs() < tol,
+                "σ({seed}): pool {est} vs forward {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let net = sparse_net(64, 13);
+        let (a, sa) = Rpo::default().build_pool(&net, &mut SmallRng::seed_from_u64(7));
+        let (b, sb) = Rpo::default().build_pool(&net, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(sa, sb);
+        assert_eq!(a.n_sets(), b.n_sets());
+    }
+}
+
+#[cfg(test)]
+mod lt_tests {
+    use super::*;
+    use crate::cascade::LinearThreshold;
+    use crate::pool::PropagationModel;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rpo_builds_linear_threshold_pools() {
+        use rand::RngExt;
+        let mut rng = SmallRng::seed_from_u64(31);
+        let mut edges = Vec::new();
+        for v in 1..64u32 {
+            edges.push((rng.random_range(0..v), v));
+        }
+        let net = SocialNetwork::from_directed_edges(64, &edges);
+        let (pool, stats) = Rpo::new(RpoParams {
+            max_sets: 100_000,
+            model: PropagationModel::LinearThreshold,
+            ..Default::default()
+        })
+        .build_pool(&net, &mut rng);
+        assert!(pool.n_sets() > 100);
+        assert!(stats.sigma_lower_bound >= 1.0);
+
+        // σ estimates from the LT pool track forward LT simulation.
+        let lt = LinearThreshold::new(&net);
+        let mut rng2 = SmallRng::seed_from_u64(32);
+        for seed in [0u32, 5, 20] {
+            let truth = lt.estimate_spread(seed, 6_000, &mut rng2);
+            let est = pool.sigma(seed);
+            let tol = (0.15 * truth).max(0.5);
+            assert!(
+                (est - truth).abs() < tol,
+                "LT σ({seed}): pool {est} vs forward {truth}"
+            );
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the propagation substrate: cascades and RRR sets
+//! are confined to what the graph topology allows.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sc_graph::traverse::bfs_distances;
+use sc_influence::{rrr::sample_rrr_set_alloc, IndependentCascade, SocialNetwork};
+
+fn arb_edges(n: u32) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n, 0..n), 0..(n as usize * 3))
+        .prop_map(|mut e| {
+            e.retain(|(u, v)| u != v);
+            e
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cascade_stays_within_forward_reachability(
+        edges in arb_edges(12),
+        seed_node in 0u32..12,
+        rng_seed in 0u64..500,
+    ) {
+        let net = SocialNetwork::from_directed_edges(12, &edges);
+        let ic = IndependentCascade::new(&net);
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        let informed = ic.simulate(seed_node, &mut rng);
+        let dist = bfs_distances(net.graph(), seed_node);
+        for (v, &inf) in informed.iter().enumerate() {
+            if inf {
+                prop_assert!(
+                    dist[v] != u32::MAX,
+                    "worker {v} informed but unreachable from {seed_node}"
+                );
+            }
+        }
+        prop_assert!(informed[seed_node as usize], "seed always informed");
+    }
+
+    #[test]
+    fn rrr_set_stays_within_reverse_reachability(
+        edges in arb_edges(12),
+        root in 0u32..12,
+        rng_seed in 0u64..500,
+    ) {
+        let net = SocialNetwork::from_directed_edges(12, &edges);
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        let set = sample_rrr_set_alloc(&net, root, &mut rng);
+        let rdist = bfs_distances(net.reverse_graph(), root);
+        for &member in &set {
+            prop_assert!(
+                rdist[member as usize] != u32::MAX,
+                "{member} in RRR({root}) but cannot reach the root"
+            );
+        }
+        prop_assert_eq!(set[0], root);
+        // No duplicates.
+        let mut sorted = set.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), set.len());
+    }
+
+    #[test]
+    fn deterministic_chain_cascade_is_exact(len in 2u32..20, rng_seed in 0u64..100) {
+        // All in-degrees are 1 → probability 1 → the cascade from node 0
+        // must inform the entire chain, every time.
+        let edges: Vec<(u32, u32)> = (0..len - 1).map(|i| (i, i + 1)).collect();
+        let net = SocialNetwork::from_directed_edges(len as usize, &edges);
+        let ic = IndependentCascade::new(&net);
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        let informed = ic.simulate(0, &mut rng);
+        prop_assert!(informed.iter().all(|&b| b));
+    }
+}

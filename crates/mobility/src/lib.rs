@@ -1,0 +1,31 @@
+//! # sc-mobility — the Historical Acceptance willingness model
+//!
+//! Paper Section III-B measures *worker willingness* — the probability
+//! that a worker will actually travel to a task's location — from the
+//! worker's check-in history rather than just the current distance:
+//!
+//! 1. **Stationary distribution** ([`rwr`]): a Random-Walk-with-Restart
+//!    over the worker's visited venues yields `P_w(w, s_i)`, the
+//!    probability of the worker "being at" each historical venue.
+//! 2. **Movement density** ([`movement`]): displacements between
+//!    consecutive check-ins are self-similar, so a Pareto density is
+//!    fitted per worker with the MLE shape of paper Eq. 1.
+//! 3. **Willingness** ([`willingness`], paper Eq. 2):
+//!    `P_wil(w, s) = Σᵢ P_w(w, sᵢ) · (d(sᵢ, s) + 1)^{−π}`.
+//!
+//! The crate also computes the **location entropy** (paper Section IV-B)
+//! that the EIA algorithm uses to prioritize tasks whose visitors are
+//! concentrated in few workers.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod entropy;
+pub mod movement;
+pub mod rwr;
+pub mod willingness;
+
+pub use entropy::LocationEntropy;
+pub use movement::MovementModel;
+pub use rwr::StationaryVisits;
+pub use willingness::{WillingnessModel, WorkerWillingness};

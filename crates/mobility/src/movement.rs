@@ -1,0 +1,136 @@
+//! Per-worker Pareto movement model (paper Section III-B2).
+//!
+//! Displacements between consecutive performed tasks are shifted by
+//! +1 km (`xᵢ = d(sᵢ, sᵢ₊₁) + 1`, so `ω = 1`) and the shape `π` is the
+//! MLE of paper Eq. 1. The quantity the willingness formula needs is the
+//! tail probability `P(X > d + 1) = (d + 1)^{−π}` — the probability that
+//! the worker's next hop is at least as long as the distance to the task.
+
+use sc_stats::Pareto;
+use sc_types::History;
+
+/// A fitted movement model for one worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MovementModel {
+    pareto: Pareto,
+    n_samples: usize,
+}
+
+impl MovementModel {
+    /// Fits the model from a worker's history. Workers with fewer than
+    /// two check-ins (no displacement samples) or a degenerate MLE fall
+    /// back to [`sc_stats::pareto::DEFAULT_SHAPE`].
+    pub fn fit(history: &History) -> Self {
+        let displacements = history.displacements_km();
+        MovementModel {
+            pareto: Pareto::fit_displacements(&displacements),
+            n_samples: displacements.len(),
+        }
+    }
+
+    /// Builds a model from an explicit shape (used in tests and by the
+    /// dataset generators to produce ground-truth workers).
+    pub fn with_shape(shape: f64) -> Self {
+        MovementModel {
+            pareto: Pareto::unit_scale(shape),
+            n_samples: 0,
+        }
+    }
+
+    /// The fitted shape `π`.
+    #[inline]
+    pub fn shape(&self) -> f64 {
+        self.pareto.shape()
+    }
+
+    /// Number of displacement samples behind the fit.
+    #[inline]
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Probability that the worker's next displacement reaches at least
+    /// `distance_km`: `(d + 1)^{−π}` (the integral in paper Eq. 2).
+    #[inline]
+    pub fn reach_probability(&self, distance_km: f64) -> f64 {
+        self.pareto.survival(distance_km.max(0.0) + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_types::{CheckIn, Location, TimeInstant, VenueId, WorkerId};
+
+    fn history_with_displacements(ds: &[f64]) -> History {
+        let mut h = History::new();
+        let mut x = 0.0;
+        h.push(CheckIn::at(
+            WorkerId::new(0),
+            VenueId::new(0),
+            Location::new(0.0, 0.0),
+            TimeInstant::from_seconds(0),
+            vec![],
+        ));
+        for (i, &d) in ds.iter().enumerate() {
+            x += d;
+            h.push(CheckIn::at(
+                WorkerId::new(0),
+                VenueId::new(i as u32 + 1),
+                Location::new(x, 0.0),
+                TimeInstant::from_seconds(i as i64 + 1),
+                vec![],
+            ));
+        }
+        h
+    }
+
+    #[test]
+    fn reach_probability_decreases_with_distance() {
+        let m = MovementModel::with_shape(2.0);
+        let p0 = m.reach_probability(0.0);
+        let p1 = m.reach_probability(1.0);
+        let p10 = m.reach_probability(10.0);
+        assert_eq!(p0, 1.0, "zero distance is certain");
+        assert!(p0 > p1 && p1 > p10);
+        assert!((p1 - 0.25).abs() < 1e-12, "(1+1)^-2 = 0.25");
+    }
+
+    #[test]
+    fn negative_distance_clamps_to_certainty() {
+        let m = MovementModel::with_shape(1.5);
+        assert_eq!(m.reach_probability(-3.0), 1.0);
+    }
+
+    #[test]
+    fn fit_records_sample_count() {
+        let h = history_with_displacements(&[2.0, 3.0, 4.0]);
+        let m = MovementModel::fit(&h);
+        assert_eq!(m.n_samples(), 3);
+        assert!(m.shape() > 0.0);
+    }
+
+    #[test]
+    fn longer_hops_give_heavier_tail() {
+        // Small displacements -> large π -> light tail;
+        // large displacements -> small π -> heavy tail.
+        let homebody = MovementModel::fit(&history_with_displacements(&[0.3, 0.2, 0.4, 0.3]));
+        let traveller = MovementModel::fit(&history_with_displacements(&[12.0, 30.0, 25.0]));
+        assert!(homebody.shape() > traveller.shape());
+        assert!(traveller.reach_probability(20.0) > homebody.reach_probability(20.0));
+    }
+
+    #[test]
+    fn empty_history_uses_default_shape() {
+        let m = MovementModel::fit(&History::new());
+        assert_eq!(m.shape(), sc_stats::pareto::DEFAULT_SHAPE);
+        assert_eq!(m.n_samples(), 0);
+    }
+
+    #[test]
+    fn stationary_worker_uses_default_shape() {
+        // All displacements zero => Σ ln x = 0 => MLE undefined.
+        let m = MovementModel::fit(&history_with_displacements(&[0.0, 0.0]));
+        assert_eq!(m.shape(), sc_stats::pareto::DEFAULT_SHAPE);
+    }
+}

@@ -1,0 +1,229 @@
+//! Stationary distribution of a worker's historical mobility.
+//!
+//! Paper Section III-B1 models the probability `P_w(w, sᵢ)` that worker
+//! `w` stays at the location of previously performed task `sᵢ` with a
+//! Random Walk with Restart over the worker's check-in records. We build
+//! the chain over the worker's *distinct venues*: each consecutive pair
+//! of check-ins contributes a transition, rows are normalized to
+//! stochastic, the restart vector is the empirical visit frequency, and
+//! the stationary distribution is found by power iteration
+//! (`sc_stats::power_iteration`).
+//!
+//! A worker who never moved (single venue) trivially has all mass on that
+//! venue; a worker with no history has no distribution.
+
+use sc_stats::power_iteration;
+use sc_types::{History, Location, VenueId};
+
+/// Restart probability of the RWR chain (standard damping).
+pub const RESTART: f64 = 0.15;
+/// Power-iteration tolerance.
+const TOL: f64 = 1e-10;
+/// Power-iteration budget.
+const MAX_ITER: usize = 10_000;
+
+/// The stationary visit distribution of one worker: distinct venues with
+/// their locations and stationary probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StationaryVisits {
+    venues: Vec<VenueId>,
+    locations: Vec<Location>,
+    probabilities: Vec<f64>,
+}
+
+impl StationaryVisits {
+    /// Fits the stationary distribution from a worker's history.
+    /// Returns `None` for an empty history.
+    pub fn fit(history: &History) -> Option<Self> {
+        let records = history.records();
+        if records.is_empty() {
+            return None;
+        }
+
+        // Dense venue indexing in first-visit order.
+        let mut venues: Vec<VenueId> = Vec::new();
+        let mut locations: Vec<Location> = Vec::new();
+        let mut index_of = std::collections::HashMap::new();
+        let mut visit_counts: Vec<f64> = Vec::new();
+        let mut seq: Vec<usize> = Vec::with_capacity(records.len());
+        for r in records {
+            let idx = *index_of.entry(r.venue).or_insert_with(|| {
+                venues.push(r.venue);
+                locations.push(r.location);
+                visit_counts.push(0.0);
+                venues.len() - 1
+            });
+            visit_counts[idx] += 1.0;
+            seq.push(idx);
+        }
+        let n = venues.len();
+
+        // Restart vector: empirical visit frequency.
+        let total_visits = seq.len() as f64;
+        let restart: Vec<f64> = visit_counts.iter().map(|c| c / total_visits).collect();
+
+        // Transition counts from consecutive check-ins.
+        let mut transition = vec![0.0f64; n * n];
+        for w in seq.windows(2) {
+            transition[w[0] * n + w[1]] += 1.0;
+        }
+        // Row-normalize (dangling rows are handled by the solver).
+        for i in 0..n {
+            let row = &mut transition[i * n..(i + 1) * n];
+            let sum: f64 = row.iter().sum();
+            if sum > 0.0 {
+                for x in row {
+                    *x /= sum;
+                }
+            }
+        }
+
+        let result = power_iteration(&transition, n, &restart, RESTART, TOL, MAX_ITER);
+        Some(StationaryVisits {
+            venues,
+            locations,
+            probabilities: result.distribution,
+        })
+    }
+
+    /// Number of distinct venues.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.venues.len()
+    }
+
+    /// Whether the distribution is empty (never true for a fitted value).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.venues.is_empty()
+    }
+
+    /// Iterates over `(venue, location, stationary probability)`.
+    pub fn iter(&self) -> impl Iterator<Item = (VenueId, &Location, f64)> + '_ {
+        self.venues
+            .iter()
+            .zip(self.locations.iter())
+            .zip(self.probabilities.iter())
+            .map(|((&v, l), &p)| (v, l, p))
+    }
+
+    /// Stationary probability of a venue (zero when unvisited).
+    pub fn probability_of(&self, venue: VenueId) -> f64 {
+        self.venues
+            .iter()
+            .position(|&v| v == venue)
+            .map_or(0.0, |i| self.probabilities[i])
+    }
+
+    /// The venue locations.
+    #[inline]
+    pub fn locations(&self) -> &[Location] {
+        &self.locations
+    }
+
+    /// The stationary probabilities, aligned with [`Self::locations`].
+    #[inline]
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probabilities
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_types::{CheckIn, TimeInstant, WorkerId};
+
+    fn checkin(venue: u32, x: f64, t: i64) -> CheckIn {
+        CheckIn::at(
+            WorkerId::new(0),
+            VenueId::new(venue),
+            Location::new(x, 0.0),
+            TimeInstant::from_seconds(t),
+            vec![],
+        )
+    }
+
+    fn history(records: &[(u32, f64)]) -> History {
+        let mut h = History::new();
+        for (i, &(v, x)) in records.iter().enumerate() {
+            h.push(checkin(v, x, i as i64));
+        }
+        h
+    }
+
+    #[test]
+    fn empty_history_has_no_distribution() {
+        assert!(StationaryVisits::fit(&History::new()).is_none());
+    }
+
+    #[test]
+    fn single_venue_gets_all_mass() {
+        let sv = StationaryVisits::fit(&history(&[(3, 1.0), (3, 1.0), (3, 1.0)])).unwrap();
+        assert_eq!(sv.len(), 1);
+        assert!((sv.probability_of(VenueId::new(3)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let sv =
+            StationaryVisits::fit(&history(&[(0, 0.0), (1, 2.0), (0, 0.0), (2, 5.0)])).unwrap();
+        let total: f64 = sv.probabilities().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(sv.len(), 3);
+    }
+
+    #[test]
+    fn frequent_venue_dominates() {
+        // Worker bounces between 0 and 1 but returns to 0 far more often.
+        let sv = StationaryVisits::fit(&history(&[
+            (0, 0.0),
+            (0, 0.0),
+            (1, 3.0),
+            (0, 0.0),
+            (0, 0.0),
+            (2, 9.0),
+            (0, 0.0),
+        ]))
+        .unwrap();
+        let p0 = sv.probability_of(VenueId::new(0));
+        assert!(p0 > sv.probability_of(VenueId::new(1)));
+        assert!(p0 > sv.probability_of(VenueId::new(2)));
+        assert!(p0 > 0.4);
+    }
+
+    #[test]
+    fn unvisited_venue_has_zero_probability() {
+        let sv = StationaryVisits::fit(&history(&[(0, 0.0), (1, 1.0)])).unwrap();
+        assert_eq!(sv.probability_of(VenueId::new(9)), 0.0);
+    }
+
+    #[test]
+    fn iter_is_aligned() {
+        let sv = StationaryVisits::fit(&history(&[(5, 2.0), (6, 4.0), (5, 2.0)])).unwrap();
+        for (venue, loc, p) in sv.iter() {
+            assert_eq!(sv.probability_of(venue), p);
+            match venue.raw() {
+                5 => assert_eq!(loc.x, 2.0),
+                6 => assert_eq!(loc.x, 4.0),
+                _ => panic!("unexpected venue"),
+            }
+        }
+    }
+
+    #[test]
+    fn chain_structure_matters() {
+        // A venue that is always *entered next* from everywhere gains mass
+        // relative to pure frequency: 0 -> 1, 2 -> 1 pattern.
+        let sv = StationaryVisits::fit(&history(&[
+            (0, 0.0),
+            (1, 1.0),
+            (2, 2.0),
+            (1, 1.0),
+            (0, 0.0),
+            (1, 1.0),
+        ]))
+        .unwrap();
+        let p1 = sv.probability_of(VenueId::new(1));
+        assert!(p1 >= 0.45, "hub venue should dominate, got {p1}");
+    }
+}

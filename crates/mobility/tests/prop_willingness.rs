@@ -1,0 +1,86 @@
+//! Property tests for the Historical-Acceptance model: for *any*
+//! check-in history, willingness must be a probability, decay with
+//! distance in aggregate, and the stationary distribution must stay
+//! normalized.
+
+use proptest::prelude::*;
+use sc_mobility::{MovementModel, StationaryVisits, WorkerWillingness};
+use sc_types::{CheckIn, History, Location, TimeInstant, VenueId, WorkerId};
+
+fn history_from(venues: Vec<(u8, (f64, f64))>) -> History {
+    let mut h = History::new();
+    for (i, (v, (x, y))) in venues.into_iter().enumerate() {
+        h.push(CheckIn::at(
+            WorkerId::new(0),
+            VenueId::new(v as u32),
+            Location::new(x, y),
+            TimeInstant::from_seconds(i as i64),
+            vec![],
+        ));
+    }
+    h
+}
+
+fn arb_history(max_len: usize) -> impl Strategy<Value = History> {
+    prop::collection::vec((0u8..12, (-30.0f64..30.0, -30.0f64..30.0)), 1..max_len)
+        .prop_map(history_from)
+}
+
+proptest! {
+    #[test]
+    fn stationary_distribution_is_normalized(h in arb_history(40)) {
+        let sv = StationaryVisits::fit(&h).expect("non-empty history fits");
+        let total: f64 = sv.probabilities().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "mass {total}");
+        prop_assert!(sv.probabilities().iter().all(|&p| p >= -1e-12));
+        prop_assert!(sv.len() <= h.len());
+    }
+
+    #[test]
+    fn willingness_is_a_probability_everywhere(
+        h in arb_history(30),
+        qx in -100.0f64..100.0,
+        qy in -100.0f64..100.0,
+    ) {
+        let w = WorkerWillingness::fit(&h);
+        let p = w.willingness(&Location::new(qx, qy));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&p), "P_wil = {p}");
+    }
+
+    #[test]
+    fn willingness_far_away_is_dominated_by_nearby(h in arb_history(30)) {
+        // Willingness at a venue the worker visited must be at least the
+        // willingness at the same direction but 200 km farther out.
+        let w = WorkerWillingness::fit(&h);
+        let home = h.records()[0].location;
+        let far = Location::new(home.x + 200.0, home.y + 200.0);
+        prop_assert!(w.willingness(&home) >= w.willingness(&far) - 1e-12);
+    }
+
+    #[test]
+    fn movement_shape_is_positive_and_finite(h in arb_history(30)) {
+        let m = MovementModel::fit(&h);
+        prop_assert!(m.shape() > 0.0 && m.shape().is_finite());
+        // Reach probability is a monotone non-increasing function.
+        let mut prev = m.reach_probability(0.0);
+        for d in [0.5, 1.0, 2.0, 5.0, 20.0, 100.0] {
+            let p = m.reach_probability(d);
+            prop_assert!(p <= prev + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn single_location_worker_has_full_local_willingness(
+        x in -20.0f64..20.0,
+        y in -20.0f64..20.0,
+        repeats in 1usize..10,
+    ) {
+        let h = history_from(vec![(0, (x, y)); repeats]);
+        let w = WorkerWillingness::fit(&h);
+        // All stationary mass on one venue at distance 0: tail factor 1.
+        let p = w.willingness(&Location::new(x, y));
+        prop_assert!((p - 1.0).abs() < 1e-9, "got {p}");
+    }
+}

@@ -1,0 +1,29 @@
+//! # sc-sim — the SC-platform simulator and experiment harness
+//!
+//! Reproduces the evaluation protocol of paper Section V:
+//!
+//! * a synthetic dataset (BK- or FS-profile) stands in for the check-in
+//!   datasets;
+//! * the DITA pipeline is trained once per dataset;
+//! * each experiment sweeps one parameter of Table II (|S|, |W|, φ, r)
+//!   with the others at their defaults, runs the algorithms on the
+//!   instances of 4 simulated days, and averages;
+//! * metrics per algorithm: CPU time, number of assigned tasks, Average
+//!   Influence (Eq. 6), Average Propagation (Eq. 7), and travel cost.
+//!
+//! The harness feeds the figure-regeneration binaries in `sc-bench`
+//! (`fig05`–`fig16`) and prints the same series the paper plots.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod harness;
+pub mod metrics;
+pub mod platform;
+pub mod sweep;
+pub mod table;
+
+pub use harness::{AblationPoint, ComparisonPoint, ExperimentRunner};
+pub use metrics::MetricsRow;
+pub use sweep::{ExperimentScale, SweepAxis, SweepValues};
+pub use table::{render_table, to_csv};

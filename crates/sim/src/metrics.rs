@@ -1,0 +1,107 @@
+//! Per-algorithm evaluation metrics.
+
+use sc_stats::OnlineMoments;
+use serde::{Deserialize, Serialize};
+
+/// Averaged metrics of one algorithm at one sweep point
+/// (the five quantities the paper's comparison figures plot).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsRow {
+    /// Algorithm label ("MTA", "IA", …).
+    pub algorithm: String,
+    /// Mean CPU time per instance, milliseconds.
+    pub cpu_ms: f64,
+    /// Mean number of assigned tasks `|A|`.
+    pub assigned: f64,
+    /// Mean Average Influence (Eq. 6).
+    pub ai: f64,
+    /// Mean Average Propagation (Eq. 7).
+    pub ap: f64,
+    /// Mean worker travel distance in km.
+    pub travel_km: f64,
+}
+
+/// Accumulates metrics over the days of an experiment.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsAccumulator {
+    cpu_ms: OnlineMoments,
+    assigned: OnlineMoments,
+    ai: OnlineMoments,
+    ap: OnlineMoments,
+    travel_km: OnlineMoments,
+}
+
+impl MetricsAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one day's run.
+    pub fn push(&mut self, cpu_ms: f64, assigned: usize, ai: f64, ap: f64, travel_km: f64) {
+        self.cpu_ms.push(cpu_ms);
+        self.assigned.push(assigned as f64);
+        self.ai.push(ai);
+        self.ap.push(ap);
+        self.travel_km.push(travel_km);
+    }
+
+    /// Number of recorded days.
+    pub fn count(&self) -> u64 {
+        self.cpu_ms.count()
+    }
+
+    /// Freezes into a row.
+    pub fn finish(&self, algorithm: impl Into<String>) -> MetricsRow {
+        MetricsRow {
+            algorithm: algorithm.into(),
+            cpu_ms: self.cpu_ms.mean(),
+            assigned: self.assigned.mean(),
+            ai: self.ai.mean(),
+            ap: self.ap.mean(),
+            travel_km: self.travel_km.mean(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_means() {
+        let mut acc = MetricsAccumulator::new();
+        acc.push(10.0, 100, 0.2, 5.0, 3.0);
+        acc.push(20.0, 200, 0.4, 7.0, 5.0);
+        let row = acc.finish("IA");
+        assert_eq!(row.algorithm, "IA");
+        assert!((row.cpu_ms - 15.0).abs() < 1e-12);
+        assert!((row.assigned - 150.0).abs() < 1e-12);
+        assert!((row.ai - 0.3).abs() < 1e-12);
+        assert!((row.ap - 6.0).abs() < 1e-12);
+        assert!((row.travel_km - 4.0).abs() < 1e-12);
+        assert_eq!(acc.count(), 2);
+    }
+
+    #[test]
+    fn empty_accumulator_finishes_to_zeros() {
+        let row = MetricsAccumulator::new().finish("MTA");
+        assert_eq!(row.cpu_ms, 0.0);
+        assert_eq!(row.assigned, 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let row = MetricsRow {
+            algorithm: "DIA".into(),
+            cpu_ms: 1.0,
+            assigned: 2.0,
+            ai: 3.0,
+            ap: 4.0,
+            travel_km: 5.0,
+        };
+        let json = serde_json::to_string(&row).unwrap();
+        let back: MetricsRow = serde_json::from_str(&json).unwrap();
+        assert_eq!(row, back);
+    }
+}

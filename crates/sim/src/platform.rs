@@ -1,0 +1,285 @@
+//! An online SC-platform day simulation.
+//!
+//! The sweep harness follows the paper's protocol (one batch per day).
+//! This module adds the *online* dynamics the paper describes in its
+//! setup — "a worker is online until the worker is assigned a task" —
+//! as a discrete-hourly simulation: tasks arrive every hour, unassigned
+//! tasks persist until they expire, and assigned workers leave the pool.
+//! It powers the `day_in_the_life` example and gives integration tests a
+//! stateful workload.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use sc_assign::AlgorithmKind;
+use sc_core::DitaPipeline;
+use sc_datagen::{InstanceOptions, SyntheticDataset};
+use sc_types::{Duration, Instance, Task, TaskId, TimeInstant, VenueId};
+
+/// Configuration of an online day.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DayConfig {
+    /// Workers online at the start of the day.
+    pub n_workers: usize,
+    /// New tasks published at each hourly instance.
+    pub tasks_per_hour: usize,
+    /// First hour (inclusive) of platform operation.
+    pub start_hour: i64,
+    /// Last hour (exclusive).
+    pub end_hour: i64,
+    /// Task valid time and worker radius.
+    pub options: InstanceOptions,
+}
+
+impl Default for DayConfig {
+    fn default() -> Self {
+        DayConfig {
+            n_workers: 100,
+            tasks_per_hour: 25,
+            start_hour: 8,
+            end_hour: 20,
+            options: InstanceOptions::default(),
+        }
+    }
+}
+
+/// Outcome of one hourly assignment round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HourReport {
+    /// Hour of day.
+    pub hour: i64,
+    /// Tasks available at this instance (new + carried over).
+    pub available_tasks: usize,
+    /// Workers still online.
+    pub online_workers: usize,
+    /// Tasks assigned this round.
+    pub assigned: usize,
+    /// Average influence of this round's assignment.
+    pub ai: f64,
+}
+
+/// Outcome of the whole day.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DayReport {
+    /// Per-hour breakdown.
+    pub hours: Vec<HourReport>,
+    /// Total tasks published.
+    pub published: usize,
+    /// Total tasks assigned.
+    pub assigned: usize,
+    /// Tasks that expired unassigned.
+    pub expired: usize,
+    /// Tasks still open at close of day.
+    pub still_open: usize,
+}
+
+impl DayReport {
+    /// Fraction of published tasks that were assigned.
+    pub fn assignment_rate(&self) -> f64 {
+        if self.published == 0 {
+            0.0
+        } else {
+            self.assigned as f64 / self.published as f64
+        }
+    }
+}
+
+/// Runs the online simulation of one day.
+pub fn simulate_day(
+    dataset: &SyntheticDataset,
+    pipeline: &DitaPipeline,
+    day: usize,
+    config: &DayConfig,
+    algorithm: AlgorithmKind,
+) -> DayReport {
+    assert!(config.start_hour < config.end_hour, "empty operating window");
+    let mut rng = SmallRng::seed_from_u64(
+        dataset.seed() ^ 0x00D_A11 ^ (day as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+    );
+
+    // Initial online workers, sampled through the day-instance machinery
+    // so locations match the dataset.
+    let base = dataset.instance_for_day(day, 0, config.n_workers, config.options);
+    let mut online_workers = base.instance.workers;
+
+    let mut open_tasks: Vec<(Task, VenueId)> = Vec::new();
+    let mut next_task_id = 0u32;
+    let mut published = 0usize;
+    let mut assigned_total = 0usize;
+    let mut expired = 0usize;
+    let mut hours = Vec::new();
+
+    for hour in config.start_hour..config.end_hour {
+        let now = TimeInstant::at(day as i64, hour);
+
+        // Expire leftovers.
+        let before = open_tasks.len();
+        open_tasks.retain(|(t, _)| !t.is_expired_at(now));
+        expired += before - open_tasks.len();
+
+        // Publish this hour's tasks from random venues.
+        for _ in 0..config.tasks_per_hour {
+            let venue = dataset
+                .venues
+                .venue(VenueId::from(rng.random_range(0..dataset.venues.len())));
+            open_tasks.push((
+                Task::with_categories(
+                    TaskId::new(next_task_id),
+                    venue.location,
+                    now,
+                    Duration::hours_f64(config.options.valid_hours),
+                    venue.categories.clone(),
+                ),
+                venue.id,
+            ));
+            next_task_id += 1;
+            published += 1;
+        }
+
+        // Assemble the instance and assign.
+        let tasks: Vec<Task> = open_tasks.iter().map(|(t, _)| t.clone()).collect();
+        let venues: Vec<VenueId> = open_tasks.iter().map(|(_, v)| *v).collect();
+        let instance = Instance::new(now, online_workers.clone(), tasks);
+        let assignment = pipeline.assign_with_venues(&instance, &venues, algorithm);
+
+        hours.push(HourReport {
+            hour,
+            available_tasks: instance.n_tasks(),
+            online_workers: online_workers.len(),
+            assigned: assignment.len(),
+            ai: assignment.average_influence(),
+        });
+        assigned_total += assignment.len();
+
+        // Assigned workers leave; assigned tasks close.
+        let assigned_workers: std::collections::HashSet<_> =
+            assignment.pairs().iter().map(|p| p.worker).collect();
+        let assigned_tasks: std::collections::HashSet<_> =
+            assignment.pairs().iter().map(|p| p.task).collect();
+        online_workers.retain(|w| !assigned_workers.contains(&w.id));
+        open_tasks.retain(|(t, _)| !assigned_tasks.contains(&t.id));
+    }
+
+    DayReport {
+        hours,
+        published,
+        assigned: assigned_total,
+        expired,
+        still_open: open_tasks.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_core::{DitaBuilder, DitaConfig};
+    use sc_datagen::DatasetProfile;
+    use sc_influence::RpoParams;
+
+    fn setup() -> (SyntheticDataset, DitaPipeline) {
+        let mut profile = DatasetProfile::brightkite_small();
+        profile.n_workers = 100;
+        profile.n_venues = 100;
+        profile.checkins_per_worker = 10;
+        let dataset = SyntheticDataset::generate(&profile, 4);
+        let pipeline = DitaBuilder::new()
+            .config(DitaConfig {
+                n_topics: 5,
+                lda_sweeps: 10,
+                infer_sweeps: 5,
+                rpo: RpoParams {
+                    max_sets: 3_000,
+                    ..Default::default()
+                },
+                seed: 2,
+            })
+            .build(&dataset.social, &dataset.histories)
+            .unwrap();
+        (dataset, pipeline)
+    }
+
+    #[test]
+    fn day_accounts_balance() {
+        let (dataset, pipeline) = setup();
+        let config = DayConfig {
+            n_workers: 60,
+            tasks_per_hour: 10,
+            start_hour: 9,
+            end_hour: 13,
+            options: InstanceOptions::default(),
+        };
+        let report = simulate_day(&dataset, &pipeline, 0, &config, AlgorithmKind::Ia);
+        assert_eq!(report.hours.len(), 4);
+        assert_eq!(report.published, 40);
+        assert_eq!(
+            report.published,
+            report.assigned + report.expired + report.still_open,
+            "every published task is assigned, expired, or open"
+        );
+        assert!(report.assignment_rate() > 0.0);
+    }
+
+    #[test]
+    fn workers_drain_as_they_are_assigned() {
+        let (dataset, pipeline) = setup();
+        let config = DayConfig {
+            n_workers: 30,
+            tasks_per_hour: 20,
+            start_hour: 8,
+            end_hour: 12,
+            options: InstanceOptions::default(),
+        };
+        let report = simulate_day(&dataset, &pipeline, 1, &config, AlgorithmKind::Mta);
+        let online: Vec<usize> = report.hours.iter().map(|h| h.online_workers).collect();
+        for w in online.windows(2) {
+            assert!(w[1] <= w[0], "online workers never increase: {online:?}");
+        }
+        // With 80 tasks and 30 workers, the pool must visibly shrink.
+        assert!(online.last().unwrap() < &30);
+        assert!(report.assigned <= 30, "each worker serves at most one task");
+    }
+
+    #[test]
+    fn unassigned_tasks_carry_over() {
+        let (dataset, pipeline) = setup();
+        // Zero workers: nothing is ever assigned; tasks pile up and then
+        // expire after φ hours.
+        let config = DayConfig {
+            n_workers: 0,
+            tasks_per_hour: 5,
+            start_hour: 8,
+            end_hour: 16,
+            options: InstanceOptions {
+                valid_hours: 2.0,
+                ..Default::default()
+            },
+        };
+        let report = simulate_day(&dataset, &pipeline, 2, &config, AlgorithmKind::Ia);
+        assert_eq!(report.assigned, 0);
+        assert!(report.expired > 0);
+        assert_eq!(report.published, 40);
+        let available: Vec<usize> = report.hours.iter().map(|h| h.available_tasks).collect();
+        // With φ = 2h, steady state carries ~2 extra batches.
+        assert!(available.iter().max().unwrap() > &5);
+    }
+
+    #[test]
+    fn deterministic_given_day() {
+        let (dataset, pipeline) = setup();
+        let config = DayConfig::default();
+        let a = simulate_day(&dataset, &pipeline, 3, &config, AlgorithmKind::Ia);
+        let b = simulate_day(&dataset, &pipeline, 3, &config, AlgorithmKind::Ia);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty operating window")]
+    fn inverted_hours_panic() {
+        let (dataset, pipeline) = setup();
+        let config = DayConfig {
+            start_hour: 12,
+            end_hour: 12,
+            ..Default::default()
+        };
+        let _ = simulate_day(&dataset, &pipeline, 0, &config, AlgorithmKind::Ia);
+    }
+}

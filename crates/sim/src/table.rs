@@ -1,0 +1,98 @@
+//! Plain-text table rendering and CSV export for harness output.
+
+/// Renders an aligned text table. The first row is the header.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let n_cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(n_cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let parts: Vec<String> = cells
+            .iter()
+            .zip(widths.iter())
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        parts.join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (n_cols.saturating_sub(1))));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders rows as CSV (header + comma-separated lines, quoting cells
+/// that contain commas or quotes).
+pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    fn quote(cell: &str) -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    }
+    let mut out = String::new();
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let s = render_table(
+            &["alg", "ai"],
+            &[
+                vec!["IA".into(), "0.25".into()],
+                vec!["MTA".into(), "0.1".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("alg"));
+        assert!(lines[2].ends_with("0.25"));
+        // All rows have equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn empty_rows_render_header_only() {
+        let s = render_table(&["a"], &[]);
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn csv_basic() {
+        let s = to_csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(s, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let s = to_csv(&["a"], &[vec!["x,y".into()], vec!["q\"z".into()]]);
+        assert!(s.contains("\"x,y\""));
+        assert!(s.contains("\"q\"\"z\""));
+    }
+}

@@ -1,0 +1,307 @@
+//! Uniform grid index over points.
+//!
+//! The index partitions the bounding box of the input points into square
+//! cells of a configurable size and answers:
+//!
+//! * [`GridIndex::within_radius`] — all points inside a circle (the
+//!   worker-reachability query of the assignment-graph construction), and
+//! * [`GridIndex::nearest`] — the nearest point to a query (used by the
+//!   nearest-worker greedy baseline of the paper's running example).
+//!
+//! Points are referenced by the dense `usize` position they had in the
+//! input slice, so callers can map hits back to workers/tasks without a
+//! hash lookup.
+
+use crate::bbox::BoundingBox;
+use sc_types::Location;
+
+/// A uniform grid over a fixed set of points.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    bbox: BoundingBox,
+    cell_km: f64,
+    cols: usize,
+    rows: usize,
+    /// CSR layout: `starts[c]..starts[c+1]` indexes into `entries` for cell c.
+    starts: Vec<u32>,
+    entries: Vec<u32>,
+    points: Vec<Location>,
+}
+
+impl GridIndex {
+    /// Builds an index over `points` with the given cell edge length in km.
+    ///
+    /// `cell_km` must be positive; degenerate inputs (no points) yield an
+    /// index that answers every query with no results.
+    pub fn build(points: &[Location], cell_km: f64) -> Self {
+        assert!(cell_km > 0.0, "cell size must be positive");
+        let bbox = BoundingBox::of_points(points.iter())
+            .unwrap_or_else(|| BoundingBox::new(Location::ORIGIN, Location::ORIGIN));
+        let cols = ((bbox.width() / cell_km).ceil() as usize).max(1);
+        let rows = ((bbox.height() / cell_km).ceil() as usize).max(1);
+        let n_cells = cols * rows;
+
+        // Counting sort of points into cells (CSR construction).
+        let mut counts = vec![0u32; n_cells + 1];
+        let cell_of = |p: &Location| -> usize {
+            let cx = (((p.x - bbox.min.x) / cell_km) as usize).min(cols - 1);
+            let cy = (((p.y - bbox.min.y) / cell_km) as usize).min(rows - 1);
+            cy * cols + cx
+        };
+        for p in points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for i in 0..n_cells {
+            counts[i + 1] += counts[i];
+        }
+        let starts = counts.clone();
+        let mut cursor = counts;
+        let mut entries = vec![0u32; points.len()];
+        for (i, p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            entries[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+
+        GridIndex {
+            bbox,
+            cell_km,
+            cols,
+            rows,
+            starts,
+            entries,
+            points: points.to_vec(),
+        }
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The cell edge length in km.
+    #[inline]
+    pub fn cell_km(&self) -> f64 {
+        self.cell_km
+    }
+
+    /// Grid dimensions `(cols, rows)`.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    fn cell_range(&self, centre: &Location, radius: f64) -> (usize, usize, usize, usize) {
+        let clamp_col = |v: f64| -> usize {
+            (((v - self.bbox.min.x) / self.cell_km).floor().max(0.0) as usize).min(self.cols - 1)
+        };
+        let clamp_row = |v: f64| -> usize {
+            (((v - self.bbox.min.y) / self.cell_km).floor().max(0.0) as usize).min(self.rows - 1)
+        };
+        (
+            clamp_col(centre.x - radius),
+            clamp_col(centre.x + radius),
+            clamp_row(centre.y - radius),
+            clamp_row(centre.y + radius),
+        )
+    }
+
+    /// Indices (input positions) of all points with
+    /// `d(point, centre) ≤ radius`, in ascending index order within cells.
+    pub fn within_radius(&self, centre: &Location, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_within(centre, radius, |i, _| out.push(i));
+        out
+    }
+
+    /// Visits every point inside the circle without allocating.
+    pub fn for_each_within<F: FnMut(usize, &Location)>(
+        &self,
+        centre: &Location,
+        radius: f64,
+        mut visit: F,
+    ) {
+        if self.points.is_empty() || radius < 0.0 {
+            return;
+        }
+        let r_sq = radius * radius;
+        let (c0, c1, r0, r1) = self.cell_range(centre, radius);
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                let cell = row * self.cols + col;
+                let lo = self.starts[cell] as usize;
+                let hi = self.starts[cell + 1] as usize;
+                for &e in &self.entries[lo..hi] {
+                    let p = &self.points[e as usize];
+                    if p.distance_sq(centre) <= r_sq {
+                        visit(e as usize, p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of points within the circle (no allocation).
+    pub fn count_within(&self, centre: &Location, radius: f64) -> usize {
+        let mut n = 0;
+        self.for_each_within(centre, radius, |_, _| n += 1);
+        n
+    }
+
+    /// The indexed point nearest to `query`, as `(input index, distance)`.
+    /// `None` when the index is empty. Ties break to the lower index.
+    pub fn nearest(&self, query: &Location) -> Option<(usize, f64)> {
+        if self.points.is_empty() {
+            return None;
+        }
+        // Expanding ring search: try growing radii until a hit is found,
+        // then verify with one final pass at the found distance (a point in
+        // a farther cell can still be closer than one in a near cell).
+        let mut radius = self.cell_km;
+        let max_span = (self.bbox.width() + self.bbox.height() + self.cell_km) * 2.0
+            + self.bbox.min_distance(query) * 2.0;
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            self.for_each_within(query, radius, |i, p| {
+                let d = p.distance_km(query);
+                match best {
+                    Some((bi, bd)) if d > bd || (d == bd && i > bi) => {}
+                    _ => best = Some((i, d)),
+                }
+            });
+            if let Some((i, d)) = best {
+                if d <= radius {
+                    return Some((i, d));
+                }
+            }
+            if radius > max_span {
+                // Fall back to a full scan (handles far-outside queries).
+                return self
+                    .points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, p.distance_km(query)))
+                    .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            }
+            radius *= 2.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points() -> Vec<Location> {
+        // 5x5 lattice with 1 km spacing.
+        let mut pts = Vec::new();
+        for y in 0..5 {
+            for x in 0..5 {
+                pts.push(Location::new(x as f64, y as f64));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn within_radius_matches_brute_force() {
+        let pts = grid_points();
+        let idx = GridIndex::build(&pts, 0.8);
+        let centre = Location::new(2.2, 1.9);
+        for radius in [0.0, 0.5, 1.0, 2.5, 10.0] {
+            let mut expect: Vec<usize> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.distance_km(&centre) <= radius)
+                .map(|(i, _)| i)
+                .collect();
+            let mut got = idx.within_radius(&centre, radius);
+            expect.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expect, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn count_within_agrees_with_query() {
+        let pts = grid_points();
+        let idx = GridIndex::build(&pts, 1.5);
+        let centre = Location::new(0.0, 0.0);
+        assert_eq!(idx.count_within(&centre, 1.0), idx.within_radius(&centre, 1.0).len());
+    }
+
+    #[test]
+    fn boundary_points_are_inclusive() {
+        let pts = vec![Location::new(0.0, 0.0), Location::new(3.0, 4.0)];
+        let idx = GridIndex::build(&pts, 1.0);
+        // distance exactly 5.0
+        let hits = idx.within_radius(&Location::new(0.0, 0.0), 5.0);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn nearest_finds_true_minimum() {
+        let pts = grid_points();
+        let idx = GridIndex::build(&pts, 1.0);
+        let (i, d) = idx.nearest(&Location::new(3.4, 2.6)).unwrap();
+        assert_eq!(pts[i], Location::new(3.0, 3.0));
+        assert!((d - pts[i].distance_km(&Location::new(3.4, 2.6))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_far_outside_bbox() {
+        let pts = grid_points();
+        let idx = GridIndex::build(&pts, 1.0);
+        let (i, _) = idx.nearest(&Location::new(100.0, 100.0)).unwrap();
+        assert_eq!(pts[i], Location::new(4.0, 4.0));
+    }
+
+    #[test]
+    fn nearest_breaks_ties_to_lower_index() {
+        let pts = vec![Location::new(1.0, 0.0), Location::new(-1.0, 0.0)];
+        let idx = GridIndex::build(&pts, 1.0);
+        let (i, d) = idx.nearest(&Location::ORIGIN).unwrap();
+        assert_eq!(i, 0);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_index_behaviour() {
+        let idx = GridIndex::build(&[], 1.0);
+        assert!(idx.is_empty());
+        assert!(idx.nearest(&Location::ORIGIN).is_none());
+        assert!(idx.within_radius(&Location::ORIGIN, 10.0).is_empty());
+    }
+
+    #[test]
+    fn single_point_and_coincident_points() {
+        let pts = vec![Location::new(1.0, 1.0); 3];
+        let idx = GridIndex::build(&pts, 0.5);
+        assert_eq!(idx.within_radius(&Location::new(1.0, 1.0), 0.0).len(), 3);
+        let (i, d) = idx.nearest(&Location::new(2.0, 1.0)).unwrap();
+        assert_eq!(i, 0);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_radius_yields_nothing() {
+        let idx = GridIndex::build(&grid_points(), 1.0);
+        assert!(idx.within_radius(&Location::ORIGIN, -1.0).is_empty());
+    }
+
+    #[test]
+    fn dims_reflect_cell_size() {
+        let idx = GridIndex::build(&grid_points(), 2.0); // 4km x 4km extent
+        let (cols, rows) = idx.dims();
+        assert_eq!((cols, rows), (2, 2));
+        assert_eq!(idx.len(), 25);
+        assert_eq!(idx.cell_km(), 2.0);
+    }
+}

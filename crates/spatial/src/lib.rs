@@ -1,0 +1,26 @@
+//! # sc-spatial — geometry and spatial-index substrate
+//!
+//! The assignment-graph construction (paper Section IV-A) needs, for every
+//! worker, the set of tasks inside the worker's reachable circle. Scanning
+//! all `|W|·|S|` pairs is quadratic; this crate provides a uniform
+//! [`GridIndex`] so eligibility queries are proportional to the number of
+//! candidates actually inside the circle.
+//!
+//! The crate also hosts the distance metrics: the paper uses planar
+//! Euclidean distance throughout; [`haversine_km`] is provided for users
+//! who feed real WGS84 check-in data, together with a local
+//! equirectangular [`Projector`] that maps lat/lon onto the planar world
+//! used by the rest of the workspace.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bbox;
+pub mod grid;
+pub mod metric;
+pub mod project;
+
+pub use bbox::BoundingBox;
+pub use grid::GridIndex;
+pub use metric::{euclidean_km, haversine_km, travel_seconds};
+pub use project::Projector;

@@ -1,0 +1,73 @@
+//! Distance metrics and the travel-time model.
+
+use sc_types::Location;
+
+/// Mean Earth radius in km (IUGG).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// Planar Euclidean distance in km — the paper's `d(w.l, s.l)`.
+#[inline]
+pub fn euclidean_km(a: &Location, b: &Location) -> f64 {
+    a.distance_km(b)
+}
+
+/// Great-circle distance between two WGS84 coordinates, in km.
+/// `a` and `b` carry `(lat, lon)` in degrees in their `(x, y)` fields.
+/// Provided for users feeding real check-in data; the synthetic world is
+/// planar and uses [`euclidean_km`].
+pub fn haversine_km(a: &Location, b: &Location) -> f64 {
+    let (lat1, lon1) = (a.x.to_radians(), a.y.to_radians());
+    let (lat2, lon2) = (b.x.to_radians(), b.y.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().min(1.0).asin()
+}
+
+/// Travel time in seconds for `distance_km` at `speed_kmh`
+/// (`t(w.l, s.l)` with the paper's uniform-speed assumption).
+#[inline]
+pub fn travel_seconds(distance_km: f64, speed_kmh: f64) -> f64 {
+    debug_assert!(speed_kmh > 0.0, "speed must be positive");
+    distance_km / speed_kmh * 3_600.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_matches_location_method() {
+        let a = Location::new(0.0, 0.0);
+        let b = Location::new(6.0, 8.0);
+        assert_eq!(euclidean_km(&a, &b), 10.0);
+    }
+
+    #[test]
+    fn haversine_known_pairs() {
+        // Paris (48.8566, 2.3522) to London (51.5074, -0.1278): ~343.5 km.
+        let paris = Location::new(48.8566, 2.3522);
+        let london = Location::new(51.5074, -0.1278);
+        let d = haversine_km(&paris, &london);
+        assert!((d - 343.5).abs() < 2.0, "got {d}");
+        // Symmetry and identity.
+        assert!((haversine_km(&london, &paris) - d).abs() < 1e-9);
+        assert!(haversine_km(&paris, &paris) < 1e-9);
+    }
+
+    #[test]
+    fn haversine_quarter_meridian() {
+        // Equator to pole along a meridian is a quarter of a great circle.
+        let equator = Location::new(0.0, 0.0);
+        let pole = Location::new(90.0, 0.0);
+        let quarter = std::f64::consts::FRAC_PI_2 * EARTH_RADIUS_KM;
+        assert!((haversine_km(&equator, &pole) - quarter).abs() < 1e-6);
+    }
+
+    #[test]
+    fn travel_time_at_paper_speed() {
+        // 25 km at 5 km/h = 5 hours.
+        assert!((travel_seconds(25.0, 5.0) - 5.0 * 3_600.0).abs() < 1e-9);
+        assert_eq!(travel_seconds(0.0, 5.0), 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Local equirectangular projection.
+//!
+//! Real check-in datasets (Brightkite, FourSquare) store WGS84 latitude /
+//! longitude. The workspace operates on a planar world in km, so loaders
+//! project coordinates with a local equirectangular projection anchored at
+//! a reference point — accurate to well under 1 % for the city/region
+//! scales the experiments use.
+
+use crate::metric::EARTH_RADIUS_KM;
+use sc_types::Location;
+
+/// A local equirectangular projector anchored at a reference lat/lon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Projector {
+    ref_lat_rad: f64,
+    ref_lon_rad: f64,
+    cos_ref_lat: f64,
+}
+
+impl Projector {
+    /// Creates a projector anchored at `(lat, lon)` in degrees.
+    pub fn new(ref_lat_deg: f64, ref_lon_deg: f64) -> Self {
+        let ref_lat_rad = ref_lat_deg.to_radians();
+        Projector {
+            ref_lat_rad,
+            ref_lon_rad: ref_lon_deg.to_radians(),
+            cos_ref_lat: ref_lat_rad.cos(),
+        }
+    }
+
+    /// Projects `(lat, lon)` in degrees to planar km relative to the anchor.
+    pub fn to_plane(&self, lat_deg: f64, lon_deg: f64) -> Location {
+        let lat = lat_deg.to_radians();
+        let lon = lon_deg.to_radians();
+        Location::new(
+            EARTH_RADIUS_KM * (lon - self.ref_lon_rad) * self.cos_ref_lat,
+            EARTH_RADIUS_KM * (lat - self.ref_lat_rad),
+        )
+    }
+
+    /// Inverse projection: planar km back to `(lat, lon)` degrees.
+    pub fn to_wgs84(&self, p: &Location) -> (f64, f64) {
+        let lat = self.ref_lat_rad + p.y / EARTH_RADIUS_KM;
+        let lon = self.ref_lon_rad + p.x / (EARTH_RADIUS_KM * self.cos_ref_lat);
+        (lat.to_degrees(), lon.to_degrees())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::haversine_km;
+
+    #[test]
+    fn anchor_maps_to_origin() {
+        let p = Projector::new(40.0, -74.0);
+        let loc = p.to_plane(40.0, -74.0);
+        assert!(loc.distance_km(&Location::ORIGIN) < 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let p = Projector::new(37.77, -122.42);
+        let loc = p.to_plane(37.80, -122.30);
+        let (lat, lon) = p.to_wgs84(&loc);
+        assert!((lat - 37.80).abs() < 1e-9);
+        assert!((lon - (-122.30)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn planar_distance_approximates_haversine_locally() {
+        let p = Projector::new(48.8566, 2.3522); // Paris
+        let a_geo = Location::new(48.8566, 2.3522);
+        let b_geo = Location::new(48.90, 2.40); // a few km away
+        let a = p.to_plane(a_geo.x, a_geo.y);
+        let b = p.to_plane(b_geo.x, b_geo.y);
+        let planar = a.distance_km(&b);
+        let sphere = haversine_km(&a_geo, &b_geo);
+        assert!(
+            (planar - sphere).abs() / sphere < 0.01,
+            "planar {planar} vs sphere {sphere}"
+        );
+    }
+
+    #[test]
+    fn north_is_positive_y_east_positive_x() {
+        let p = Projector::new(0.0, 0.0);
+        let north = p.to_plane(1.0, 0.0);
+        let east = p.to_plane(0.0, 1.0);
+        assert!(north.y > 0.0 && north.x.abs() < 1e-9);
+        assert!(east.x > 0.0 && east.y.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the grid index: it must agree with brute force
+//! on arbitrary point clouds, query centres, radii, and cell sizes.
+
+use proptest::prelude::*;
+use sc_spatial::GridIndex;
+use sc_types::Location;
+
+fn locations(n: usize) -> impl Strategy<Value = Vec<Location>> {
+    prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 0..n)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Location::new(x, y)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn range_query_matches_brute_force(
+        pts in locations(120),
+        qx in -60.0f64..60.0,
+        qy in -60.0f64..60.0,
+        radius in 0.0f64..80.0,
+        cell in 0.3f64..12.0,
+    ) {
+        let idx = GridIndex::build(&pts, cell);
+        let centre = Location::new(qx, qy);
+        let mut got = idx.within_radius(&centre, radius);
+        got.sort_unstable();
+        let mut expect: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance_km(&centre) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force(
+        pts in locations(80),
+        qx in -100.0f64..100.0,
+        qy in -100.0f64..100.0,
+        cell in 0.5f64..10.0,
+    ) {
+        let idx = GridIndex::build(&pts, cell);
+        let q = Location::new(qx, qy);
+        let got = idx.nearest(&q);
+        let expect = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p.distance_km(&q)))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        match (got, expect) {
+            (None, None) => {}
+            (Some((gi, gd)), Some((ei, ed))) => {
+                // Distances must agree exactly; the index may differ only if
+                // distances tie.
+                prop_assert!((gd - ed).abs() < 1e-9, "distance {gd} vs {ed}");
+                if (gd - ed).abs() < 1e-12 && gi != ei {
+                    prop_assert!((pts[gi].distance_km(&q) - ed).abs() < 1e-9);
+                }
+            }
+            (g, e) => prop_assert!(false, "mismatch: {:?} vs {:?}", g, e),
+        }
+    }
+
+    #[test]
+    fn count_is_monotone_in_radius(
+        pts in locations(60),
+        qx in -50.0f64..50.0,
+        qy in -50.0f64..50.0,
+        r1 in 0.0f64..40.0,
+        dr in 0.0f64..40.0,
+    ) {
+        let idx = GridIndex::build(&pts, 2.0);
+        let q = Location::new(qx, qy);
+        prop_assert!(idx.count_within(&q, r1) <= idx.count_within(&q, r1 + dr));
+    }
+}

@@ -1,0 +1,152 @@
+//! Walker's alias method for O(1) weighted sampling.
+
+use rand::{Rng, RngExt};
+
+/// A precomputed alias table over `n` outcomes with arbitrary non-negative
+/// weights. Construction is O(n); each sample is O(1).
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds a table from weights. Panics when the weights are empty, any
+    /// weight is negative/NaN, or all weights are zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let n = weights.len();
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0 && w.is_finite(), "weights must be finite and >= 0");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "at least one weight must be positive");
+
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical leftovers: pin to 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true: construction forbids it).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Samples an outcome index in `0..len()`.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn empirical(weights: &[f64], trials: usize) -> Vec<f64> {
+        let table = AliasTable::new(weights);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..trials {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / trials as f64).collect()
+    }
+
+    #[test]
+    fn frequencies_match_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let total: f64 = weights.iter().sum();
+        let freq = empirical(&weights, 400_000);
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(
+                (freq[i] - w / total).abs() < 0.005,
+                "outcome {i}: {} vs {}",
+                freq[i],
+                w / total
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weights_never_sampled() {
+        let freq = empirical(&[0.0, 1.0, 0.0, 1.0], 50_000);
+        assert_eq!(freq[0], 0.0);
+        assert_eq!(freq[2], 0.0);
+    }
+
+    #[test]
+    fn single_outcome_always_chosen() {
+        let freq = empirical(&[42.0], 1_000);
+        assert_eq!(freq[0], 1.0);
+    }
+
+    #[test]
+    fn uniform_weights() {
+        let freq = empirical(&[5.0; 8], 200_000);
+        for f in freq {
+            assert!((f - 0.125).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_panics() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn all_zero_panics() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_weight_panics() {
+        let _ = AliasTable::new(&[1.0, -0.1]);
+    }
+}

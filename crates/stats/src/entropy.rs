@@ -1,0 +1,72 @@
+//! Shannon entropy helpers.
+//!
+//! Location entropy (paper Section IV-B) is the Shannon entropy of the
+//! visit distribution at a task's location:
+//! `s.e = −Σ_w P_s(w) ln P_s(w)` with `P_s(w) = Num_w / Num_s`.
+
+/// Entropy in nats of a probability vector. Zero-probability entries are
+/// skipped; the input is *not* renormalized (callers pass probabilities).
+pub fn entropy_from_probs(probs: &[f64]) -> f64 {
+    -probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * p.ln())
+        .sum::<f64>()
+}
+
+/// Entropy in nats of a count vector, normalizing internally.
+/// Returns 0 for an empty or all-zero vector.
+pub fn entropy_from_counts(counts: &[u32]) -> f64 {
+    let total: u64 = counts.iter().map(|&c| c as u64).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    -counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total;
+            p * p.ln()
+        })
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_distribution_maximizes_entropy() {
+        let h4 = entropy_from_counts(&[1, 1, 1, 1]);
+        assert!((h4 - (4.0f64).ln()).abs() < 1e-12);
+        let skewed = entropy_from_counts(&[97, 1, 1, 1]);
+        assert!(skewed < h4);
+    }
+
+    #[test]
+    fn single_visitor_has_zero_entropy() {
+        assert_eq!(entropy_from_counts(&[5]), 0.0);
+        assert_eq!(entropy_from_counts(&[5, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn empty_and_zero_counts() {
+        assert_eq!(entropy_from_counts(&[]), 0.0);
+        assert_eq!(entropy_from_counts(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn probs_and_counts_agree() {
+        let counts = [2u32, 3, 5];
+        let probs = [0.2, 0.3, 0.5];
+        assert!((entropy_from_counts(&counts) - entropy_from_probs(&probs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_is_nonnegative() {
+        for counts in [[1u32, 0, 0], [3, 1, 9], [1, 1, 1]] {
+            assert!(entropy_from_counts(&counts) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Fixed-width histograms for distribution sanity checks in the harness
+//! and dataset generators.
+
+/// A histogram with equal-width bins over `[lo, hi)`; values outside the
+/// range land in saturating underflow/overflow bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram; panics unless `lo < hi` and `bins > 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "lo must be < hi");
+        assert!(bins > 0, "need at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let i = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[i] += 1;
+        }
+    }
+
+    /// Bin counts (excluding under/overflow).
+    #[inline]
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below `lo`.
+    #[inline]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    #[inline]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `(lower, upper)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+    }
+
+    /// Fraction of in-range mass at or below bin `i` (empirical CDF).
+    pub fn cdf_at_bin(&self, i: usize) -> f64 {
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            return 0.0;
+        }
+        let cum: u64 = self.bins[..=i.min(self.bins.len() - 1)].iter().sum();
+        cum as f64 / in_range as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_range() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 5.5, 9.999] {
+            h.push(x);
+        }
+        assert_eq!(h.bins(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn out_of_range_saturates() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(-0.1);
+        h.push(1.0); // hi is exclusive
+        h.push(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bins().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn edges_are_uniform() {
+        let h = Histogram::new(2.0, 12.0, 5);
+        assert_eq!(h.bin_edges(0), (2.0, 4.0));
+        assert_eq!(h.bin_edges(4), (10.0, 12.0));
+    }
+
+    #[test]
+    fn cdf_reaches_one() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for x in [0.5, 1.5, 2.5, 3.5] {
+            h.push(x);
+        }
+        assert!((h.cdf_at_bin(0) - 0.25).abs() < 1e-12);
+        assert!((h.cdf_at_bin(3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must be < hi")]
+    fn inverted_range_panics() {
+        let _ = Histogram::new(1.0, 0.0, 3);
+    }
+}

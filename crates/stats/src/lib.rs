@@ -1,0 +1,36 @@
+//! # sc-stats — statistics substrate
+//!
+//! Self-contained statistical building blocks used across the workspace:
+//!
+//! * [`Pareto`] — the movement-probability density of the Historical
+//!   Acceptance model (paper Section III-B2), including the maximum
+//!   likelihood estimator of the shape parameter (paper Eq. 1).
+//! * [`Zipf`] — skewed categorical sampling for the synthetic datasets
+//!   (category popularity, venue popularity).
+//! * [`AliasTable`] — O(1) weighted sampling (Walker's alias method),
+//!   used by the dataset generators and the cascade simulator.
+//! * [`entropy`] — Shannon entropy (location entropy, paper Section IV-B).
+//! * [`OnlineMoments`] / [`Summary`] — streaming mean/variance for the
+//!   experiment harness.
+//! * [`Histogram`] — fixed-width binning for distribution sanity checks.
+//! * [`power_iteration`] — stationary distributions of row-stochastic
+//!   matrices (the RWR model of Section III-B1).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod alias;
+pub mod entropy;
+pub mod histogram;
+pub mod moments;
+pub mod pareto;
+pub mod power_iter;
+pub mod zipf;
+
+pub use alias::AliasTable;
+pub use entropy::{entropy_from_counts, entropy_from_probs};
+pub use histogram::Histogram;
+pub use moments::{OnlineMoments, Summary};
+pub use pareto::Pareto;
+pub use power_iter::{power_iteration, PowerIterationResult};
+pub use zipf::Zipf;

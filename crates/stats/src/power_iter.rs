@@ -1,0 +1,212 @@
+//! Power iteration for stationary distributions.
+//!
+//! The Historical-Acceptance model (paper Section III-B1) computes the
+//! probability that a worker "stays at" each previously visited location
+//! as the stationary distribution of a Random-Walk-with-Restart chain over
+//! the worker's visit history. This module solves the general problem:
+//! given a row-stochastic transition matrix `P` (dense, small `n`) and a
+//! restart vector `v` with damping `c`, iterate
+//!
+//! `π ← (1 − c) · πᵀP + c · v`
+//!
+//! until the L1 change drops below a tolerance.
+
+/// Outcome of a power iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerIterationResult {
+    /// The stationary distribution (sums to 1).
+    pub distribution: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final L1 change between successive iterates.
+    pub residual: f64,
+    /// Whether the tolerance was met within the iteration budget.
+    pub converged: bool,
+}
+
+/// Runs power iteration on a dense row-major row-stochastic matrix.
+///
+/// * `transition` — `n × n` row-major matrix; each row should sum to 1
+///   (rows summing to 0 are treated as teleporting to the restart vector).
+/// * `restart` — restart distribution `v` (must sum to ~1).
+/// * `damping` — restart probability `c ∈ [0, 1]`.
+/// * `tol` — L1 convergence tolerance.
+/// * `max_iter` — iteration budget.
+///
+/// Panics when dimensions disagree.
+pub fn power_iteration(
+    transition: &[f64],
+    n: usize,
+    restart: &[f64],
+    damping: f64,
+    tol: f64,
+    max_iter: usize,
+) -> PowerIterationResult {
+    assert_eq!(transition.len(), n * n, "matrix must be n×n");
+    assert_eq!(restart.len(), n, "restart vector must have length n");
+    assert!((0.0..=1.0).contains(&damping), "damping must be in [0,1]");
+    if n == 0 {
+        return PowerIterationResult {
+            distribution: Vec::new(),
+            iterations: 0,
+            residual: 0.0,
+            converged: true,
+        };
+    }
+
+    // Identify dangling rows (all-zero) once.
+    let mut dangling = vec![false; n];
+    for i in 0..n {
+        let row_sum: f64 = transition[i * n..(i + 1) * n].iter().sum();
+        dangling[i] = row_sum <= f64::EPSILON;
+    }
+
+    let mut pi = restart.to_vec();
+    let mut next = vec![0.0; n];
+    let mut residual = f64::INFINITY;
+
+    for iter in 1..=max_iter {
+        // next = (1-c) * (pi^T P + dangling mass * restart) + c * restart
+        next.fill(0.0);
+        let mut dangling_mass = 0.0;
+        for i in 0..n {
+            let p = pi[i];
+            if p == 0.0 {
+                continue;
+            }
+            if dangling[i] {
+                dangling_mass += p;
+                continue;
+            }
+            let row = &transition[i * n..(i + 1) * n];
+            for (j, &t) in row.iter().enumerate() {
+                if t != 0.0 {
+                    next[j] += p * t;
+                }
+            }
+        }
+        for j in 0..n {
+            next[j] = (1.0 - damping) * (next[j] + dangling_mass * restart[j])
+                + damping * restart[j];
+        }
+
+        residual = pi
+            .iter()
+            .zip(next.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        std::mem::swap(&mut pi, &mut next);
+
+        if residual < tol {
+            // Normalize against accumulated rounding.
+            let total: f64 = pi.iter().sum();
+            if total > 0.0 {
+                for x in &mut pi {
+                    *x /= total;
+                }
+            }
+            return PowerIterationResult {
+                distribution: pi,
+                iterations: iter,
+                residual,
+                converged: true,
+            };
+        }
+    }
+
+    let total: f64 = pi.iter().sum();
+    if total > 0.0 {
+        for x in &mut pi {
+            *x /= total;
+        }
+    }
+    PowerIterationResult {
+        distribution: pi,
+        iterations: max_iter,
+        residual,
+        converged: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize) -> Vec<f64> {
+        vec![1.0 / n as f64; n]
+    }
+
+    #[test]
+    fn two_state_chain_stationary() {
+        // P = [[0.9, 0.1], [0.5, 0.5]]; stationary (no restart) = (5/6, 1/6).
+        let p = [0.9, 0.1, 0.5, 0.5];
+        let r = power_iteration(&p, 2, &uniform(2), 0.0, 1e-12, 10_000);
+        assert!(r.converged);
+        assert!((r.distribution[0] - 5.0 / 6.0).abs() < 1e-9);
+        assert!((r.distribution[1] - 1.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_damping_returns_restart() {
+        let p = [0.0, 1.0, 1.0, 0.0];
+        let restart = [0.7, 0.3];
+        let r = power_iteration(&p, 2, &restart, 1.0, 1e-12, 100);
+        assert!(r.converged);
+        assert!((r.distribution[0] - 0.7).abs() < 1e-12);
+        assert!((r.distribution[1] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let p = [0.2, 0.8, 0.0, 0.6, 0.2, 0.2, 0.1, 0.4, 0.5];
+        let r = power_iteration(&p, 3, &uniform(3), 0.15, 1e-10, 10_000);
+        assert!(r.converged);
+        let total: f64 = r.distribution.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(r.distribution.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn dangling_rows_teleport() {
+        // State 1 has no outgoing mass; walk must not leak probability.
+        let p = [0.0, 1.0, 0.0, 0.0];
+        let r = power_iteration(&p, 2, &uniform(2), 0.1, 1e-12, 10_000);
+        assert!(r.converged);
+        let total: f64 = r.distribution.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(r.distribution[1] > r.distribution[0], "mass flows into 1");
+    }
+
+    #[test]
+    fn periodic_chain_needs_damping() {
+        // Pure 2-cycle never converges without damping from a point mass,
+        // but with damping it does.
+        let p = [0.0, 1.0, 1.0, 0.0];
+        let r = power_iteration(&p, 2, &uniform(2), 0.15, 1e-12, 10_000);
+        assert!(r.converged);
+        assert!((r.distribution[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let r = power_iteration(&[], 0, &[], 0.5, 1e-9, 10);
+        assert!(r.converged);
+        assert!(r.distribution.is_empty());
+    }
+
+    #[test]
+    fn single_state_is_trivial() {
+        let r = power_iteration(&[1.0], 1, &[1.0], 0.2, 1e-12, 100);
+        assert!(r.converged);
+        assert_eq!(r.distribution, vec![1.0]);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_nonconvergence() {
+        let p = [0.0, 1.0, 1.0, 0.0];
+        // One iteration from uniform already oscillates; tol impossible.
+        let r = power_iteration(&p, 2, &[1.0, 0.0], 0.0, 0.0, 3);
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 3);
+    }
+}

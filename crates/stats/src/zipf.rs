@@ -1,0 +1,129 @@
+//! Zipf-distributed sampling over ranks `1..=n`.
+//!
+//! Category popularity, venue popularity, and check-in frequency in real
+//! LBSN data are heavily skewed; the synthetic datasets reproduce that with
+//! Zipf marginals: `P(rank = k) ∝ k^{-s}`.
+
+use crate::alias::AliasTable;
+use rand::Rng;
+
+/// A Zipf distribution over `1..=n` with exponent `s ≥ 0`, backed by an
+/// alias table for O(1) sampling.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: usize,
+    exponent: f64,
+    table: AliasTable,
+}
+
+impl Zipf {
+    /// Creates a Zipf sampler; panics if `n == 0` or `s` is negative/NaN.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "support must be non-empty");
+        assert!(exponent >= 0.0 && exponent.is_finite(), "bad exponent");
+        let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-exponent)).collect();
+        Zipf {
+            n,
+            exponent,
+            table: AliasTable::new(&weights),
+        }
+    }
+
+    /// Support size.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Exponent `s`.
+    #[inline]
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability of rank `k` (1-based); zero outside the support.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 || k > self.n {
+            return 0.0;
+        }
+        let h: f64 = (1..=self.n).map(|j| (j as f64).powf(-self.exponent)).sum();
+        (k as f64).powf(-self.exponent) / h
+    }
+
+    /// Samples a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.table.sample(rng) + 1
+    }
+
+    /// Samples a 0-based index in `0..n` (convenience for array indexing).
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.table.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.1);
+        let total: f64 = (1..=50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(z.pmf(0), 0.0);
+        assert_eq!(z.pmf(51), 0.0);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for k in 1..=4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_pmf() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        let trials = 200_000;
+        for _ in 0..trials {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for k in 1..=10 {
+            let freq = counts[k - 1] as f64 / trials as f64;
+            assert!(
+                (freq - z.pmf(k)).abs() < 0.01,
+                "rank {k}: {freq} vs {}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn rank_one_is_most_likely() {
+        let z = Zipf::new(100, 1.5);
+        assert!(z.pmf(1) > z.pmf(2));
+        assert!(z.pmf(2) > z.pmf(50));
+    }
+
+    #[test]
+    fn sample_index_is_zero_based() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(z.sample_index(&mut rng) < 3);
+            let r = z.sample(&mut rng);
+            assert!((1..=3).contains(&r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "support must be non-empty")]
+    fn empty_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Worker-task affinity from topic distributions.
+//!
+//! `P_aff(w, s) = Σ_t P(w|t) · P(s|t)` (paper Section III-A): the inner
+//! product of the worker's and the task's inferred topic distributions.
+//! Correlated category preferences produce a large product; orthogonal
+//! ones approach zero.
+
+/// Inner-product affinity of two topic distributions.
+///
+/// Panics when lengths differ. Both inputs should be probability vectors
+/// (they need not be strictly normalized; the score is bilinear).
+pub fn topic_affinity(worker_topics: &[f64], task_topics: &[f64]) -> f64 {
+    assert_eq!(
+        worker_topics.len(),
+        task_topics.len(),
+        "topic distributions must have equal length"
+    );
+    worker_topics
+        .iter()
+        .zip(task_topics.iter())
+        .map(|(a, b)| a * b)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_peaked_distributions_score_high() {
+        let a = [0.9, 0.05, 0.05];
+        assert!(topic_affinity(&a, &a) > 0.8);
+    }
+
+    #[test]
+    fn orthogonal_distributions_score_low() {
+        let a = [1.0, 0.0, 0.0];
+        let b = [0.0, 1.0, 0.0];
+        assert_eq!(topic_affinity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn uniform_baseline() {
+        let u = [0.25; 4];
+        assert!((topic_affinity(&u, &u) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affinity_is_symmetric() {
+        let a = [0.7, 0.2, 0.1];
+        let b = [0.1, 0.3, 0.6];
+        assert_eq!(topic_affinity(&a, &b), topic_affinity(&b, &a));
+    }
+
+    #[test]
+    fn bounded_by_peak_alignment() {
+        // For probability vectors the affinity is at most 1 and at least 0.
+        let a = [0.5, 0.5];
+        let b = [0.9, 0.1];
+        let v = topic_affinity(&a, &b);
+        assert!(v > 0.0 && v < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = topic_affinity(&[0.5, 0.5], &[1.0]);
+    }
+}

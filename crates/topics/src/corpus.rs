@@ -1,0 +1,132 @@
+//! Corpora of word-id documents.
+//!
+//! Words are dense `u32` ids (the workspace maps `CategoryId` onto them
+//! one-to-one). A document is any bag of words; the trainer consumes the
+//! corpus in-place.
+
+/// A set of documents over a dense vocabulary `0..n_words`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Corpus {
+    docs: Vec<Vec<u32>>,
+    n_words: usize,
+}
+
+impl Corpus {
+    /// Creates an empty corpus over a vocabulary of `n_words` words.
+    pub fn new(n_words: usize) -> Self {
+        Corpus {
+            docs: Vec::new(),
+            n_words,
+        }
+    }
+
+    /// Builds a corpus from documents, inferring the vocabulary size as
+    /// `max word id + 1`.
+    pub fn from_documents(docs: Vec<Vec<u32>>) -> Self {
+        let n_words = docs
+            .iter()
+            .flat_map(|d| d.iter())
+            .map(|&w| w as usize + 1)
+            .max()
+            .unwrap_or(0);
+        Corpus { docs, n_words }
+    }
+
+    /// Appends a document; panics if a word id exceeds the vocabulary.
+    pub fn push(&mut self, doc: Vec<u32>) {
+        assert!(
+            doc.iter().all(|&w| (w as usize) < self.n_words),
+            "word id out of vocabulary"
+        );
+        self.docs.push(doc);
+    }
+
+    /// Number of documents.
+    #[inline]
+    pub fn n_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Vocabulary size.
+    #[inline]
+    pub fn n_words(&self) -> usize {
+        self.n_words
+    }
+
+    /// Total token count across all documents.
+    pub fn n_tokens(&self) -> usize {
+        self.docs.iter().map(Vec::len).sum()
+    }
+
+    /// The documents.
+    #[inline]
+    pub fn documents(&self) -> &[Vec<u32>] {
+        &self.docs
+    }
+
+    /// One document.
+    #[inline]
+    pub fn document(&self, i: usize) -> &[u32] {
+        &self.docs[i]
+    }
+
+    /// Per-word corpus frequencies.
+    pub fn word_frequencies(&self) -> Vec<u32> {
+        let mut freq = vec![0u32; self.n_words];
+        for doc in &self.docs {
+            for &w in doc {
+                freq[w as usize] += 1;
+            }
+        }
+        freq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_documents_infers_vocab() {
+        let c = Corpus::from_documents(vec![vec![0, 2], vec![5]]);
+        assert_eq!(c.n_words(), 6);
+        assert_eq!(c.n_docs(), 2);
+        assert_eq!(c.n_tokens(), 3);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let c = Corpus::from_documents(vec![]);
+        assert_eq!(c.n_words(), 0);
+        assert_eq!(c.n_docs(), 0);
+        assert_eq!(c.n_tokens(), 0);
+    }
+
+    #[test]
+    fn push_validates_vocab() {
+        let mut c = Corpus::new(3);
+        c.push(vec![0, 1, 2]);
+        assert_eq!(c.document(0), &[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn push_rejects_oov() {
+        let mut c = Corpus::new(2);
+        c.push(vec![2]);
+    }
+
+    #[test]
+    fn word_frequencies_count_tokens() {
+        let c = Corpus::from_documents(vec![vec![0, 0, 1], vec![1, 2]]);
+        assert_eq!(c.word_frequencies(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn empty_documents_are_allowed() {
+        let mut c = Corpus::new(4);
+        c.push(vec![]);
+        assert_eq!(c.n_docs(), 1);
+        assert_eq!(c.n_tokens(), 0);
+    }
+}

@@ -1,0 +1,393 @@
+//! Collapsed Gibbs sampling for LDA.
+//!
+//! The sampler maintains the standard count matrices and resamples every
+//! token's topic from
+//!
+//! `P(z = k | rest) ∝ (n_dk + α) · (n_kw + β) / (n_k + Vβ)`
+//!
+//! where `n_dk` counts tokens of document `d` in topic `k`, `n_kw` counts
+//! word `w` in topic `k`, and `n_k` is the size of topic `k`. After the
+//! configured sweeps the trainer freezes `φ` (topic-word) and `θ`
+//! (document-topic) point estimates.
+
+use crate::corpus::Corpus;
+use rand::{Rng, RngExt};
+
+/// Hyper-parameters of the trainer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LdaParams {
+    /// Number of topics `|Top|` (paper default 50).
+    pub n_topics: usize,
+    /// Symmetric document-topic prior `α` (default `50 / n_topics`).
+    pub alpha: f64,
+    /// Symmetric topic-word prior `β` (default 0.01).
+    pub beta: f64,
+    /// Gibbs sweeps over the corpus.
+    pub sweeps: usize,
+}
+
+impl LdaParams {
+    /// Defaults matching the paper (|Top| = 50) and common LDA practice.
+    pub fn with_topics(n_topics: usize) -> Self {
+        assert!(n_topics > 0, "need at least one topic");
+        LdaParams {
+            n_topics,
+            alpha: 50.0 / n_topics as f64,
+            beta: 0.01,
+            sweeps: 100,
+        }
+    }
+
+    /// Overrides the sweep count.
+    #[must_use]
+    pub fn sweeps(mut self, sweeps: usize) -> Self {
+        self.sweeps = sweeps;
+        self
+    }
+
+    /// Overrides the priors.
+    #[must_use]
+    pub fn priors(mut self, alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && beta > 0.0, "priors must be positive");
+        self.alpha = alpha;
+        self.beta = beta;
+        self
+    }
+}
+
+/// The collapsed Gibbs trainer.
+#[derive(Debug, Clone)]
+pub struct LdaTrainer {
+    params: LdaParams,
+}
+
+impl LdaTrainer {
+    /// Creates a trainer.
+    pub fn new(params: LdaParams) -> Self {
+        LdaTrainer { params }
+    }
+
+    /// Trains a model on `corpus`. Deterministic given the RNG state.
+    pub fn train<R: Rng + ?Sized>(&self, corpus: &Corpus, rng: &mut R) -> LdaModel {
+        let k = self.params.n_topics;
+        let v = corpus.n_words().max(1);
+        let d = corpus.n_docs();
+        let alpha = self.params.alpha;
+        let beta = self.params.beta;
+
+        // Count matrices.
+        let mut doc_topic = vec![0u32; d * k]; // n_dk
+        let mut topic_word = vec![0u32; k * v]; // n_kw
+        let mut topic_total = vec![0u32; k]; // n_k
+        let mut assignments: Vec<Vec<u32>> = Vec::with_capacity(d);
+
+        // Random initialization.
+        for (di, doc) in corpus.documents().iter().enumerate() {
+            let mut z = Vec::with_capacity(doc.len());
+            for &w in doc {
+                let t = rng.random_range(0..k);
+                z.push(t as u32);
+                doc_topic[di * k + t] += 1;
+                topic_word[t * v + w as usize] += 1;
+                topic_total[t] += 1;
+            }
+            assignments.push(z);
+        }
+
+        // Gibbs sweeps.
+        let mut weights = vec![0.0f64; k];
+        for _sweep in 0..self.params.sweeps {
+            for (di, doc) in corpus.documents().iter().enumerate() {
+                for (ti, &w) in doc.iter().enumerate() {
+                    let old = assignments[di][ti] as usize;
+                    // Remove the token from the counts.
+                    doc_topic[di * k + old] -= 1;
+                    topic_word[old * v + w as usize] -= 1;
+                    topic_total[old] -= 1;
+
+                    // Conditional distribution.
+                    let mut total = 0.0;
+                    for t in 0..k {
+                        let wgt = (doc_topic[di * k + t] as f64 + alpha)
+                            * (topic_word[t * v + w as usize] as f64 + beta)
+                            / (topic_total[t] as f64 + v as f64 * beta);
+                        weights[t] = wgt;
+                        total += wgt;
+                    }
+                    let mut u = rng.random::<f64>() * total;
+                    let mut new = k - 1;
+                    for (t, &wgt) in weights.iter().enumerate() {
+                        u -= wgt;
+                        if u <= 0.0 {
+                            new = t;
+                            break;
+                        }
+                    }
+
+                    assignments[di][ti] = new as u32;
+                    doc_topic[di * k + new] += 1;
+                    topic_word[new * v + w as usize] += 1;
+                    topic_total[new] += 1;
+                }
+            }
+        }
+
+        // Point estimates.
+        let mut phi = vec![0.0f64; k * v];
+        for t in 0..k {
+            let denom = topic_total[t] as f64 + v as f64 * beta;
+            for w in 0..v {
+                phi[t * v + w] = (topic_word[t * v + w] as f64 + beta) / denom;
+            }
+        }
+        let mut theta = vec![0.0f64; d * k];
+        for di in 0..d {
+            let len: u32 = doc_topic[di * k..(di + 1) * k].iter().sum();
+            let denom = len as f64 + k as f64 * alpha;
+            for t in 0..k {
+                theta[di * k + t] = (doc_topic[di * k + t] as f64 + alpha) / denom;
+            }
+        }
+
+        LdaModel {
+            n_topics: k,
+            n_words: v,
+            alpha,
+            beta,
+            phi,
+            theta,
+            n_docs: d,
+        }
+    }
+}
+
+/// A trained LDA model: frozen `φ` plus the training-document `θ`s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LdaModel {
+    n_topics: usize,
+    n_words: usize,
+    alpha: f64,
+    beta: f64,
+    /// Row-major `n_topics × n_words` topic-word distribution.
+    phi: Vec<f64>,
+    /// Row-major `n_docs × n_topics` document-topic distribution.
+    theta: Vec<f64>,
+    n_docs: usize,
+}
+
+impl LdaModel {
+    /// Number of topics.
+    #[inline]
+    pub fn n_topics(&self) -> usize {
+        self.n_topics
+    }
+
+    /// Vocabulary size.
+    #[inline]
+    pub fn n_words(&self) -> usize {
+        self.n_words
+    }
+
+    /// Number of training documents.
+    #[inline]
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// `P(w | t)` for topic `t`.
+    #[inline]
+    pub fn topic_word(&self, t: usize, w: usize) -> f64 {
+        self.phi[t * self.n_words + w]
+    }
+
+    /// The topic distribution `θ_d` of training document `d`.
+    #[inline]
+    pub fn doc_topics(&self, d: usize) -> &[f64] {
+        &self.theta[d * self.n_topics..(d + 1) * self.n_topics]
+    }
+
+    /// Infers the topic distribution of an unseen document by fold-in
+    /// Gibbs sampling with `φ` held fixed. Deterministic given the RNG.
+    ///
+    /// Empty documents (and out-of-vocabulary-only documents) return the
+    /// uniform prior distribution.
+    pub fn infer<R: Rng + ?Sized>(&self, doc: &[u32], sweeps: usize, rng: &mut R) -> Vec<f64> {
+        let k = self.n_topics;
+        let tokens: Vec<u32> = doc
+            .iter()
+            .copied()
+            .filter(|&w| (w as usize) < self.n_words)
+            .collect();
+        if tokens.is_empty() {
+            return vec![1.0 / k as f64; k];
+        }
+
+        let mut counts = vec![0u32; k];
+        let mut z = Vec::with_capacity(tokens.len());
+        for _ in &tokens {
+            let t = rng.random_range(0..k);
+            z.push(t);
+            counts[t] += 1;
+        }
+
+        let mut weights = vec![0.0f64; k];
+        for _ in 0..sweeps.max(1) {
+            for (i, &w) in tokens.iter().enumerate() {
+                counts[z[i]] -= 1;
+                let mut total = 0.0;
+                for t in 0..k {
+                    let wgt =
+                        (counts[t] as f64 + self.alpha) * self.topic_word(t, w as usize);
+                    weights[t] = wgt;
+                    total += wgt;
+                }
+                let mut u = rng.random::<f64>() * total;
+                let mut new = k - 1;
+                for (t, &wgt) in weights.iter().enumerate() {
+                    u -= wgt;
+                    if u <= 0.0 {
+                        new = t;
+                        break;
+                    }
+                }
+                z[i] = new;
+                counts[new] += 1;
+            }
+        }
+
+        let denom = tokens.len() as f64 + k as f64 * self.alpha;
+        (0..k)
+            .map(|t| (counts[t] as f64 + self.alpha) / denom)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Two cleanly separated "themes": words 0-4 and words 5-9. Documents
+    /// draw exclusively from one theme.
+    fn themed_corpus() -> Corpus {
+        let mut docs = Vec::new();
+        for i in 0..30 {
+            let base = if i % 2 == 0 { 0u32 } else { 5u32 };
+            docs.push((0..40).map(|j| base + (j % 5) as u32).collect());
+        }
+        Corpus::from_documents(docs)
+    }
+
+    fn train(corpus: &Corpus, k: usize, seed: u64) -> LdaModel {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // The 50/k heuristic is tuned for ~50 topics; with the tiny k used
+        // in tests it over-smooths θ, so pin a small α here.
+        LdaTrainer::new(LdaParams::with_topics(k).priors(0.5, 0.01).sweeps(150))
+            .train(corpus, &mut rng)
+    }
+
+    #[test]
+    fn phi_rows_are_distributions() {
+        let model = train(&themed_corpus(), 4, 1);
+        for t in 0..model.n_topics() {
+            let sum: f64 = (0..model.n_words()).map(|w| model.topic_word(t, w)).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "topic {t} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn theta_rows_are_distributions() {
+        let model = train(&themed_corpus(), 4, 1);
+        for d in 0..model.n_docs() {
+            let sum: f64 = model.doc_topics(d).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn recovers_two_themes() {
+        // With 2 topics on the themed corpus, same-theme documents must be
+        // much more similar than cross-theme ones.
+        let corpus = themed_corpus();
+        let model = train(&corpus, 2, 7);
+        let d0 = model.doc_topics(0); // theme A
+        let d2 = model.doc_topics(2); // theme A
+        let d1 = model.doc_topics(1); // theme B
+        let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
+        assert!(
+            dot(d0, d2) > 3.0 * dot(d0, d1),
+            "same-theme {} vs cross-theme {}",
+            dot(d0, d2),
+            dot(d0, d1)
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let corpus = themed_corpus();
+        let a = train(&corpus, 3, 42);
+        let b = train(&corpus, 3, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn inference_assigns_theme_topic() {
+        let corpus = themed_corpus();
+        let model = train(&corpus, 2, 7);
+        let mut rng = SmallRng::seed_from_u64(3);
+        // A fresh theme-A document should look like training theme-A docs.
+        let theta = model.infer(&[0, 1, 2, 3, 4, 0, 1, 2, 3, 4], 50, &mut rng);
+        let train_theta = model.doc_topics(0);
+        let dominant_train = (0..2).max_by(|&a, &b| {
+            train_theta[a].total_cmp(&train_theta[b])
+        }).unwrap();
+        let dominant_new = (0..2).max_by(|&a, &b| theta[a].total_cmp(&theta[b])).unwrap();
+        assert_eq!(dominant_new, dominant_train);
+    }
+
+    #[test]
+    fn inference_on_empty_doc_is_uniform() {
+        let model = train(&themed_corpus(), 4, 2);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let theta = model.infer(&[], 10, &mut rng);
+        for &p in &theta {
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inference_skips_out_of_vocab_words() {
+        let model = train(&themed_corpus(), 2, 2);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let theta = model.infer(&[999, 1000], 10, &mut rng);
+        assert!((theta[0] - 0.5).abs() < 1e-12, "OOV-only doc is uniform");
+        let sum: f64 = theta.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_topic_degenerates_gracefully() {
+        let model = train(&themed_corpus(), 1, 5);
+        assert_eq!(model.doc_topics(0), &[1.0]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(model.infer(&[1, 2], 5, &mut rng), vec![1.0]);
+    }
+
+    #[test]
+    fn handles_empty_corpus() {
+        let corpus = Corpus::from_documents(vec![]);
+        let model = train(&corpus, 3, 0);
+        assert_eq!(model.n_docs(), 0);
+        // Inference still works against the prior.
+        let mut rng = SmallRng::seed_from_u64(0);
+        let theta = model.infer(&[], 5, &mut rng);
+        assert_eq!(theta.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one topic")]
+    fn zero_topics_panics() {
+        let _ = LdaParams::with_topics(0);
+    }
+}

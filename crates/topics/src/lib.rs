@@ -1,0 +1,29 @@
+//! # sc-topics — Latent Dirichlet Allocation for worker-task affinity
+//!
+//! Paper Section III-A measures a worker's affinity towards a task by
+//! training an LDA topic model in which
+//!
+//! * a **word** is a task category,
+//! * a **document** is the category multiset of all tasks a worker has
+//!   performed (`dc_w`), and
+//! * a task's document is its own category labels (`dc_s`).
+//!
+//! The affinity is the inner product of topic distributions
+//! (`P_aff(w, s) = Σ_t P(w|t) · P(s|t)`, paper's notation; operationally
+//! both factors are the inferred document-topic proportions).
+//!
+//! The model is a from-scratch collapsed Gibbs sampler ([`LdaTrainer`])
+//! with symmetric Dirichlet priors, plus fold-in inference for unseen
+//! documents ([`LdaModel::infer`]) so that tasks appearing at assignment
+//! time can be scored online.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod affinity;
+pub mod corpus;
+pub mod gibbs;
+
+pub use affinity::topic_affinity;
+pub use corpus::Corpus;
+pub use gibbs::{LdaModel, LdaParams, LdaTrainer};

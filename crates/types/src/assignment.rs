@@ -1,0 +1,206 @@
+//! Task assignments (paper Definition 4).
+
+use crate::{TaskId, WorkerId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One assigned pair `(s, w)` together with the quantities the evaluation
+/// metrics need: the worker-task influence of the pair and the worker's
+/// travel distance to the task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AssignmentPair {
+    /// The assigned task.
+    pub task: TaskId,
+    /// The worker the task is assigned to.
+    pub worker: WorkerId,
+    /// Worker-task influence `if(w, s)` of the pair.
+    pub influence: f64,
+    /// Travel distance `d(w.l, s.l)` in km.
+    pub distance_km: f64,
+}
+
+/// A task assignment `A`: worker-task pairs in which each worker and each
+/// task appears at most once.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    pairs: Vec<AssignmentPair>,
+}
+
+impl Assignment {
+    /// Creates an empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an assignment from pairs, panicking (in debug builds) if a
+    /// worker or task repeats. Use [`Assignment::try_from_pairs`] for a
+    /// checked build.
+    pub fn from_pairs(pairs: Vec<AssignmentPair>) -> Self {
+        debug_assert!(Self::pairs_are_valid(&pairs), "duplicate worker or task");
+        Assignment { pairs }
+    }
+
+    /// Builds an assignment, returning `None` when a worker or task repeats.
+    pub fn try_from_pairs(pairs: Vec<AssignmentPair>) -> Option<Self> {
+        Self::pairs_are_valid(&pairs).then_some(Assignment { pairs })
+    }
+
+    fn pairs_are_valid(pairs: &[AssignmentPair]) -> bool {
+        let mut workers = HashSet::with_capacity(pairs.len());
+        let mut tasks = HashSet::with_capacity(pairs.len());
+        pairs
+            .iter()
+            .all(|p| workers.insert(p.worker) && tasks.insert(p.task))
+    }
+
+    /// Adds a pair; returns false (and ignores the pair) if the worker or
+    /// task is already used.
+    pub fn push(&mut self, pair: AssignmentPair) -> bool {
+        let clash = self
+            .pairs
+            .iter()
+            .any(|p| p.worker == pair.worker || p.task == pair.task);
+        if clash {
+            return false;
+        }
+        self.pairs.push(pair);
+        true
+    }
+
+    /// The assigned pairs.
+    #[inline]
+    pub fn pairs(&self) -> &[AssignmentPair] {
+        &self.pairs
+    }
+
+    /// `|A|`, the number of assigned tasks — the primary objective.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no task was assigned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Total worker-task influence `Σ if(w,s)` — the secondary objective.
+    pub fn total_influence(&self) -> f64 {
+        self.pairs.iter().map(|p| p.influence).sum()
+    }
+
+    /// Average Influence `AI = Σ if(w,s) / |A|` (paper Eq. 6). Zero for an
+    /// empty assignment.
+    pub fn average_influence(&self) -> f64 {
+        if self.pairs.is_empty() {
+            0.0
+        } else {
+            self.total_influence() / self.pairs.len() as f64
+        }
+    }
+
+    /// Average travel distance in km. Zero for an empty assignment.
+    pub fn average_travel_km(&self) -> f64 {
+        if self.pairs.is_empty() {
+            0.0
+        } else {
+            self.pairs.iter().map(|p| p.distance_km).sum::<f64>() / self.pairs.len() as f64
+        }
+    }
+
+    /// The worker assigned to `task`, if any.
+    pub fn worker_of(&self, task: TaskId) -> Option<WorkerId> {
+        self.pairs.iter().find(|p| p.task == task).map(|p| p.worker)
+    }
+
+    /// The task assigned to `worker`, if any.
+    pub fn task_of(&self, worker: WorkerId) -> Option<TaskId> {
+        self.pairs
+            .iter()
+            .find(|p| p.worker == worker)
+            .map(|p| p.task)
+    }
+
+    /// Merges another assignment into this one, skipping clashing pairs.
+    /// Returns the number of pairs actually merged.
+    pub fn merge(&mut self, other: &Assignment) -> usize {
+        other.pairs.iter().filter(|p| self.push(**p)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(task: u32, worker: u32, inf: f64, dist: f64) -> AssignmentPair {
+        AssignmentPair {
+            task: TaskId::new(task),
+            worker: WorkerId::new(worker),
+            influence: inf,
+            distance_km: dist,
+        }
+    }
+
+    #[test]
+    fn push_rejects_duplicates() {
+        let mut a = Assignment::new();
+        assert!(a.push(pair(0, 0, 1.0, 1.0)));
+        assert!(!a.push(pair(0, 1, 1.0, 1.0)), "task reuse rejected");
+        assert!(!a.push(pair(1, 0, 1.0, 1.0)), "worker reuse rejected");
+        assert!(a.push(pair(1, 1, 2.0, 3.0)));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn try_from_pairs_validates() {
+        assert!(Assignment::try_from_pairs(vec![pair(0, 0, 1.0, 0.0), pair(1, 0, 1.0, 0.0)])
+            .is_none());
+        let a = Assignment::try_from_pairs(vec![pair(0, 0, 1.0, 0.0), pair(1, 1, 1.0, 0.0)])
+            .unwrap();
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn running_example_influences() {
+        // Paper Figure 1: greedy = {(s4,w3),(s5,w5)} → 1.67 + 0.85 = 2.52,
+        // influence-aware = {(s4,w4),(s5,w5)} → 4.25 + 0.85 = 5.10.
+        let greedy =
+            Assignment::from_pairs(vec![pair(4, 3, 1.67, 0.5), pair(5, 5, 0.85, 0.5)]);
+        let ita = Assignment::from_pairs(vec![pair(4, 4, 4.25, 0.7), pair(5, 5, 0.85, 0.5)]);
+        assert!((greedy.total_influence() - 2.52).abs() < 1e-12);
+        assert!((ita.total_influence() - 5.10).abs() < 1e-12);
+        assert!(ita.average_influence() > greedy.average_influence());
+    }
+
+    #[test]
+    fn averages_on_empty_are_zero() {
+        let a = Assignment::new();
+        assert_eq!(a.average_influence(), 0.0);
+        assert_eq!(a.average_travel_km(), 0.0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn lookups() {
+        let a = Assignment::from_pairs(vec![pair(3, 7, 1.0, 2.0)]);
+        assert_eq!(a.worker_of(TaskId::new(3)), Some(WorkerId::new(7)));
+        assert_eq!(a.task_of(WorkerId::new(7)), Some(TaskId::new(3)));
+        assert_eq!(a.worker_of(TaskId::new(4)), None);
+        assert_eq!(a.task_of(WorkerId::new(8)), None);
+    }
+
+    #[test]
+    fn merge_skips_clashes() {
+        let mut a = Assignment::from_pairs(vec![pair(0, 0, 1.0, 0.0)]);
+        let b = Assignment::from_pairs(vec![pair(0, 1, 1.0, 0.0), pair(2, 2, 1.0, 0.0)]);
+        assert_eq!(a.merge(&b), 1);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn average_travel_is_mean_distance() {
+        let a = Assignment::from_pairs(vec![pair(0, 0, 1.0, 2.0), pair(1, 1, 1.0, 4.0)]);
+        assert!((a.average_travel_km() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,87 @@
+//! Workspace error type.
+
+use std::fmt;
+
+/// Errors surfaced by the DITA workspace crates.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScError {
+    /// A model was queried before being trained/fitted.
+    NotFitted(&'static str),
+    /// An input violated a documented precondition.
+    InvalidInput(String),
+    /// An entity id was out of range for the population it indexes.
+    UnknownId(String),
+    /// Numerical failure (non-convergence, NaN, empty sample).
+    Numerical(String),
+    /// Dataset parsing / IO failure.
+    Data(String),
+}
+
+impl ScError {
+    /// Convenience constructor for [`ScError::InvalidInput`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        ScError::InvalidInput(msg.into())
+    }
+
+    /// Convenience constructor for [`ScError::Numerical`].
+    pub fn numerical(msg: impl Into<String>) -> Self {
+        ScError::Numerical(msg.into())
+    }
+
+    /// Convenience constructor for [`ScError::Data`].
+    pub fn data(msg: impl Into<String>) -> Self {
+        ScError::Data(msg.into())
+    }
+}
+
+impl fmt::Display for ScError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScError::NotFitted(what) => write!(f, "{what} has not been fitted yet"),
+            ScError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            ScError::UnknownId(msg) => write!(f, "unknown id: {msg}"),
+            ScError::Numerical(msg) => write!(f, "numerical error: {msg}"),
+            ScError::Data(msg) => write!(f, "data error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScError {}
+
+impl From<std::io::Error> for ScError {
+    fn from(e: std::io::Error) -> Self {
+        ScError::Data(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            ScError::NotFitted("LDA model").to_string(),
+            "LDA model has not been fitted yet"
+        );
+        assert_eq!(
+            ScError::invalid("n must be > 0").to_string(),
+            "invalid input: n must be > 0"
+        );
+        assert!(ScError::numerical("NaN").to_string().contains("NaN"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: ScError = io.into();
+        assert!(matches!(e, ScError::Data(_)));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ScError::invalid("x"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Planar locations.
+//!
+//! The simulator world is a planar region measured in kilometres, matching
+//! the paper's use of Euclidean distance for travel costs (Section V-A).
+//! Real check-in datasets use WGS84 coordinates; `sc-datagen` projects its
+//! synthetic venues directly into this plane so every distance in the
+//! workspace is a plain Euclidean distance in km.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in the planar world, in kilometres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Location {
+    /// East-west coordinate (km).
+    pub x: f64,
+    /// North-south coordinate (km).
+    pub y: f64,
+}
+
+impl Location {
+    /// Creates a location.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Location { x, y }
+    }
+
+    /// The origin.
+    pub const ORIGIN: Location = Location { x: 0.0, y: 0.0 };
+
+    /// Euclidean distance to `other`, in km (paper's `d(·,·)`).
+    #[inline]
+    pub fn distance_km(&self, other: &Location) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared Euclidean distance; cheaper when only comparisons are needed.
+    #[inline]
+    pub fn distance_sq(&self, other: &Location) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Component-wise midpoint.
+    #[inline]
+    pub fn midpoint(&self, other: &Location) -> Location {
+        Location::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// Returns true when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Location {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Location::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Location::new(0.0, 0.0);
+        let b = Location::new(3.0, 4.0);
+        assert!((a.distance_km(&b) - 5.0).abs() < 1e-12);
+        assert!((a.distance_sq(&b) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Location::new(-1.5, 2.5);
+        let b = Location::new(4.0, -3.0);
+        assert_eq!(a.distance_km(&b), b.distance_km(&a));
+        assert_eq!(a.distance_km(&a), 0.0);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = Location::new(0.0, 0.0);
+        let b = Location::new(2.0, 6.0);
+        let m = a.midpoint(&b);
+        assert_eq!(m, Location::new(1.0, 3.0));
+        assert!((a.distance_km(&m) - b.distance_km(&m)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finiteness_check() {
+        assert!(Location::new(1.0, 2.0).is_finite());
+        assert!(!Location::new(f64::NAN, 0.0).is_finite());
+        assert!(!Location::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let l: Location = (1.0, 2.0).into();
+        assert_eq!(l.to_string(), "(1.000, 2.000)");
+    }
+}

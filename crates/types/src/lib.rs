@@ -1,0 +1,43 @@
+//! # sc-types — domain model for the DITA framework
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace: identifiers, the time model, workers, spatial tasks, check-in
+//! histories, assignment results, and the per-instance problem snapshot from
+//! the ITA problem statement (paper Section II).
+//!
+//! Everything here is plain data: no algorithm lives in this crate. The
+//! types mirror Definitions 1–4 of the paper:
+//!
+//! * [`Task`] — Definition 1, a spatial task `s = (l, p, φ, C)`.
+//! * [`Worker`] — Definition 2, a worker `w = (l, r)` with a reachable
+//!   circular range.
+//! * [`Assignment`] — Definition 4, a set of `(s, w)` pairs in which every
+//!   worker and every task appears at most once.
+//! * [`Instance`] — the snapshot of available workers and tasks at one time
+//!   instance, which is what the assignment algorithms consume.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod assignment;
+pub mod checkin;
+pub mod error;
+pub mod geo;
+pub mod ids;
+pub mod problem;
+pub mod task;
+pub mod time;
+pub mod worker;
+
+pub use assignment::{Assignment, AssignmentPair};
+pub use checkin::{CheckIn, History, HistoryStore};
+pub use error::ScError;
+pub use geo::Location;
+pub use ids::{CategoryId, TaskId, TopicId, VenueId, WorkerId};
+pub use problem::Instance;
+pub use task::Task;
+pub use time::{Duration, TimeInstant};
+pub use worker::Worker;
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, ScError>;

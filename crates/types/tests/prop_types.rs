@@ -1,0 +1,117 @@
+//! Property tests for the domain model: time arithmetic, history
+//! ordering, and assignment invariants hold for arbitrary inputs.
+
+use proptest::prelude::*;
+use sc_types::{
+    Assignment, AssignmentPair, CheckIn, Duration, History, Location, TaskId, TimeInstant,
+    VenueId, WorkerId,
+};
+
+proptest! {
+    #[test]
+    fn duration_addition_is_commutative_and_non_negative(
+        a in -100_000i64..100_000,
+        b in -100_000i64..100_000,
+    ) {
+        let da = Duration::seconds(a);
+        let db = Duration::seconds(b);
+        prop_assert_eq!(da + db, db + da);
+        prop_assert!((da + db).as_seconds() >= 0);
+    }
+
+    #[test]
+    fn instant_day_and_second_of_day_decompose(t in -10_000_000i64..10_000_000) {
+        let inst = TimeInstant::from_seconds(t);
+        let rebuilt = inst.day() * 86_400 + inst.second_of_day();
+        prop_assert_eq!(rebuilt, t);
+        prop_assert!((0..86_400).contains(&inst.second_of_day()));
+    }
+
+    #[test]
+    fn since_is_saturating_difference(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let ta = TimeInstant::from_seconds(a);
+        let tb = TimeInstant::from_seconds(b);
+        let d = ta.since(tb);
+        prop_assert_eq!(d.as_seconds(), (a - b).max(0));
+    }
+
+    #[test]
+    fn history_is_sorted_after_arbitrary_insertion_order(times in prop::collection::vec(0i64..10_000, 0..40)) {
+        let mut h = History::new();
+        for (i, &t) in times.iter().enumerate() {
+            h.push(CheckIn::at(
+                WorkerId::new(0),
+                VenueId::new(i as u32),
+                Location::new(i as f64, 0.0),
+                TimeInstant::from_seconds(t),
+                vec![],
+            ));
+        }
+        let arrived: Vec<i64> = h.records().iter().map(|r| r.arrived.as_seconds()).collect();
+        let mut sorted = arrived.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(arrived, sorted);
+        prop_assert_eq!(h.len(), times.len());
+    }
+
+    #[test]
+    fn displacements_have_len_minus_one_entries(xs in prop::collection::vec(-50.0f64..50.0, 0..30)) {
+        let mut h = History::new();
+        for (i, &x) in xs.iter().enumerate() {
+            h.push(CheckIn::at(
+                WorkerId::new(0),
+                VenueId::new(i as u32),
+                Location::new(x, 0.0),
+                TimeInstant::from_seconds(i as i64),
+                vec![],
+            ));
+        }
+        let d = h.displacements_km();
+        prop_assert_eq!(d.len(), xs.len().saturating_sub(1));
+        prop_assert!(d.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn assignment_rejects_any_duplicate_sequence(
+        pairs in prop::collection::vec((0u32..6, 0u32..6), 0..20)
+    ) {
+        let mut a = Assignment::new();
+        let mut used_workers = std::collections::HashSet::new();
+        let mut used_tasks = std::collections::HashSet::new();
+        for (t, w) in pairs {
+            let accepted = a.push(AssignmentPair {
+                task: TaskId::new(t),
+                worker: WorkerId::new(w),
+                influence: 1.0,
+                distance_km: 0.0,
+            });
+            let fresh = !used_workers.contains(&w) && !used_tasks.contains(&t);
+            prop_assert_eq!(accepted, fresh);
+            if accepted {
+                used_workers.insert(w);
+                used_tasks.insert(t);
+            }
+        }
+        prop_assert_eq!(a.len(), used_workers.len());
+    }
+
+    #[test]
+    fn averages_are_bounded_by_extremes(
+        infl in prop::collection::vec(0.0f64..10.0, 1..15)
+    ) {
+        let mut a = Assignment::new();
+        for (i, &v) in infl.iter().enumerate() {
+            a.push(AssignmentPair {
+                task: TaskId::new(i as u32),
+                worker: WorkerId::new(i as u32),
+                influence: v,
+                distance_km: v * 2.0,
+            });
+        }
+        let ai = a.average_influence();
+        let max = infl.iter().copied().fold(f64::MIN, f64::max);
+        let min = infl.iter().copied().fold(f64::MAX, f64::min);
+        prop_assert!(ai <= max + 1e-12 && ai >= min - 1e-12);
+        prop_assert!((a.average_travel_km() - 2.0 * ai).abs() < 1e-9);
+    }
+}

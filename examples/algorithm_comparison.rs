@@ -1,0 +1,73 @@
+//! Head-to-head of all five assignment algorithms on one instance —
+//! a one-screen version of the paper's comparison figures.
+//!
+//! ```text
+//! cargo run --release --example algorithm_comparison
+//! ```
+
+use dita::core::{DitaConfig, InfluenceVariant};
+use dita::datagen::{DatasetProfile, InstanceOptions};
+use dita::influence::RpoParams;
+use dita::sim::{render_table, ExperimentRunner, SweepAxis, SweepValues};
+
+fn main() {
+    // A single-point "sweep" reuses the harness end to end.
+    let mut profile = DatasetProfile::brightkite_small();
+    profile.n_workers = 500;
+    profile.n_venues = 450;
+    let config = DitaConfig {
+        n_topics: 12,
+        lda_sweeps: 25,
+        infer_sweeps: 10,
+        rpo: RpoParams {
+            max_sets: 30_000,
+            ..Default::default()
+        },
+        seed: 3,
+    };
+    println!("training DITA on '{}'…", profile.name);
+    let runner = ExperimentRunner::new(&profile, 555, config).days(4);
+
+    let defaults = SweepValues {
+        n_tasks: 150,
+        n_workers: 120,
+        options: InstanceOptions::default(),
+    };
+    let points = runner.run_comparison(&SweepAxis::Tasks(vec![150]), &defaults);
+    let point = &points[0];
+
+    println!(
+        "\n|S| = {}, |W| = {}, φ = {}h, r = {}km, averaged over 4 days:\n",
+        defaults.n_tasks,
+        defaults.n_workers,
+        defaults.options.valid_hours,
+        defaults.options.radius_km
+    );
+    let headers = ["algorithm", "cpu (ms)", "assigned", "AI", "AP", "travel (km)"];
+    let rows: Vec<Vec<String>> = point
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.algorithm.clone(),
+                format!("{:.2}", r.cpu_ms),
+                format!("{:.1}", r.assigned),
+                format!("{:.4}", r.ai),
+                format!("{:.4}", r.ap),
+                format!("{:.2}", r.travel_km),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&headers, &rows));
+
+    // And the influence-model ablation at the same point.
+    let ablation = runner.run_ablation(&SweepAxis::Tasks(vec![150]), &defaults);
+    println!("\nIA influence-model ablation (AI):");
+    for (label, ai) in &ablation[0].ai {
+        let note = match *label == InfluenceVariant::Full.label() {
+            true => "  <- full model",
+            false => "",
+        };
+        println!("  {label:>6}: {ai:.4}{note}");
+    }
+}

@@ -1,0 +1,304 @@
+//! `dita` — command-line driver for the DITA reproduction.
+//!
+//! ```text
+//! dita generate   --profile bk-small --seed 42 --out data/
+//! dita assign     --profile bk-small --tasks 150 --workers 120 --algorithm IA
+//! dita comparison --profile bk-small --axis tasks
+//! dita ablation   --profile fs-small --axis radius
+//! dita simulate   --profile bk-small --day 0 --algorithm EIA
+//! ```
+//!
+//! Flags are `--key value` pairs; every command accepts `--seed`.
+//! Argument parsing is deliberately dependency-free.
+
+use dita::core::{AlgorithmKind, DitaBuilder, DitaConfig, DitaPipeline};
+use dita::datagen::{io as dio, DatasetProfile, InstanceOptions, SyntheticDataset};
+use dita::influence::RpoParams;
+use dita::sim::platform::{simulate_day, DayConfig};
+use dita::sim::{render_table, ExperimentRunner, SweepAxis, SweepValues};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, flags)) = parse(&args) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "assign" => cmd_assign(&flags),
+        "comparison" => cmd_sweep(&flags, false),
+        "ablation" => cmd_sweep(&flags, true),
+        "simulate" => cmd_simulate(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+dita — influence-aware task assignment (ICDE 2022 reproduction)
+
+USAGE:
+  dita generate   --profile P [--seed N] [--out DIR]
+  dita assign     [--profile P] [--seed N] [--day D] [--tasks S] [--workers W]
+                  [--algorithm MTA|IA|EIA|DIA|MI|GREEDY] [--phi H] [--radius KM]
+  dita comparison [--profile P] [--seed N] [--axis tasks|workers|phi|radius]
+  dita ablation   [--profile P] [--seed N] [--axis tasks|workers|phi|radius]
+  dita simulate   [--profile P] [--seed N] [--day D] [--algorithm A]
+
+PROFILES: bk, fs, bk-small (default), fs-small";
+
+fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
+    let command = args.first()?.clone();
+    let mut flags = HashMap::new();
+    let mut i = 1;
+    while i < args.len() {
+        let key = args[i].strip_prefix("--")?;
+        let value = args.get(i + 1)?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Some((command, flags))
+}
+
+fn profile_of(flags: &HashMap<String, String>) -> Result<DatasetProfile, String> {
+    match flags.get("profile").map(String::as_str).unwrap_or("bk-small") {
+        "bk" => Ok(DatasetProfile::brightkite()),
+        "fs" => Ok(DatasetProfile::foursquare()),
+        "bk-small" => Ok(DatasetProfile::brightkite_small()),
+        "fs-small" => Ok(DatasetProfile::foursquare_small()),
+        other => Err(format!("unknown profile '{other}'")),
+    }
+}
+
+fn num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad --{key} value '{v}'")),
+    }
+}
+
+fn algorithm_of(flags: &HashMap<String, String>) -> Result<AlgorithmKind, String> {
+    match flags
+        .get("algorithm")
+        .map(|s| s.to_uppercase())
+        .as_deref()
+        .unwrap_or("IA")
+    {
+        "MTA" => Ok(AlgorithmKind::Mta),
+        "IA" => Ok(AlgorithmKind::Ia),
+        "EIA" => Ok(AlgorithmKind::Eia),
+        "DIA" => Ok(AlgorithmKind::Dia),
+        "MI" => Ok(AlgorithmKind::Mi),
+        "GREEDY" => Ok(AlgorithmKind::GreedyNearest),
+        other => Err(format!("unknown algorithm '{other}'")),
+    }
+}
+
+fn cli_config(profile: &DatasetProfile, seed: u64) -> DitaConfig {
+    // Scale the model budget with the dataset so `bk`/`fs` stay usable
+    // from the command line.
+    let small = profile.n_workers <= 1_000;
+    DitaConfig {
+        n_topics: if small { 12 } else { 50 },
+        lda_sweeps: if small { 25 } else { 60 },
+        infer_sweeps: 10,
+        rpo: RpoParams {
+            max_sets: if small { 30_000 } else { 400_000 },
+            ..Default::default()
+        },
+        seed,
+    }
+}
+
+fn train(profile: &DatasetProfile, seed: u64) -> (SyntheticDataset, DitaPipeline) {
+    eprintln!(
+        "training DITA on '{}' ({} workers)…",
+        profile.name, profile.n_workers
+    );
+    let data = SyntheticDataset::generate(profile, seed);
+    let pipeline = DitaBuilder::new()
+        .config(cli_config(profile, seed))
+        .build(&data.social, &data.histories)
+        .expect("training");
+    (data, pipeline)
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let profile = profile_of(flags)?;
+    let seed: u64 = num(flags, "seed", 42)?;
+    let out = PathBuf::from(flags.get("out").cloned().unwrap_or_else(|| "data".into()));
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    let data = SyntheticDataset::generate(&profile, seed);
+    dio::write_edges_tsv(&out.join("edges.tsv"), &data.social_edges)
+        .map_err(|e| e.to_string())?;
+    dio::write_checkins_tsv(&out.join("checkins.tsv"), &data.histories)
+        .map_err(|e| e.to_string())?;
+    let profile_json =
+        serde_json::to_string_pretty(&data.profile).map_err(|e| e.to_string())?;
+    std::fs::write(out.join("profile.json"), profile_json).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} edges and {} check-ins to {}",
+        data.social_edges.len(),
+        data.histories.total_checkins(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_assign(flags: &HashMap<String, String>) -> Result<(), String> {
+    let profile = profile_of(flags)?;
+    let seed: u64 = num(flags, "seed", 42)?;
+    let day: usize = num(flags, "day", 0)?;
+    let n_tasks: usize = num(flags, "tasks", 150)?;
+    let n_workers: usize = num(flags, "workers", 120)?;
+    let algorithm = algorithm_of(flags)?;
+    let opts = InstanceOptions {
+        valid_hours: num(flags, "phi", 5.0)?,
+        radius_km: num(flags, "radius", 25.0)?,
+        ..Default::default()
+    };
+
+    let (data, pipeline) = train(&profile, seed);
+    let inst = data.instance_for_day(day, n_tasks, n_workers, opts);
+    let start = std::time::Instant::now();
+    let a = pipeline.assign_with_venues(&inst.instance, &inst.task_venues, algorithm);
+    let elapsed = start.elapsed();
+    println!(
+        "{algorithm} on day {day}: |S|={}, |W|={}, φ={}h, r={}km",
+        inst.instance.n_tasks(),
+        inst.instance.n_workers(),
+        opts.valid_hours,
+        opts.radius_km
+    );
+    let rows = vec![vec![
+        format!("{}", a.len()),
+        format!("{:.4}", a.average_influence()),
+        format!("{:.4}", pipeline.average_propagation(&a)),
+        format!("{:.2}", a.average_travel_km()),
+        format!("{:.1}", elapsed.as_secs_f64() * 1e3),
+    ]];
+    print!(
+        "{}",
+        render_table(&["assigned", "AI", "AP", "travel km", "cpu ms"], &rows)
+    );
+    Ok(())
+}
+
+fn axis_of(flags: &HashMap<String, String>, profile: &DatasetProfile) -> Result<SweepAxis, String> {
+    let small = profile.n_workers <= 1_000;
+    let scale = |v: usize| if small { v / 10 } else { v };
+    match flags.get("axis").map(String::as_str).unwrap_or("tasks") {
+        "tasks" => Ok(SweepAxis::Tasks(
+            [500, 1000, 1500, 2000, 2500].map(scale).to_vec(),
+        )),
+        "workers" => Ok(SweepAxis::Workers(
+            [400, 800, 1200, 1600, 2000].map(scale).to_vec(),
+        )),
+        "phi" => Ok(SweepAxis::ValidHours(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])),
+        "radius" => Ok(SweepAxis::RadiusKm(vec![5.0, 10.0, 15.0, 20.0, 25.0])),
+        other => Err(format!("unknown axis '{other}'")),
+    }
+}
+
+fn cmd_sweep(flags: &HashMap<String, String>, ablation: bool) -> Result<(), String> {
+    let profile = profile_of(flags)?;
+    let seed: u64 = num(flags, "seed", 42)?;
+    let axis = axis_of(flags, &profile)?;
+    let small = profile.n_workers <= 1_000;
+    let defaults = if small {
+        SweepValues::small_defaults()
+    } else {
+        SweepValues::paper_defaults()
+    };
+    let runner =
+        ExperimentRunner::new(&profile, seed, cli_config(&profile, seed)).days(4);
+
+    if ablation {
+        let points = runner.run_ablation(&axis, &defaults);
+        let mut headers = vec![axis.name().to_string()];
+        headers.extend(points[0].ai.iter().map(|(l, _)| l.clone()));
+        let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                let mut row = vec![format!("{}", p.x)];
+                row.extend(p.ai.iter().map(|(_, ai)| format!("{ai:.4}")));
+                row
+            })
+            .collect();
+        print!("{}", render_table(&headers_ref, &rows));
+    } else {
+        let points = runner.run_comparison(&axis, &defaults);
+        let mut headers = vec![axis.name().to_string()];
+        headers.extend(points[0].rows.iter().map(|r| r.algorithm.clone()));
+        let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+        println!("Average Influence (AI):");
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                let mut row = vec![format!("{}", p.x)];
+                row.extend(p.rows.iter().map(|r| format!("{:.4}", r.ai)));
+                row
+            })
+            .collect();
+        print!("{}", render_table(&headers_ref, &rows));
+        println!("\nassigned tasks:");
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                let mut row = vec![format!("{}", p.x)];
+                row.extend(p.rows.iter().map(|r| format!("{:.1}", r.assigned)));
+                row
+            })
+            .collect();
+        print!("{}", render_table(&headers_ref, &rows));
+    }
+    Ok(())
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let profile = profile_of(flags)?;
+    let seed: u64 = num(flags, "seed", 42)?;
+    let day: usize = num(flags, "day", 0)?;
+    let algorithm = algorithm_of(flags)?;
+    let (data, pipeline) = train(&profile, seed);
+    let config = DayConfig::default();
+    let report = simulate_day(&data, &pipeline, day, &config, algorithm);
+    println!("hour  open  online  assigned      AI");
+    for h in &report.hours {
+        println!(
+            "{:>4}  {:>4}  {:>6}  {:>8}  {:>6.4}",
+            format!("{:02}", h.hour),
+            h.available_tasks,
+            h.online_workers,
+            h.assigned,
+            h.ai
+        );
+    }
+    println!(
+        "published {}, assigned {} ({:.0}%), expired {}, open {}",
+        report.published,
+        report.assigned,
+        report.assignment_rate() * 100.0,
+        report.expired,
+        report.still_open
+    );
+    Ok(())
+}
