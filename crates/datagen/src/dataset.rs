@@ -155,7 +155,7 @@ impl SyntheticDataset {
             let venue = self.venues.venue(VenueId::from(vidx));
             // Published up to an hour before the instance.
             let published =
-                TimeInstant::from_seconds(now.as_seconds() - rng.random_range(0..3_600));
+                TimeInstant::from_seconds(now.as_seconds() - rng.random_range(0..3_600i64));
             tasks.push(Task::with_categories(
                 TaskId::from(ti),
                 venue.location,

@@ -175,7 +175,7 @@ impl LoadedDataset {
         for (ti, si) in picked.into_iter().enumerate() {
             let venue = &self.venues[source[si]];
             let published =
-                TimeInstant::from_seconds(now.as_seconds() - rng.random_range(0..3_600));
+                TimeInstant::from_seconds(now.as_seconds() - rng.random_range(0..3_600i64));
             tasks.push(Task::with_categories(
                 TaskId::from(ti),
                 venue.location,

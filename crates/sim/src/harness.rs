@@ -79,7 +79,7 @@ impl ExperimentRunner {
     }
 
     /// Like [`ExperimentRunner::run_comparison`] but with sweep points
-    /// distributed over threads (crossbeam scope). Counts, influence,
+    /// distributed over threads (std scoped threads). Counts, influence,
     /// propagation, and travel metrics are bit-identical to the
     /// sequential runner; `cpu_ms` is noisier under contention, so use
     /// the sequential runner when timing fidelity matters.
@@ -89,17 +89,16 @@ impl ExperimentRunner {
         defaults: &SweepValues,
     ) -> Vec<ComparisonPoint> {
         let xs = axis.values();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = xs
                 .iter()
-                .map(|&x| scope.spawn(move |_| self.comparison_point(x, axis, defaults)))
+                .map(|&x| scope.spawn(move || self.comparison_point(x, axis, defaults)))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("sweep worker panicked"))
                 .collect()
         })
-        .expect("crossbeam scope")
     }
 
     /// One sweep point of the comparison experiment.

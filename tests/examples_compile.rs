@@ -1,0 +1,41 @@
+//! Guarantees all `examples/*.rs` stay registered (and therefore keep
+//! compiling).
+//!
+//! `cargo test` compiles every auto-discovered example of this package and
+//! CI runs `cargo build --examples` explicitly, so compilation itself is
+//! already enforced. What can silently regress is *registration*: an
+//! example moved out of `examples/` or shadowed by an explicit target list
+//! drops out of both checks without failing anything. This test pins the
+//! expected example set to the directory contents.
+
+use std::path::Path;
+
+const EXPECTED_EXAMPLES: [&str; 6] = [
+    "algorithm_comparison",
+    "day_in_the_life",
+    "explain_assignment",
+    "quickstart",
+    "restaurant_promotion",
+    "running_example",
+];
+
+#[test]
+fn all_expected_examples_exist() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for name in EXPECTED_EXAMPLES {
+        let path = root.join("examples").join(format!("{name}.rs"));
+        assert!(path.is_file(), "missing example source: {}", path.display());
+    }
+    let count = std::fs::read_dir(root.join("examples"))
+        .expect("examples/ directory exists")
+        .filter(|e| {
+            e.as_ref()
+                .is_ok_and(|e| e.path().extension().is_some_and(|x| x == "rs"))
+        })
+        .count();
+    assert_eq!(
+        count,
+        EXPECTED_EXAMPLES.len(),
+        "examples/ contains an unregistered example; update EXPECTED_EXAMPLES"
+    );
+}

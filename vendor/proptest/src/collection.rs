@@ -1,0 +1,30 @@
+//! Collection strategies (`prop::collection`).
+
+use crate::strategy::{SizeRange, Strategy};
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// Strategy for `Vec<T>` with element strategy `S`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        let len = rng.random_range(self.size.lo..=self.size.hi);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Generates vectors whose length falls in `size`, with elements drawn
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}

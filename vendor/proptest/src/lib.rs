@@ -1,0 +1,218 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), range and
+//! collection strategies, tuple strategies, [`Just`], `prop_map` /
+//! `prop_flat_map`, and the `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!` macros.
+//!
+//! Differences from the real crate: cases are sampled from a fixed
+//! deterministic seed (derived from the test name), failures are reported
+//! without shrinking, and no persistence files are written. Each test
+//! still runs `cases` independently sampled inputs, so the property-based
+//! coverage the seed tests rely on is preserved.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use rand::rngs::SmallRng;
+pub use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{FlatMap, Just, Map, SizeRange, Strategy};
+
+/// Namespace mirror of `proptest::prop`, so `prop::collection::vec(...)`
+/// works after `use proptest::prelude::*`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Per-block test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to execute per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Marker returned by [`prop_assume!`] when a sampled case is rejected.
+#[derive(Debug)]
+pub struct TestCaseReject;
+
+/// Deterministic per-test RNG: the stream depends only on the test name.
+#[doc(hidden)]
+pub fn runner_rng(test_name: &str) -> SmallRng {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    test_name.hash(&mut hasher);
+    SmallRng::seed_from_u64(hasher.finish() ^ 0x9E37_79B9_7F4A_7C15)
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its arguments `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; the config expression is
+/// captured at repetition depth zero so it can be spliced into every
+/// generated test.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let cases: u32 = config.cases;
+                let mut __proptest_rng = $crate::runner_rng(concat!(module_path!(), "::", stringify!($name)));
+                let mut __proptest_accepted: u32 = 0;
+                let mut __proptest_attempts: u32 = 0;
+                while __proptest_accepted < cases {
+                    __proptest_attempts += 1;
+                    assert!(
+                        __proptest_attempts <= cases.saturating_mul(20).max(100),
+                        "proptest shim: too many rejected cases in `{}` ({} accepted of {} wanted)",
+                        stringify!($name), __proptest_accepted, cases
+                    );
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __proptest_rng);)*
+                    #[allow(clippy::redundant_closure_call)]
+                    let __proptest_outcome = (|| -> ::std::result::Result<(), $crate::TestCaseReject> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    if __proptest_outcome.is_ok() {
+                        __proptest_accepted += 1;
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property holds for the current case; panics with context on
+/// failure (the shim does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts two expressions are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Asserts two expressions are unequal for the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+/// Rejects the current case (it is re-sampled) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseReject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_sample_in_bounds(x in 0usize..10, y in -2.5f64..2.5) {
+            prop_assert!(x < 10);
+            prop_assert!((-2.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(xs in prop::collection::vec(0u32..5, 2..6)) {
+            prop_assert!((2..6).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|&v| v < 5));
+        }
+
+        #[test]
+        fn map_and_flat_map_compose(
+            (len, xs) in (1usize..8).prop_flat_map(|n| {
+                (Just(n), prop::collection::vec(0f64..1.0, n..=n))
+            })
+        ) {
+            prop_assert_eq!(xs.len(), len);
+        }
+
+        #[test]
+        fn assume_rejects_and_resamples(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::runner_rng("t");
+        let mut b = crate::runner_rng("t");
+        let s = 3u32..17;
+        for _ in 0..32 {
+            assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no network access, so the
+//! handful of `rand` APIs the DITA reproduction uses are implemented here
+//! in-tree: the [`Rng`] / [`RngExt`] / [`SeedableRng`] traits, the
+//! [`rngs::SmallRng`] generator (xoshiro256++ seeded via SplitMix64), and
+//! [`seq::index::sample`] for sampling without replacement.
+//!
+//! The statistical quality is appropriate for simulation and testing:
+//! xoshiro256++ passes BigCrush, and ranged sampling uses the widening
+//! multiply method (bias < 2⁻⁶⁴, immaterial at the ranges used here).
+//! This shim is **not** a cryptographic RNG.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod rngs;
+pub mod seq;
+
+/// A source of random bits. Mirrors the core of `rand::Rng`.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// A generator that can be deterministically seeded.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from their full value range (floats:
+/// uniform in `[0, 1)`). The analogue of sampling `StandardUniform`.
+pub trait SampleStandard: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl SampleStandard for $t {
+            #[inline]
+            fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleStandard for u128 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl SampleStandard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl SampleStandard for bool {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that [`RngExt::random_range`] can draw from uniformly.
+///
+/// Generic over the produced type `T` (rather than an associated type) so
+/// that integer-literal ranges unify with the call site's expected type,
+/// matching real `rand` inference behavior.
+pub trait SampleRange<T> {
+    /// Draws one value from `rng`, uniform over the range.
+    /// Panics if the range is empty.
+    fn sample_range<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Multiplies a 64-bit random word into `[0, span)` without division.
+#[inline]
+fn widening_mul(word: u64, span: u64) -> u64 {
+    ((word as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_range_int {
+    ($(($t:ty, $u:ty)),*) => {$(
+        impl SampleRange<$t> for ::std::ops::Range<$t> {
+            #[inline]
+            fn sample_range<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Subtract in the same-width unsigned type: for signed $t
+                // the difference can overflow $t, but is always exact in $u.
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(widening_mul(rng.next_u64(), span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for ::std::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_range<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(widening_mul(rng.next_u64(), span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_int!(
+    (u8, u8),
+    (u16, u16),
+    (u32, u32),
+    (u64, u64),
+    (usize, usize),
+    (i8, u8),
+    (i16, u16),
+    (i32, u32),
+    (i64, u64),
+    (isize, usize)
+);
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for ::std::ops::Range<$t> {
+            #[inline]
+            fn sample_range<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t as SampleStandard>::sample_standard(rng);
+                let value = self.start + (self.end - self.start) * unit;
+                // `start + span * unit` can round up to exactly `end` for
+                // very thin ranges; keep the half-open contract.
+                if value < self.end {
+                    value
+                } else {
+                    self.end.next_down()
+                }
+            }
+        }
+
+        impl SampleRange<$t> for ::std::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_range<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let unit = <$t as SampleStandard>::sample_standard(rng);
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+
+impl_range_float!(f32, f64);
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+/// Mirrors the `random*` family of `rand` 0.9.
+pub trait RngExt: Rng {
+    /// Draws a value uniformly over the type's standard distribution
+    /// (full integer range; `[0, 1)` for floats).
+    #[inline]
+    fn random<T: SampleStandard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`. Panics on an empty range.
+    #[inline]
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_range(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics when `p` is NaN or
+    /// outside `[0, 1]`, matching real `rand` (a silent clamp would mask
+    /// upstream probability-computation bugs).
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p = {p} is outside [0, 1]");
+        <f64 as SampleStandard>::sample_standard(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn unit_float_is_in_half_open_interval() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(5..=5u32);
+            assert_eq!(w, 5);
+            let x = rng.random_range(-3.0f64..3.0);
+            assert!((-3.0..3.0).contains(&x));
+            let neg = rng.random_range(-10i64..-2);
+            assert!((-10..-2).contains(&neg));
+        }
+    }
+
+    #[test]
+    fn signed_ranges_with_overflowing_span_stay_in_bounds() {
+        // The i32 span 2e9 − (−2e9) overflows i32; the unsigned-width
+        // subtraction must still yield a correct uniform range.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut saw_neg = false;
+        let mut saw_pos = false;
+        for _ in 0..10_000 {
+            let v = rng.random_range(-2_000_000_000i32..2_000_000_000);
+            assert!((-2_000_000_000..2_000_000_000).contains(&v));
+            saw_neg |= v < 0;
+            saw_pos |= v > 0;
+            let w = rng.random_range(i8::MIN..=i8::MAX);
+            assert!((i8::MIN..=i8::MAX).contains(&w));
+        }
+        assert!(saw_neg && saw_pos, "both halves of the range must be hit");
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "frac = {frac}");
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn random_bool_rejects_nan() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        rng.random_bool(f64::NAN);
+    }
+
+    #[test]
+    fn thin_float_range_stays_half_open() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let lo = 1.0f64;
+        let hi = 1.0000000000000002f64; // one ulp above 1.0
+        for _ in 0..1_000 {
+            let v = rng.random_range(lo..hi);
+            assert!(v >= lo && v < hi, "v = {v} escaped [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn mean_of_unit_uniform_is_half() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        assert!((sum / n as f64 - 0.5).abs() < 0.005);
+    }
+}

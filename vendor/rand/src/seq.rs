@@ -1,0 +1,101 @@
+//! Sequence-related sampling helpers.
+
+/// Index sampling without replacement (`rand::seq::index`).
+pub mod index {
+    use crate::{Rng, RngExt};
+    use std::collections::HashSet;
+
+    /// A set of distinct indices in `0..length`, in sampling order.
+    #[derive(Debug, Clone)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether no indices were sampled.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Consumes the set, returning the raw indices.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+
+        /// Iterates over the sampled indices.
+        pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+            self.0.iter().copied()
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Samples `amount` distinct indices uniformly from `0..length`.
+    ///
+    /// Panics if `amount > length`, like the upstream implementation.
+    /// Uses a partial Fisher–Yates shuffle when the sample is a large
+    /// fraction of the population and rejection sampling otherwise.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} indices from a population of {length}"
+        );
+        if amount * 3 >= length {
+            // Partial Fisher–Yates over the whole population.
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = rng.random_range(i..length);
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        } else {
+            // Sparse sample: rejection with a seen-set.
+            let mut seen = HashSet::with_capacity(amount * 2);
+            let mut out = Vec::with_capacity(amount);
+            while out.len() < amount {
+                let idx = rng.random_range(0..length);
+                if seen.insert(idx) {
+                    out.push(idx);
+                }
+            }
+            IndexVec(out)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::rngs::SmallRng;
+        use crate::SeedableRng;
+
+        #[test]
+        fn samples_are_distinct_and_in_range() {
+            let mut rng = SmallRng::seed_from_u64(9);
+            for &(length, amount) in &[(10usize, 10usize), (1000, 10), (50, 35), (1, 1), (5, 0)] {
+                let picked = sample(&mut rng, length, amount);
+                assert_eq!(picked.len(), amount);
+                let set: HashSet<usize> = picked.iter().collect();
+                assert_eq!(set.len(), amount, "indices must be distinct");
+                assert!(picked.iter().all(|i| i < length));
+            }
+        }
+
+        #[test]
+        #[should_panic(expected = "cannot sample")]
+        fn oversampling_panics() {
+            let mut rng = SmallRng::seed_from_u64(9);
+            let _ = sample(&mut rng, 3, 4);
+        }
+    }
+}

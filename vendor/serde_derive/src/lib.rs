@@ -1,0 +1,482 @@
+//! Offline stand-in for `serde_derive`, written against `proc_macro`
+//! directly (the real crate's `syn`/`quote` dependencies are unavailable
+//! in this no-network build environment).
+//!
+//! Supported shapes — exactly what the DITA workspace derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays), honoring `#[serde(transparent)]`,
+//! * enums whose variants are unit or single-payload (externally tagged).
+//!
+//! Anything else (generics, named-field variants, other `#[serde(...)]`
+//! options) produces a `compile_error!` naming the unsupported feature,
+//! so drift is caught loudly rather than mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<(String, bool)>),
+}
+
+struct Item {
+    name: String,
+    // `#[serde(transparent)]` is validated during parsing; single-field
+    // tuple structs always serialize transparently, so it carries no
+    // extra state here.
+    shape: Shape,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate(&item, mode).parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    let mut transparent = false;
+
+    // Outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    transparent |= parse_serde_attr(&g.stream())?;
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let is_enum = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => false,
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => true,
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim: generic type `{name}` is not supported"
+            ));
+        }
+    }
+
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                parse_enum_body(&g.stream())?
+            } else {
+                parse_named_fields(&g.stream())?
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+            Shape::Tuple(count_tuple_fields(&g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && !is_enum => Shape::Unit,
+        other => return Err(format!("unsupported item body for `{name}`: {other:?}")),
+    };
+
+    if transparent && !matches!(shape, Shape::Tuple(1)) {
+        return Err(format!(
+            "serde shim: `#[serde(transparent)]` on `{name}` requires a single-field tuple struct"
+        ));
+    }
+    Ok(Item { name, shape })
+}
+
+/// Inspects one outer attribute body (`serde(...)`, `doc = ...`, ...).
+/// Returns whether it was `#[serde(transparent)]`.
+fn parse_serde_attr(stream: &TokenStream) -> Result<bool, String> {
+    let inner: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(false),
+    }
+    if let Some(TokenTree::Group(args)) = inner.get(1) {
+        let text = args.stream().to_string();
+        if text.trim() == "transparent" {
+            return Ok(true);
+        }
+        return Err(format!(
+            "serde shim: unsupported attribute `#[serde({text})]` (only `transparent`)"
+        ));
+    }
+    Ok(false)
+}
+
+/// Rejects `#[serde(...)]` on fields and enum variants: the shim only
+/// honors the item-level `transparent` option, so anything else must fail
+/// loudly rather than be silently ignored and mis-serialized.
+fn reject_inner_serde_attr(
+    tokens: &[TokenTree],
+    hash_idx: usize,
+    context: &str,
+) -> Result<(), String> {
+    if let Some(TokenTree::Group(g)) = tokens.get(hash_idx + 1) {
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+            return Err(format!(
+                "serde shim: `#[serde(...)]` on a {context} is not supported"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn parse_named_fields(stream: &TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    reject_inner_serde_attr(&tokens, i, "struct field")?;
+                    i += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field, found {other:?}")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        // The `>` of a `->` (fn-pointer / `dyn Fn` return type) is not an
+        // angle-bracket closer; `after_dash` tracks that lookbehind.
+        let mut angle_depth = 0i32;
+        let mut after_dash = false;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' if !after_dash => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                after_dash = p.as_char() == '-';
+            } else {
+                after_dash = false;
+            }
+            i += 1;
+        }
+    }
+    Ok(Shape::Named(fields))
+}
+
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut after_dash = false;
+    let mut count = 0usize;
+    let mut saw_token = false;
+    for tok in stream.clone() {
+        saw_token = true;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' if !after_dash => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+            after_dash = p.as_char() == '-';
+        } else {
+            after_dash = false;
+        }
+    }
+    // `(A, B)` has one top-level comma and two fields; a trailing comma
+    // (`(A, B,)`) is absorbed because the final field still counted it.
+    if !saw_token {
+        0
+    } else {
+        let trailing = matches!(
+            stream.clone().into_iter().last(),
+            Some(TokenTree::Punct(p)) if p.as_char() == ','
+        );
+        if trailing {
+            count
+        } else {
+            count + 1
+        }
+    }
+}
+
+fn parse_enum_body(stream: &TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                reject_inner_serde_attr(&tokens, i, "enum variant")?;
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let variant = id.to_string();
+        i += 1;
+        let mut has_payload = false;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if count_tuple_fields(&g.stream()) != 1 {
+                    return Err(format!(
+                        "serde shim: variant `{variant}` must have exactly one payload field"
+                    ));
+                }
+                has_payload = true;
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde shim: named-field variant `{variant}` is not supported"
+                ));
+            }
+            _ => {}
+        }
+        // Skip an optional discriminant, then the separating comma.
+        while let Some(tok) = tokens.get(i) {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((variant, has_payload));
+    }
+    Ok(Shape::Enum(variants))
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn generate(item: &Item, mode: Mode) -> String {
+    let name = &item.name;
+    match (&item.shape, mode) {
+        (Shape::Named(fields), Mode::Serialize) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "entries.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::json::Value {{\n\
+                     let mut entries = ::std::vec::Vec::with_capacity({n});\n\
+                     {pushes}\n\
+                     ::serde::json::Value::Object(entries)\n\
+                   }}\n\
+                 }}",
+                n = fields.len()
+            )
+        }
+        (Shape::Named(fields), Mode::Deserialize) => {
+            let gets: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::get_field(entries, {f:?})?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(value: &::serde::json::Value) \
+                       -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     let entries = value.as_object().ok_or_else(|| \
+                         ::serde::Error::expected(\"object\", value))?;\n\
+                     ::std::result::Result::Ok({name} {{ {gets} }})\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        (Shape::Tuple(1), Mode::Serialize) => format!(
+            // Newtypes (transparent or not) serialize as their inner value,
+            // matching serde's newtype-struct JSON representation.
+            "impl ::serde::Serialize for {name} {{\n\
+               fn to_value(&self) -> ::serde::json::Value {{\n\
+                 ::serde::Serialize::to_value(&self.0)\n\
+               }}\n\
+             }}"
+        ),
+        (Shape::Tuple(1), Mode::Deserialize) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+               fn from_value(value: &::serde::json::Value) \
+                   -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))\n\
+               }}\n\
+             }}"
+        ),
+        (Shape::Tuple(n), Mode::Serialize) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::json::Value {{\n\
+                     ::serde::json::Value::Array(vec![{items}])\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        (Shape::Tuple(n), Mode::Deserialize) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(value: &::serde::json::Value) \
+                       -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     match value {{\n\
+                       ::serde::json::Value::Array(items) if items.len() == {n} => \
+                         ::std::result::Result::Ok({name}({items})),\n\
+                       other => ::std::result::Result::Err(\
+                         ::serde::Error::expected(\"array of length {n}\", other)),\n\
+                     }}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        (Shape::Unit, Mode::Serialize) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn to_value(&self) -> ::serde::json::Value {{ ::serde::json::Value::Null }}\n\
+             }}"
+        ),
+        (Shape::Unit, Mode::Deserialize) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+               fn from_value(_value: &::serde::json::Value) \
+                   -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name})\n\
+               }}\n\
+             }}"
+        ),
+        (Shape::Enum(variants), Mode::Serialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, has_payload)| {
+                    if *has_payload {
+                        format!(
+                            "{name}::{v}(inner) => ::serde::json::Value::Object(vec![\
+                               ({v:?}.to_string(), ::serde::Serialize::to_value(inner))]),"
+                        )
+                    } else {
+                        format!("{name}::{v} => ::serde::json::Value::Str({v:?}.to_string()),")
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::json::Value {{\n\
+                     match self {{ {arms} }}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        (Shape::Enum(variants), Mode::Deserialize) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, has_payload)| !has_payload)
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter(|(_, has_payload)| *has_payload)
+                .map(|(v, _)| {
+                    format!(
+                        "{v:?} => ::std::result::Result::Ok(\
+                           {name}::{v}(::serde::Deserialize::from_value(payload)?)),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(value: &::serde::json::Value) \
+                       -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     match value {{\n\
+                       ::serde::json::Value::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::Error::custom(\
+                           format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                       }},\n\
+                       ::serde::json::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, payload) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                           {payload_arms}\n\
+                           other => ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                       }}\n\
+                       other => ::std::result::Result::Err(\
+                         ::serde::Error::expected(\"enum variant\", other)),\n\
+                     }}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    }
+}

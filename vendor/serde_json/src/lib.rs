@@ -1,0 +1,80 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json),
+//! built on the JSON-shaped data model of the in-tree `serde` shim.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use serde::{json, Deserialize, Serialize};
+use std::fmt;
+
+pub use serde::json::Value;
+
+/// Error returned by the conversion functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_string())
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indentation).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_string_pretty())
+}
+
+/// Parses a value of type `T` from a JSON string.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let value = json::parse(input).map_err(Error)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Serializes `value` into a generic [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Rebuilds a typed value from a generic [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value).map_err(Error::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(to_string("hi").unwrap(), "\"hi\"");
+        assert_eq!(from_str::<String>("\"hi\"").unwrap(), "hi");
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let v = vec![1.5f64, 2.0, -3.25];
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<f64>>(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn error_on_malformed_input() {
+        assert!(from_str::<u32>("{oops").is_err());
+        assert!(from_str::<u32>("\"nan\"").is_err());
+    }
+}
