@@ -14,7 +14,7 @@ use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use sc_datagen::{generate_social_edges, DatasetProfile, InstanceOptions, SyntheticDataset};
 use sc_graph::{MinCostMaxFlow, ShortestPathEngine};
-use sc_influence::{RrrPool, SocialNetwork};
+use sc_influence::{PropagationModel, RrrPool, SocialNetwork};
 use sc_spatial::GridIndex;
 use sc_types::Location;
 
@@ -30,8 +30,9 @@ fn bench_rrr_pool_vs_perworker(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("shared_pool_once", |b| {
         b.iter(|| {
-            let mut rng = SmallRng::seed_from_u64(2);
-            let pool = RrrPool::generate(&net, n_sets, &mut rng);
+            // Pinned to one thread so timings compare across machines.
+            let pool =
+                RrrPool::generate_sharded(&net, n_sets, PropagationModel::WeightedCascade, 2, 1);
             let mut acc = 0.0;
             for w in 0..n_sources {
                 acc += pool.total_propagation(w);
@@ -44,8 +45,13 @@ fn bench_rrr_pool_vs_perworker(c: &mut Criterion) {
             let mut acc = 0.0;
             for w in 0..n_sources {
                 // Algorithm 1 run per source worker: fresh sampling each time.
-                let mut rng = SmallRng::seed_from_u64(3 + w as u64);
-                let pool = RrrPool::generate(&net, n_sets, &mut rng);
+                let pool = RrrPool::generate_sharded(
+                    &net,
+                    n_sets,
+                    PropagationModel::WeightedCascade,
+                    3 + w as u64,
+                    1,
+                );
                 acc += pool.total_propagation(w);
             }
             black_box(acc)

@@ -5,7 +5,7 @@ use std::hint::black_box;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sc_datagen::generate_social_edges;
-use sc_influence::{Rpo, RpoParams, RrrPool, SocialNetwork};
+use sc_influence::{Parallelism, PropagationModel, Rpo, RpoParams, RrrPool, SocialNetwork};
 
 fn network(n: usize, seed: u64) -> SocialNetwork {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -20,8 +20,14 @@ fn bench_pool_generation(c: &mut Criterion) {
         let net = network(n, 1);
         group.bench_with_input(BenchmarkId::new("sets_10k", n), &n, |b, _| {
             b.iter(|| {
-                let mut rng = SmallRng::seed_from_u64(2);
-                black_box(RrrPool::generate(&net, 10_000, &mut rng))
+                // Pinned to one thread so timings compare across machines.
+                black_box(RrrPool::generate_sharded(
+                    &net,
+                    10_000,
+                    PropagationModel::WeightedCascade,
+                    2,
+                    1,
+                ))
             });
         });
     }
@@ -38,6 +44,7 @@ fn bench_rpo_end_to_end(c: &mut Criterion) {
                 let mut rng = SmallRng::seed_from_u64(4);
                 let rpo = Rpo::new(RpoParams {
                     max_sets: 50_000,
+                    threads: Parallelism::Single,
                     ..Default::default()
                 });
                 black_box(rpo.build_pool(&net, &mut rng))

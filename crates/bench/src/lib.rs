@@ -65,18 +65,30 @@ pub fn config_for(scale: ExperimentScale) -> DitaConfig {
 }
 
 /// Builds the trained runner for a dataset family at the env scale.
+///
+/// The sampling thread budget comes from `DITA_THREADS` (unset/`0` =
+/// one shard per core); results are bit-identical at any setting.
 pub fn runner_for(family: &str) -> (ExperimentRunner, ExperimentScale) {
     let scale = ExperimentScale::from_env();
+    let threads = sc_influence::Parallelism::from_env();
     let profile = scale.profile(family);
     eprintln!(
-        "[sc-bench] dataset {} ({} workers, {} venues), scale {:?} — training DITA…",
-        profile.name, profile.n_workers, profile.n_venues, scale
+        "[sc-bench] dataset {} ({} workers, {} venues), scale {:?}, threads {} — training DITA…",
+        profile.name, profile.n_workers, profile.n_venues, scale, threads
     );
-    let runner = ExperimentRunner::new(&profile, 0xBEEF, config_for(scale)).days(scale.n_days());
+    let runner = ExperimentRunner::with_threads(&profile, 0xBEEF, config_for(scale), threads)
+        .days(scale.n_days());
     let stats = runner.pipeline().model().rpo_stats();
     eprintln!(
-        "[sc-bench] RPO pool: {} sets (rounds {}, σ_lb {:.2}, capped {})",
-        stats.n_sets, stats.rounds, stats.sigma_lower_bound, stats.capped
+        "[sc-bench] RPO pool: {} sets (rounds {}, σ_lb {:.2}, capped {}, \
+         search {:.0} ms + top-up {:.0} ms, thread budget {})",
+        stats.n_sets,
+        stats.rounds,
+        stats.sigma_lower_bound,
+        stats.capped,
+        stats.search_ms,
+        stats.topup_ms,
+        stats.threads
     );
     (runner, scale)
 }

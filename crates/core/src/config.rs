@@ -1,6 +1,6 @@
 //! DITA configuration (paper defaults from Section V-A / Table II).
 
-use sc_influence::RpoParams;
+use sc_influence::{Parallelism, RpoParams};
 use sc_topics::LdaParams;
 
 /// Configuration of the DITA training pipeline.
@@ -29,6 +29,7 @@ impl Default for DitaConfig {
                 o: 1.0,
                 max_sets: 400_000,
                 model: sc_influence::PropagationModel::WeightedCascade,
+                threads: Parallelism::Auto,
             },
             seed: 0xD17A,
         }
@@ -39,6 +40,12 @@ impl DitaConfig {
     /// The LDA hyper-parameters implied by the config.
     pub fn lda_params(&self) -> LdaParams {
         LdaParams::with_topics(self.n_topics).sweeps(self.lda_sweeps)
+    }
+
+    /// The sampling thread budget (stored on the RPO parameters).
+    /// Training results are bit-identical at any value.
+    pub fn threads(&self) -> Parallelism {
+        self.rpo.threads
     }
 
     /// Derives a phase-specific RNG seed from the master seed.

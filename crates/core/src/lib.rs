@@ -33,3 +33,8 @@ pub use scorer::{InfluenceBreakdown, InfluenceScorer, InfluenceVariant};
 
 // The assignment algorithms are part of the public API of the framework.
 pub use sc_assign::AlgorithmKind;
+
+// The sampling thread budget travels with the config; re-exported so
+// downstream crates (sim harness, CLI) need not depend on sc-influence
+// just to set it.
+pub use sc_influence::Parallelism;

@@ -56,9 +56,11 @@ impl InfluenceModel {
         let willingness = WillingnessModel::fit(histories);
         let entropy = LocationEntropy::from_history(histories);
 
-        // Propagation (Sections III-C, III-E).
-        let mut rpo_rng = SmallRng::seed_from_u64(config.phase_seed("rpo"));
-        let (pool, rpo_stats) = Rpo::new(config.rpo).build_pool(social, &mut rpo_rng);
+        // Propagation (Sections III-C, III-E). The phase seed goes in
+        // directly as the sharded sampler's master seed, so the pool is
+        // bit-identical at any `config.rpo.threads` setting.
+        let (pool, rpo_stats) =
+            Rpo::new(config.rpo).build_pool_seeded(social, config.phase_seed("rpo"));
 
         InfluenceModel {
             config: *config,

@@ -47,6 +47,14 @@ impl DitaBuilder {
         self
     }
 
+    /// Overrides the sampling thread budget. Training results are
+    /// bit-identical at any setting — this knob trades wall time only.
+    #[must_use]
+    pub fn threads(mut self, threads: sc_influence::Parallelism) -> Self {
+        self.config.rpo.threads = threads;
+        self
+    }
+
     /// Trains every model (LDA, willingness, entropy, RRR pool) and
     /// returns the ready pipeline.
     pub fn build(

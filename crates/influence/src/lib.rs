@@ -20,21 +20,27 @@
 //! * [`cascade`] — forward IC simulation (ground truth for tests and the
 //!   propagation-validation benches).
 //! * [`rrr`] — single RRR-set sampling on the reverse graph.
-//! * [`pool`] — a shared pool of RRR sets with per-worker and per-root
-//!   indexes; all estimators read from it.
-//! * [`rpo`] — Algorithm 1: decides how many sets the pool needs.
+//! * [`pool`] — a flat CSR arena of RRR sets with per-worker and
+//!   per-root indexes; all estimators read from it. Generation is
+//!   sharded across threads yet **bit-identical at any thread count**
+//!   (per-set RNG streams derived from `(master_seed, set_index)`).
+//! * [`rpo`] — Algorithm 1: decides how many sets the pool needs, with
+//!   incremental (never-resampling) top-ups.
+//! * [`parallel`] — the [`Parallelism`] thread-budget knob.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod cascade;
 pub mod network;
+pub mod parallel;
 pub mod pool;
 pub mod rpo;
 pub mod rrr;
 
 pub use cascade::{IndependentCascade, LinearThreshold};
 pub use network::SocialNetwork;
+pub use parallel::Parallelism;
 pub use pool::{PropagationModel, RrrPool};
 pub use rpo::{Rpo, RpoParams, RpoStats};
 pub use rrr::{sample_rrr_set, sample_rrr_set_lt};

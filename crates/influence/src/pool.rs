@@ -20,10 +20,27 @@
 //!
 //! The `rrr_pool_vs_perworker` bench quantifies this design choice
 //! against re-running Algorithm 1 for every candidate worker.
+//!
+//! # Storage and parallel generation
+//!
+//! Sets live in a flat CSR arena (`set_offsets` + `set_members`,
+//! mirroring `sc_graph::CsrGraph`), not in nested vectors: one
+//! allocation each, cache-linear scans for every estimator. Generation
+//! is sharded: the RNG of set `j` is derived from
+//! `(master_seed, set_index = j)` via [`SeedableRng::seed_from_stream`],
+//! so set `j` is the same bytes no matter which shard — or how many
+//! threads — sampled it. Shards are contiguous index ranges run on
+//! `std::thread::scope`, each with its own epoch-reset visited buffer,
+//! and are concatenated in index order. The pool is therefore
+//! **bit-identical at any thread count**, and [`RrrPool::extend_to`]
+//! grows a pool to exactly the state a from-scratch generation of the
+//! larger size would produce — which is what makes RPO top-ups
+//! incremental instead of resampling the whole pool.
 
 use crate::network::SocialNetwork;
 use crate::rrr::{sample_rrr_set, sample_rrr_set_lt};
-use rand::{Rng, RngExt};
+use rand::rngs::SmallRng;
+use rand::{Rng, RngExt, SeedableRng};
 
 /// Which diffusion model the RRR sets are sampled under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -40,9 +57,13 @@ pub enum PropagationModel {
 #[derive(Debug, Clone, Default)]
 pub struct RrrPool {
     n_workers: usize,
+    /// Seed every set's RNG stream derives from; [`RrrPool::extend_to`]
+    /// continues the same stream family.
+    master_seed: u64,
+    model: PropagationModel,
     /// Root of each set.
     roots: Vec<u32>,
-    /// CSR storage of set members.
+    /// CSR arena of set members.
     set_offsets: Vec<u32>,
     set_members: Vec<u32>,
     /// CSR index: worker -> ids of sets containing it.
@@ -50,78 +71,267 @@ pub struct RrrPool {
     member_sets: Vec<u32>,
 }
 
+/// One shard's output: sets `[lo, hi)` in index order, ready to splice
+/// into the arena.
+struct ShardOut {
+    roots: Vec<u32>,
+    lens: Vec<u32>,
+    members: Vec<u32>,
+}
+
+/// Samples sets `[lo, hi)`. Every set's RNG comes from
+/// `(master_seed, set_index)`, so the output depends only on the index
+/// range — not on which thread runs it or what ran before it.
+fn sample_shard(
+    net: &SocialNetwork,
+    model: PropagationModel,
+    master_seed: u64,
+    lo: usize,
+    hi: usize,
+) -> ShardOut {
+    let n = net.n_workers();
+    let mut roots = Vec::with_capacity(hi - lo);
+    let mut lens = Vec::with_capacity(hi - lo);
+    let mut members = Vec::new();
+    let mut visited = vec![0u32; n];
+    let mut buf = Vec::new();
+    for j in lo..hi {
+        let mut rng = SmallRng::seed_from_stream(master_seed, j as u64);
+        let root = rng.random_range(0..n) as u32;
+        let epoch = (j - lo + 1) as u32;
+        match model {
+            PropagationModel::WeightedCascade => {
+                sample_rrr_set(net, root, &mut rng, &mut visited, epoch, &mut buf)
+            }
+            PropagationModel::LinearThreshold => {
+                sample_rrr_set_lt(net, root, &mut rng, &mut visited, epoch, &mut buf)
+            }
+        }
+        roots.push(root);
+        lens.push(buf.len() as u32);
+        members.extend_from_slice(&buf);
+    }
+    ShardOut { roots, lens, members }
+}
+
 impl RrrPool {
+    /// Minimum sets per shard before an extension spawns another
+    /// thread: below this, spawn overhead beats the sampling work. The
+    /// thread budget passed to [`RrrPool::generate_sharded`] /
+    /// [`RrrPool::extend_to`] is clamped to
+    /// `ceil(added_sets / MIN_SETS_PER_SHARD)` — results are unaffected
+    /// (sets are seeded per index), only the parallel width is.
+    pub const MIN_SETS_PER_SHARD: usize = 1024;
+
     /// Samples a pool of `n_sets` RRR sets with uniformly random roots
     /// under the paper's weighted-cascade IC model.
+    ///
+    /// The caller's RNG contributes one `u64` (the master seed); the
+    /// actual sampling runs on the sharded engine at
+    /// [`Parallelism::Auto`](crate::Parallelism) width, which produces
+    /// the same bytes at any thread count.
     pub fn generate<R: Rng + ?Sized>(net: &SocialNetwork, n_sets: usize, rng: &mut R) -> Self {
         Self::generate_with_model(net, n_sets, PropagationModel::WeightedCascade, rng)
     }
 
-    /// Samples a pool under an explicit diffusion model.
+    /// Samples a pool under an explicit diffusion model (see
+    /// [`RrrPool::generate`] for the seeding contract).
     pub fn generate_with_model<R: Rng + ?Sized>(
         net: &SocialNetwork,
         n_sets: usize,
         model: PropagationModel,
         rng: &mut R,
     ) -> Self {
+        Self::generate_sharded(
+            net,
+            n_sets,
+            model,
+            rng.next_u64(),
+            crate::Parallelism::Auto.resolve(),
+        )
+    }
+
+    /// Samples a pool of `n_sets` sets on up to `threads` shards.
+    ///
+    /// The pool is **bit-identical for a fixed `master_seed` regardless
+    /// of `threads`**: set `j`'s RNG is
+    /// `SmallRng::seed_from_stream(master_seed, j)`, so sharding only
+    /// changes which thread evaluates an index range, never the bytes.
+    pub fn generate_sharded(
+        net: &SocialNetwork,
+        n_sets: usize,
+        model: PropagationModel,
+        master_seed: u64,
+        threads: usize,
+    ) -> Self {
         let n = net.n_workers();
-        let mut roots = Vec::with_capacity(n_sets);
-        let mut set_offsets = Vec::with_capacity(n_sets + 1);
-        let mut set_members = Vec::new();
-        set_offsets.push(0u32);
-
-        if n > 0 {
-            let mut visited = vec![0u32; n];
-            let mut buf = Vec::new();
-            for j in 0..n_sets {
-                let root = rng.random_range(0..n) as u32;
-                match model {
-                    PropagationModel::WeightedCascade => {
-                        sample_rrr_set(net, root, rng, &mut visited, j as u32 + 1, &mut buf)
-                    }
-                    PropagationModel::LinearThreshold => {
-                        sample_rrr_set_lt(net, root, rng, &mut visited, j as u32 + 1, &mut buf)
-                    }
-                }
-                roots.push(root);
-                set_members.extend_from_slice(&buf);
-                set_offsets.push(set_members.len() as u32);
-            }
-        }
-
         let mut pool = RrrPool {
             n_workers: n,
-            roots,
-            set_offsets,
-            set_members,
-            member_offsets: Vec::new(),
+            master_seed,
+            model,
+            roots: Vec::new(),
+            set_offsets: vec![0u32],
+            set_members: Vec::new(),
+            member_offsets: vec![0u32; n + 1],
             member_sets: Vec::new(),
         };
-        pool.rebuild_membership();
+        pool.extend_to(net, n_sets, threads);
         pool
     }
 
-    fn rebuild_membership(&mut self) {
+    /// Grows the pool to `target` sets (no-op if already that large).
+    ///
+    /// Because set `j` depends only on `(master_seed, j)`, the extended
+    /// pool is byte-for-byte the pool a from-scratch
+    /// [`RrrPool::generate_sharded`] of `target` sets would have
+    /// produced. Sampling cost is linear in the number of *added* sets;
+    /// folding them into the membership index costs one flat
+    /// block-copy pass over the index (O(total memberships), no
+    /// re-derivation of old sets) — cheap per RPO top-up, but a
+    /// high-frequency caller (e.g. a future online mode extending per
+    /// task) should batch extensions to amortize it.
+    pub fn extend_to(&mut self, net: &SocialNetwork, target: usize, threads: usize) {
+        debug_assert_eq!(net.n_workers(), self.n_workers, "pool/network mismatch");
+        let first_new = self.n_sets();
+        if self.n_workers == 0 || target <= first_new {
+            return;
+        }
+        let count = target - first_new;
+        let threads = threads.clamp(1, count.div_ceil(Self::MIN_SETS_PER_SHARD).max(1));
+
+        let outs: Vec<ShardOut> = if threads == 1 {
+            vec![sample_shard(net, self.model, self.master_seed, first_new, target)]
+        } else {
+            let base = count / threads;
+            let rem = count % threads;
+            let mut bounds = Vec::with_capacity(threads + 1);
+            bounds.push(first_new);
+            for i in 0..threads {
+                bounds.push(bounds[i] + base + usize::from(i < rem));
+            }
+            let (model, seed) = (self.model, self.master_seed);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = bounds
+                    .windows(2)
+                    .map(|w| scope.spawn(move || sample_shard(net, model, seed, w[0], w[1])))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("RRR sampler shard panicked"))
+                    .collect()
+            })
+        };
+
+        self.roots.reserve(count);
+        self.set_offsets.reserve(count);
+        let added: usize = outs.iter().map(|o| o.members.len()).sum();
+        self.set_members.reserve(added);
+        for out in outs {
+            self.roots.extend_from_slice(&out.roots);
+            self.set_members.extend_from_slice(&out.members);
+            for len in out.lens {
+                let next = self.set_offsets.last().unwrap() + len;
+                self.set_offsets.push(next);
+            }
+        }
+        self.index_new_sets(first_new);
+    }
+
+    /// Folds sets `[first_new, n_sets)` into the worker→sets index.
+    ///
+    /// Existing per-worker runs are block-copied (never re-derived from
+    /// the arena) and the new set ids — all larger than the indexed ones
+    /// — are appended behind them, so each run stays sorted and the cost
+    /// is one flat pass instead of a full rebuild per top-up.
+    fn index_new_sets(&mut self, first_new: usize) {
         let n = self.n_workers;
-        let mut counts = vec![0u32; n + 1];
-        for &w in &self.set_members {
-            counts[w as usize + 1] += 1;
+        if n == 0 {
+            return;
         }
-        for i in 0..n {
-            counts[i + 1] += counts[i];
+        debug_assert_eq!(self.member_offsets.len(), n + 1);
+        let new_lo = self.set_offsets[first_new] as usize;
+        let mut add = vec![0u32; n];
+        for &w in &self.set_members[new_lo..] {
+            add[w as usize] += 1;
         }
-        self.member_offsets = counts.clone();
-        let mut cursor = counts;
-        let mut member_sets = vec![0u32; self.set_members.len()];
-        for j in 0..self.n_sets() {
+        let mut offsets = vec![0u32; n + 1];
+        for w in 0..n {
+            let old_len = self.member_offsets[w + 1] - self.member_offsets[w];
+            offsets[w + 1] = offsets[w] + old_len + add[w];
+        }
+        let mut merged = vec![0u32; offsets[n] as usize];
+        let mut cursor = vec![0u32; n];
+        for w in 0..n {
+            let src_lo = self.member_offsets[w] as usize;
+            let src_hi = self.member_offsets[w + 1] as usize;
+            let dst = offsets[w] as usize;
+            merged[dst..dst + (src_hi - src_lo)]
+                .copy_from_slice(&self.member_sets[src_lo..src_hi]);
+            cursor[w] = offsets[w] + (src_hi - src_lo) as u32;
+        }
+        for j in first_new..self.n_sets() {
             let lo = self.set_offsets[j] as usize;
             let hi = self.set_offsets[j + 1] as usize;
             for &w in &self.set_members[lo..hi] {
-                member_sets[cursor[w as usize] as usize] = j as u32;
+                merged[cursor[w as usize] as usize] = j as u32;
                 cursor[w as usize] += 1;
             }
         }
-        self.member_sets = member_sets;
+        self.member_offsets = offsets;
+        self.member_sets = merged;
+    }
+
+    /// The master seed the pool's per-set RNG streams derive from.
+    #[inline]
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// The diffusion model the sets were sampled under.
+    #[inline]
+    pub fn model(&self) -> PropagationModel {
+        self.model
+    }
+
+    /// The set arena: `(offsets, members)` CSR slices. Set `j`'s members
+    /// are `members[offsets[j]..offsets[j + 1]]`, root first.
+    #[inline]
+    pub fn set_arena(&self) -> (&[u32], &[u32]) {
+        (&self.set_offsets, &self.set_members)
+    }
+
+    /// Roots of all sets, indexed by set id.
+    #[inline]
+    pub fn roots(&self) -> &[u32] {
+        &self.roots
+    }
+
+    /// The membership index: `(offsets, set_ids)` CSR slices mapping
+    /// worker `w` to the sorted ids of sets containing it.
+    #[inline]
+    pub fn membership_arena(&self) -> (&[u32], &[u32]) {
+        (&self.member_offsets, &self.member_sets)
+    }
+
+    /// Order-sensitive digest of the sampled bytes (roots + arena) —
+    /// cheap bit-identity checks for the determinism tests and benches.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        eat(self.n_sets() as u64);
+        for &r in &self.roots {
+            eat(r as u64);
+        }
+        for &o in &self.set_offsets {
+            eat(o as u64);
+        }
+        for &m in &self.set_members {
+            eat(m as u64);
+        }
+        h
     }
 
     /// Number of sets `N`.

@@ -15,6 +15,13 @@ use rand::{Rng, RngExt};
 ///
 /// `visited_epoch`/`epoch` implement O(1) reset between samples: callers
 /// reuse the buffers across millions of sets.
+///
+/// # Contract
+///
+/// `root` must be a valid worker id (`root < net.n_workers()`).
+/// Out-of-range roots **panic** — consistent with `sc_graph::CsrGraph`,
+/// which panics on out-of-range nodes — instead of silently producing an
+/// empty set that would bias every pool estimator built on top.
 pub fn sample_rrr_set<R: Rng + ?Sized>(
     net: &SocialNetwork,
     root: u32,
@@ -25,9 +32,11 @@ pub fn sample_rrr_set<R: Rng + ?Sized>(
 ) {
     out.clear();
     debug_assert_eq!(visited_epoch.len(), net.n_workers());
-    if (root as usize) >= net.n_workers() {
-        return;
-    }
+    debug_assert!(
+        (root as usize) < net.n_workers(),
+        "RRR root {root} out of range (|W| = {})",
+        net.n_workers()
+    );
     visited_epoch[root as usize] = epoch;
     out.push(root);
     let mut cursor = 0usize;
@@ -67,6 +76,8 @@ pub fn sample_rrr_set_alloc<R: Rng + ?Sized>(
 /// single reverse path obtained by repeatedly hopping to one uniformly
 /// chosen in-neighbour until a node with no in-edges or an already
 /// visited node is reached.
+///
+/// Shares [`sample_rrr_set`]'s contract: an out-of-range `root` panics.
 pub fn sample_rrr_set_lt<R: Rng + ?Sized>(
     net: &SocialNetwork,
     root: u32,
@@ -78,9 +89,11 @@ pub fn sample_rrr_set_lt<R: Rng + ?Sized>(
     use rand::RngExt;
     out.clear();
     debug_assert_eq!(visited_epoch.len(), net.n_workers());
-    if (root as usize) >= net.n_workers() {
-        return;
-    }
+    debug_assert!(
+        (root as usize) < net.n_workers(),
+        "RRR root {root} out of range (|W| = {})",
+        net.n_workers()
+    );
     let mut current = root;
     visited_epoch[root as usize] = epoch;
     out.push(root);
@@ -180,10 +193,14 @@ mod tests {
     }
 
     #[test]
-    fn out_of_range_root_yields_empty() {
+    #[should_panic]
+    fn out_of_range_root_panics() {
+        // Contract: roots must be in range; a debug assertion (or the
+        // buffer bounds check in release) rejects them loudly instead of
+        // returning a biased empty set.
         let net = SocialNetwork::from_directed_edges(2, &[(0, 1)]);
         let mut rng = SmallRng::seed_from_u64(5);
-        assert!(sample_rrr_set_alloc(&net, 7, &mut rng).is_empty());
+        let _ = sample_rrr_set_alloc(&net, 7, &mut rng);
     }
 
     #[test]

@@ -70,7 +70,7 @@ fn undersampling_visibly_degrades_the_guarantee() {
     let sigma = sigma_truth(&net, worker);
     let epsilon = 0.25;
     let tiny = 8; // far below N'
-    let reps = 300;
+    let reps = 1_000;
     let mut failures = 0;
     for rep in 0..reps {
         let mut rng = SmallRng::seed_from_u64(5_000 + rep);
@@ -80,8 +80,10 @@ fn undersampling_visibly_degrades_the_guarantee() {
         }
     }
     let rate = failures as f64 / reps as f64;
+    // The true failure rate of an 8-set pool here is ~0.15 — more than
+    // double λ = 0.05; the threshold sits between with binomial slack.
     assert!(
-        rate > 0.15,
+        rate > 0.11,
         "an 8-set pool should fail the bound often, got rate {rate}"
     );
 }

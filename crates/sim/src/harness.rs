@@ -4,7 +4,7 @@
 use crate::metrics::{MetricsAccumulator, MetricsRow};
 use crate::sweep::{SweepAxis, SweepValues};
 use sc_assign::{run_with_matrix, AlgorithmKind, AssignInput, EligibilityMatrix};
-use sc_core::{DitaBuilder, DitaConfig, DitaPipeline, InfluenceScorer, InfluenceVariant};
+use sc_core::{DitaBuilder, DitaConfig, DitaPipeline, InfluenceScorer, InfluenceVariant, Parallelism};
 use sc_datagen::{DatasetProfile, SyntheticDataset};
 use sc_types::Assignment;
 use std::time::Instant;
@@ -48,6 +48,20 @@ impl ExperimentRunner {
             pipeline,
             n_days: 4,
         }
+    }
+
+    /// Like [`ExperimentRunner::new`] with an explicit sampling thread
+    /// budget for the training phase (RRR pool generation). Metrics are
+    /// bit-identical at any budget — sampling is seeded per set index —
+    /// so sweeps stay comparable across machines and thread counts.
+    pub fn with_threads(
+        profile: &DatasetProfile,
+        seed: u64,
+        mut config: DitaConfig,
+        threads: Parallelism,
+    ) -> Self {
+        config.rpo.threads = threads;
+        Self::new(profile, seed, config)
     }
 
     /// Overrides the number of simulated days averaged per point.
@@ -344,6 +358,51 @@ mod tests {
                 assert!((ra.ap - rb.ap).abs() < 1e-12);
                 assert!((ra.travel_km - rb.travel_km).abs() < 1e-12);
                 // cpu_ms intentionally not compared (timing noise).
+            }
+        }
+    }
+
+    #[test]
+    fn thread_budget_does_not_change_metrics() {
+        // The RRR pool is bit-identical at any thread count, so every
+        // downstream metric must match exactly between budgets.
+        let mut profile = DatasetProfile::brightkite_small();
+        profile.n_workers = 80;
+        profile.n_venues = 80;
+        profile.checkins_per_worker = 10;
+        let config = DitaConfig {
+            n_topics: 5,
+            lda_sweeps: 10,
+            infer_sweeps: 6,
+            rpo: RpoParams {
+                max_sets: 4_000,
+                ..Default::default()
+            },
+            seed: 3,
+        };
+        let single =
+            ExperimentRunner::with_threads(&profile, 9, config, Parallelism::Single).days(1);
+        let four =
+            ExperimentRunner::with_threads(&profile, 9, config, Parallelism::Fixed(4)).days(1);
+        assert_eq!(
+            single.pipeline().model().pool().fingerprint(),
+            four.pipeline().model().pool().fingerprint(),
+            "training pools must be bit-identical"
+        );
+        let axis = SweepAxis::Tasks(vec![20]);
+        let defaults = SweepValues {
+            n_tasks: 20,
+            n_workers: 30,
+            options: Default::default(),
+        };
+        let a = single.run_comparison(&axis, &defaults);
+        let b = four.run_comparison(&axis, &defaults);
+        for (pa, pb) in a.iter().zip(b.iter()) {
+            for (ra, rb) in pa.rows.iter().zip(pb.rows.iter()) {
+                assert_eq!(ra.assigned, rb.assigned, "{}", ra.algorithm);
+                assert_eq!(ra.ai, rb.ai);
+                assert_eq!(ra.ap, rb.ap);
+                assert_eq!(ra.travel_km, rb.travel_km);
             }
         }
     }

@@ -25,5 +25,6 @@ pub mod table;
 
 pub use harness::{AblationPoint, ComparisonPoint, ExperimentRunner};
 pub use metrics::MetricsRow;
+pub use sc_core::Parallelism;
 pub use sweep::{ExperimentScale, SweepAxis, SweepValues};
 pub use table::{render_table, to_csv};

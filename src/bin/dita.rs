@@ -3,17 +3,20 @@
 //! ```text
 //! dita generate   --profile bk-small --seed 42 --out data/
 //! dita assign     --profile bk-small --tasks 150 --workers 120 --algorithm IA
-//! dita comparison --profile bk-small --axis tasks
+//! dita comparison --profile bk-small --axis tasks --threads 4
 //! dita ablation   --profile fs-small --axis radius
-//! dita simulate   --profile bk-small --day 0 --algorithm EIA
+//! dita simulate   --profile bk-small --day 0 --algorithm EIA --verbose
 //! ```
 //!
-//! Flags are `--key value` pairs; every command accepts `--seed`.
-//! Argument parsing is deliberately dependency-free.
+//! Flags are `--key value` pairs (`--verbose` may stand alone); every
+//! command accepts `--seed`, and the training commands accept
+//! `--threads N` (0 = one shard per core) — results are bit-identical
+//! at any thread count. Argument parsing is deliberately
+//! dependency-free.
 
 use dita::core::{AlgorithmKind, DitaBuilder, DitaConfig, DitaPipeline};
 use dita::datagen::{io as dio, DatasetProfile, InstanceOptions, SyntheticDataset};
-use dita::influence::RpoParams;
+use dita::influence::{Parallelism, RpoParams};
 use dita::sim::platform::{simulate_day, DayConfig};
 use dita::sim::{render_table, ExperimentRunner, SweepAxis, SweepValues};
 use std::collections::HashMap;
@@ -58,6 +61,11 @@ USAGE:
   dita ablation   [--profile P] [--seed N] [--axis tasks|workers|phi|radius]
   dita simulate   [--profile P] [--seed N] [--day D] [--algorithm A]
 
+COMMON FLAGS (assign/comparison/ablation/simulate):
+  --threads N   RRR sampling threads; 0 = one per core (results are
+                bit-identical at any thread count)
+  --verbose     print RPO diagnostics (pool size, cap, per-phase wall time)
+
 PROFILES: bk, fs, bk-small (default), fs-small";
 
 fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
@@ -66,11 +74,30 @@ fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
     let mut i = 1;
     while i < args.len() {
         let key = args[i].strip_prefix("--")?;
-        let value = args.get(i + 1)?;
-        flags.insert(key.to_string(), value.clone());
-        i += 2;
+        // A flag followed by another flag (or nothing) is boolean.
+        match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => {
+                flags.insert(key.to_string(), v.clone());
+                i += 2;
+            }
+            _ => {
+                flags.insert(key.to_string(), "true".to_string());
+                i += 1;
+            }
+        }
     }
     Some((command, flags))
+}
+
+fn threads_of(flags: &HashMap<String, String>) -> Result<Parallelism, String> {
+    match num::<usize>(flags, "threads", 0)? {
+        0 => Ok(Parallelism::Auto),
+        n => Ok(Parallelism::Fixed(n)),
+    }
+}
+
+fn verbose_of(flags: &HashMap<String, String>) -> bool {
+    matches!(flags.get("verbose").map(String::as_str), Some("true" | "1"))
 }
 
 fn profile_of(flags: &HashMap<String, String>) -> Result<DatasetProfile, String> {
@@ -111,7 +138,7 @@ fn algorithm_of(flags: &HashMap<String, String>) -> Result<AlgorithmKind, String
     }
 }
 
-fn cli_config(profile: &DatasetProfile, seed: u64) -> DitaConfig {
+fn cli_config(profile: &DatasetProfile, seed: u64, threads: Parallelism) -> DitaConfig {
     // Scale the model budget with the dataset so `bk`/`fs` stay usable
     // from the command line.
     let small = profile.n_workers <= 1_000;
@@ -121,23 +148,52 @@ fn cli_config(profile: &DatasetProfile, seed: u64) -> DitaConfig {
         infer_sweeps: 10,
         rpo: RpoParams {
             max_sets: if small { 30_000 } else { 400_000 },
+            threads,
             ..Default::default()
         },
         seed,
     }
 }
 
-fn train(profile: &DatasetProfile, seed: u64) -> (SyntheticDataset, DitaPipeline) {
+fn train(
+    profile: &DatasetProfile,
+    seed: u64,
+    threads: Parallelism,
+    verbose: bool,
+) -> (SyntheticDataset, DitaPipeline) {
     eprintln!(
-        "training DITA on '{}' ({} workers)…",
-        profile.name, profile.n_workers
+        "training DITA on '{}' ({} workers, {} sampling thread(s))…",
+        profile.name, profile.n_workers, threads
     );
     let data = SyntheticDataset::generate(profile, seed);
     let pipeline = DitaBuilder::new()
-        .config(cli_config(profile, seed))
+        .config(cli_config(profile, seed, threads))
         .build(&data.social, &data.histories)
         .expect("training");
+    if verbose {
+        print_rpo_stats(&pipeline);
+    }
     (data, pipeline)
+}
+
+fn print_rpo_stats(pipeline: &DitaPipeline) {
+    let s = pipeline.model().rpo_stats();
+    eprintln!(
+        "RPO: {} sets sampled ({} in pool), {} halving round(s), k = {:.1}, \
+         threshold test {}, σ_lb = {:.2}, N'_R = {:.0}, capped = {}",
+        s.sets_sampled,
+        s.n_sets,
+        s.rounds,
+        s.k_final,
+        if s.test_passed { "passed" } else { "exhausted" },
+        s.sigma_lower_bound,
+        s.nr_prime,
+        s.capped
+    );
+    eprintln!(
+        "RPO wall time: search {:.1} ms, top-up {:.1} ms (thread budget {})",
+        s.search_ms, s.topup_ms, s.threads
+    );
 }
 
 fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -175,7 +231,7 @@ fn cmd_assign(flags: &HashMap<String, String>) -> Result<(), String> {
         ..Default::default()
     };
 
-    let (data, pipeline) = train(&profile, seed);
+    let (data, pipeline) = train(&profile, seed, threads_of(flags)?, verbose_of(flags));
     let inst = data.instance_for_day(day, n_tasks, n_workers, opts);
     let start = std::time::Instant::now();
     let a = pipeline.assign_with_venues(&inst.instance, &inst.task_venues, algorithm);
@@ -227,8 +283,11 @@ fn cmd_sweep(flags: &HashMap<String, String>, ablation: bool) -> Result<(), Stri
     } else {
         SweepValues::paper_defaults()
     };
-    let runner =
-        ExperimentRunner::new(&profile, seed, cli_config(&profile, seed)).days(4);
+    let config = cli_config(&profile, seed, threads_of(flags)?);
+    let runner = ExperimentRunner::new(&profile, seed, config).days(4);
+    if verbose_of(flags) {
+        print_rpo_stats(runner.pipeline());
+    }
 
     if ablation {
         let points = runner.run_ablation(&axis, &defaults);
@@ -278,7 +337,7 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     let seed: u64 = num(flags, "seed", 42)?;
     let day: usize = num(flags, "day", 0)?;
     let algorithm = algorithm_of(flags)?;
-    let (data, pipeline) = train(&profile, seed);
+    let (data, pipeline) = train(&profile, seed, threads_of(flags)?, verbose_of(flags));
     let config = DayConfig::default();
     let report = simulate_day(&data, &pipeline, day, &config, algorithm);
     println!("hour  open  online  assigned      AI");
