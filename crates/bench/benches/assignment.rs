@@ -23,6 +23,7 @@ fn setup() -> (SyntheticDataset, sc_core::DitaPipeline) {
                 ..Default::default()
             },
             seed: 1,
+            ..Default::default()
         })
         .build(&dataset.social, &dataset.histories)
         .expect("training");

@@ -60,6 +60,7 @@ pub fn config_for(scale: ExperimentScale) -> DitaConfig {
                 ..Default::default()
             },
             seed: 0xD17A,
+            ..Default::default()
         },
     }
 }

@@ -3,6 +3,64 @@
 use sc_influence::{Parallelism, RpoParams};
 use sc_topics::LdaParams;
 
+/// Configuration of the online assignment engine's per-round pool
+/// maintenance (the serving-mode knobs; the paper's batch protocol is
+/// the frozen default).
+///
+/// Per round the engine advances the pool epoch, evicts at most
+/// [`OnlineConfig::growth_cap`] sets older than
+/// [`OnlineConfig::eviction_horizon`] rounds, and samples at most
+/// [`OnlineConfig::growth_cap`] fresh sets back up to the target — so
+/// maintenance work is bounded per round and no full retrain ever
+/// happens after warm-up. All maintenance is deterministic in the
+/// training master seed at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnlineConfig {
+    /// Hours between assignment rounds (round length). The engine
+    /// itself is cadence-agnostic (`run_round` takes the instant);
+    /// drivers — the `dita online` CLI, day simulators — read this to
+    /// schedule their round calls.
+    pub round_hours: i64,
+    /// Maximum RRR sets evicted *and* maximum sets sampled per round
+    /// (the rotation quantum). `0` freezes the pool — no maintenance.
+    pub growth_cap: usize,
+    /// Rounds a set stays live before it becomes eviction-eligible.
+    /// `0` disables eviction (the pool only grows, up to the target).
+    pub eviction_horizon: u32,
+    /// Live-set target the maintenance path holds the pool at.
+    /// `0` means "the trained pool size".
+    pub target_sets: usize,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            round_hours: 1,
+            growth_cap: 0,
+            eviction_horizon: 0,
+            target_sets: 0,
+        }
+    }
+}
+
+impl OnlineConfig {
+    /// A streaming preset: hourly rounds, rotation quantum of 2048
+    /// sets, 24-round eviction horizon, trained pool size as target.
+    pub fn streaming() -> Self {
+        OnlineConfig {
+            round_hours: 1,
+            growth_cap: 2_048,
+            eviction_horizon: 24,
+            target_sets: 0,
+        }
+    }
+
+    /// Whether any per-round pool maintenance happens at all.
+    pub fn maintains_pool(&self) -> bool {
+        self.growth_cap > 0
+    }
+}
+
 /// Configuration of the DITA training pipeline.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DitaConfig {
@@ -14,6 +72,9 @@ pub struct DitaConfig {
     pub infer_sweeps: usize,
     /// RPO parameters (paper: ε = 0.1, o = 1).
     pub rpo: RpoParams,
+    /// Online-mode pool maintenance (frozen by default; ignored by the
+    /// batch sweep harness).
+    pub online: OnlineConfig,
     /// Master seed; every random phase derives from it.
     pub seed: u64,
 }
@@ -31,6 +92,7 @@ impl Default for DitaConfig {
                 model: sc_influence::PropagationModel::WeightedCascade,
                 threads: Parallelism::Auto,
             },
+            online: OnlineConfig::default(),
             seed: 0xD17A,
         }
     }
@@ -82,6 +144,16 @@ mod tests {
         let p = c.lda_params();
         assert_eq!(p.n_topics, 10);
         assert_eq!(p.sweeps, 5);
+    }
+
+    #[test]
+    fn online_defaults_are_frozen() {
+        let o = OnlineConfig::default();
+        assert!(!o.maintains_pool());
+        assert_eq!(o.round_hours, 1);
+        assert_eq!(DitaConfig::default().online, o);
+        assert!(OnlineConfig::streaming().maintains_pool());
+        assert!(OnlineConfig::streaming().eviction_horizon > 0);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod model;
 pub mod pipeline;
 pub mod scorer;
 
-pub use config::DitaConfig;
+pub use config::{DitaConfig, OnlineConfig};
 pub use model::InfluenceModel;
 pub use pipeline::{DitaBuilder, DitaPipeline};
 pub use scorer::{InfluenceBreakdown, InfluenceScorer, InfluenceVariant};

@@ -11,7 +11,11 @@ use sc_types::{HistoryStore, Location, Task, VenueId, WorkerId};
 
 /// The frozen output of DITA's influence-modeling component
 /// (left half of paper Figure 2).
-#[derive(Debug)]
+///
+/// `Clone` exists so an online engine can take a private live copy of
+/// a trained model and maintain its RRR pool across rounds without
+/// disturbing the original.
+#[derive(Debug, Clone)]
 pub struct InfluenceModel {
     config: DitaConfig,
     lda: LdaModel,
@@ -96,6 +100,19 @@ impl InfluenceModel {
     #[inline]
     pub fn pool(&self) -> &RrrPool {
         &self.pool
+    }
+
+    /// Mutable access to the RRR pool — the online-maintenance hook.
+    ///
+    /// The engine uses it to rotate the pool (advance epoch, evict a
+    /// bounded stale prefix, extend back to the target) between
+    /// assignment rounds. Any scorer is created per round, so a pool
+    /// mutated here is consistently visible to the next round's
+    /// scoring. Replacing the pool wholesale (e.g. with a freshly
+    /// retrained one) is the retrain-oracle path of `bench_online`.
+    #[inline]
+    pub fn pool_mut(&mut self) -> &mut RrrPool {
+        &mut self.pool
     }
 
     /// The willingness model.
@@ -211,6 +228,7 @@ mod tests {
                 ..Default::default()
             },
             seed: 7,
+            ..Default::default()
         }
     }
 

@@ -55,6 +55,15 @@ impl DitaBuilder {
         self
     }
 
+    /// Overrides the online-maintenance configuration (round length,
+    /// rotation quantum, eviction horizon). Ignored by batch sweeps;
+    /// the online engine reads it off the trained pipeline.
+    #[must_use]
+    pub fn online(mut self, online: crate::config::OnlineConfig) -> Self {
+        self.config.online = online;
+        self
+    }
+
     /// Trains every model (LDA, willingness, entropy, RRR pool) and
     /// returns the ready pipeline.
     pub fn build(
@@ -71,7 +80,11 @@ impl DitaBuilder {
 }
 
 /// A trained DITA pipeline: influence modeling plus task assignment.
-#[derive(Debug)]
+///
+/// `Clone` lets an [`sc_types`]-level caller hand a live copy to an
+/// online engine (which mutates its pool between rounds) while keeping
+/// the original frozen for batch sweeps.
+#[derive(Debug, Clone)]
 pub struct DitaPipeline {
     model: InfluenceModel,
 }
@@ -80,6 +93,12 @@ impl DitaPipeline {
     /// The trained influence model.
     pub fn model(&self) -> &InfluenceModel {
         &self.model
+    }
+
+    /// Mutable access to the model — the online-maintenance hook (see
+    /// [`InfluenceModel::pool_mut`]).
+    pub fn model_mut(&mut self) -> &mut InfluenceModel {
+        &mut self.model
     }
 
     /// Creates an influence oracle (full product).

@@ -226,6 +226,7 @@ mod tests {
                 ..Default::default()
             },
             seed: 3,
+            ..Default::default()
         }
     }
 

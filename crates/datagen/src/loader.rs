@@ -260,6 +260,7 @@ mod tests {
                     ..Default::default()
                 },
                 seed: 1,
+                ..Default::default()
             })
             .build(&loaded.social, &loaded.histories)
             .unwrap();

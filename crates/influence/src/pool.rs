@@ -36,6 +36,22 @@
 //! grows a pool to exactly the state a from-scratch generation of the
 //! larger size would produce — which is what makes RPO top-ups
 //! incremental instead of resampling the whole pool.
+//!
+//! # Decay and eviction (online maintenance)
+//!
+//! An online platform keeps a pool alive across assignment rounds, so
+//! the pool supports bounded *rotation*: sets carry an epoch tag
+//! ([`RrrPool::advance_epoch`]) and [`RrrPool::evict_before_epoch`]
+//! drops the oldest sets once they fall behind an eviction horizon.
+//! Eviction always removes a *prefix* of the arena (epochs are
+//! non-decreasing by construction), so re-indexing is one flat
+//! block-copy pass over the membership index — no set is re-derived.
+//! Evicted stream indices are **never reused**: the live window of a
+//! pool that evicted `E` sets covers stream indices
+//! `[E, E + n_sets)`, and [`RrrPool::extend_to`] keeps sampling from
+//! `E + n_sets` upward. State therefore stays a pure function of
+//! `(master_seed, set_index)` — a maintained pool is byte-identical to
+//! a from-scratch pool of the same stream window at any thread count.
 
 use crate::network::SocialNetwork;
 use crate::rrr::{sample_rrr_set, sample_rrr_set_lt};
@@ -61,8 +77,16 @@ pub struct RrrPool {
     /// continues the same stream family.
     master_seed: u64,
     model: PropagationModel,
+    /// Stream index of live set 0 — equivalently, the number of sets
+    /// evicted over the pool's lifetime. Live set `j` was seeded from
+    /// `(master_seed, stream_base + j)`.
+    stream_base: usize,
+    /// Sampling epoch stamped onto newly generated sets.
+    epoch: u32,
     /// Root of each set.
     roots: Vec<u32>,
+    /// Epoch each live set was sampled in (non-decreasing).
+    set_epochs: Vec<u32>,
     /// CSR arena of set members.
     set_offsets: Vec<u32>,
     set_members: Vec<u32>,
@@ -169,7 +193,10 @@ impl RrrPool {
             n_workers: n,
             master_seed,
             model,
+            stream_base: 0,
+            epoch: 0,
             roots: Vec::new(),
+            set_epochs: Vec::new(),
             set_offsets: vec![0u32],
             set_members: Vec::new(),
             member_offsets: vec![0u32; n + 1],
@@ -179,12 +206,18 @@ impl RrrPool {
         pool
     }
 
-    /// Grows the pool to `target` sets (no-op if already that large).
+    /// Grows the pool to `target` live sets (no-op if already that
+    /// large).
     ///
     /// Because set `j` depends only on `(master_seed, j)`, the extended
     /// pool is byte-for-byte the pool a from-scratch
     /// [`RrrPool::generate_sharded`] of `target` sets would have
-    /// produced. Sampling cost is linear in the number of *added* sets;
+    /// produced. After evictions the new sets continue the stream from
+    /// [`RrrPool::stream_base`]` + n_sets` — evicted indices are never
+    /// resampled, so a maintained pool equals the from-scratch pool of
+    /// its live stream window. New sets are stamped with the current
+    /// [`RrrPool::current_epoch`]. Sampling cost is linear in the
+    /// number of *added* sets;
     /// folding them into the membership index costs one flat
     /// block-copy pass over the index (O(total memberships), no
     /// re-derivation of old sets) — cheap per RPO top-up, but a
@@ -198,14 +231,16 @@ impl RrrPool {
         }
         let count = target - first_new;
         let threads = threads.clamp(1, count.div_ceil(Self::MIN_SETS_PER_SHARD).max(1));
+        // Stream indices of the new sets: evicted indices stay consumed.
+        let (s_lo, s_hi) = (self.stream_base + first_new, self.stream_base + target);
 
         let outs: Vec<ShardOut> = if threads == 1 {
-            vec![sample_shard(net, self.model, self.master_seed, first_new, target)]
+            vec![sample_shard(net, self.model, self.master_seed, s_lo, s_hi)]
         } else {
             let base = count / threads;
             let rem = count % threads;
             let mut bounds = Vec::with_capacity(threads + 1);
-            bounds.push(first_new);
+            bounds.push(s_lo);
             for i in 0..threads {
                 bounds.push(bounds[i] + base + usize::from(i < rem));
             }
@@ -234,7 +269,92 @@ impl RrrPool {
                 self.set_offsets.push(next);
             }
         }
+        self.set_epochs.resize(self.roots.len(), self.epoch);
         self.index_new_sets(first_new);
+    }
+
+    /// Bumps the sampling epoch and returns the new value. Sets added by
+    /// subsequent [`RrrPool::extend_to`] calls carry the new tag; an
+    /// online driver typically advances once per assignment round.
+    pub fn advance_epoch(&mut self) -> u32 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// The epoch newly sampled sets are stamped with.
+    #[inline]
+    pub fn current_epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Epoch live set `j` was sampled in.
+    #[inline]
+    pub fn set_epoch(&self, j: usize) -> u32 {
+        self.set_epochs[j]
+    }
+
+    /// Stream index of live set 0 (== total sets evicted so far). Live
+    /// set `j`'s RNG stream is `(master_seed, stream_base + j)`.
+    #[inline]
+    pub fn stream_base(&self) -> usize {
+        self.stream_base
+    }
+
+    /// Number of live sets sampled before `min_epoch` (the
+    /// eviction-eligible prefix).
+    pub fn stale_sets(&self, min_epoch: u32) -> usize {
+        self.set_epochs.partition_point(|&e| e < min_epoch)
+    }
+
+    /// Drops up to `max_evict` of the oldest sets whose epoch is below
+    /// `min_epoch`, returning how many were evicted.
+    ///
+    /// Epochs are non-decreasing along the arena, so the evicted sets
+    /// are always a prefix: the arena is spliced with one drain, and
+    /// the membership index is rebuilt in a single flat pass that
+    /// block-copies each worker's surviving run (ids shift down by the
+    /// evicted count; nothing is re-derived from the arena). The cost
+    /// is `O(live memberships)`, independent of how much history the
+    /// pool has rotated through. The freed stream indices are retired
+    /// permanently — see [`RrrPool::stream_base`] — which preserves the
+    /// `(master_seed, set_index)` determinism contract for every
+    /// surviving and future set.
+    pub fn evict_before_epoch(&mut self, min_epoch: u32, max_evict: usize) -> usize {
+        let k = self.stale_sets(min_epoch).min(max_evict);
+        if k == 0 {
+            return 0;
+        }
+        let cut = self.set_offsets[k] as usize;
+
+        // Arena: drop the first k sets and re-base the offsets.
+        self.roots.drain(..k);
+        self.set_epochs.drain(..k);
+        self.set_members.drain(..cut);
+        self.set_offsets.drain(..k);
+        for o in &mut self.set_offsets {
+            *o -= cut as u32;
+        }
+
+        // Membership: each run is sorted, so the evicted ids are a
+        // prefix of it; keep the tail, renumbered down by k.
+        let kk = k as u32;
+        let n = self.n_workers;
+        let mut offsets = vec![0u32; n + 1];
+        let mut kept = Vec::with_capacity(self.member_sets.len() - cut);
+        for w in 0..n {
+            let lo = self.member_offsets[w] as usize;
+            let hi = self.member_offsets[w + 1] as usize;
+            let run = &self.member_sets[lo..hi];
+            let keep_from = run.partition_point(|&j| j < kk);
+            kept.extend(run[keep_from..].iter().map(|&j| j - kk));
+            offsets[w + 1] = kept.len() as u32;
+        }
+        debug_assert_eq!(kept.len(), self.member_sets.len() - cut);
+        self.member_offsets = offsets;
+        self.member_sets = kept;
+
+        self.stream_base += k;
+        k
     }
 
     /// Folds sets `[first_new, n_sets)` into the worker→sets index.
@@ -603,6 +723,95 @@ mod tests {
         let b = RrrPool::generate(&net, 100, &mut SmallRng::seed_from_u64(13));
         assert_eq!(a.roots, b.roots);
         assert_eq!(a.set_members, b.set_members);
+    }
+
+    #[test]
+    fn eviction_drops_prefix_and_reindexes() {
+        let net = diamond_net();
+        let mut pool =
+            RrrPool::generate_sharded(&net, 2_000, PropagationModel::WeightedCascade, 21, 2);
+        assert_eq!(pool.current_epoch(), 0);
+        pool.advance_epoch();
+        pool.extend_to(&net, 2_500, 2);
+        assert_eq!(pool.set_epoch(0), 0);
+        assert_eq!(pool.set_epoch(2_400), 1);
+        assert_eq!(pool.stale_sets(1), 2_000);
+
+        let evicted = pool.evict_before_epoch(1, 300);
+        assert_eq!(evicted, 300);
+        assert_eq!(pool.n_sets(), 2_200);
+        assert_eq!(pool.stream_base(), 300);
+        assert_eq!(pool.stale_sets(1), 1_700);
+        // Membership index must still agree with the arena both ways.
+        for j in 0..pool.n_sets() {
+            assert_eq!(pool.set(j)[0], pool.root(j));
+            for &w in pool.set(j) {
+                assert!(pool.sets_containing(w).contains(&(j as u32)));
+            }
+        }
+        let total_memberships: usize = (0..4).map(|w| pool.sets_containing(w).len()).sum();
+        assert_eq!(total_memberships, pool.set_arena().1.len());
+    }
+
+    #[test]
+    fn evicting_nothing_is_a_noop() {
+        let net = diamond_net();
+        let mut pool =
+            RrrPool::generate_sharded(&net, 500, PropagationModel::WeightedCascade, 22, 1);
+        let before = pool.fingerprint();
+        assert_eq!(pool.evict_before_epoch(0, usize::MAX), 0);
+        assert_eq!(pool.evict_before_epoch(5, 0), 0);
+        assert_eq!(pool.fingerprint(), before);
+        assert_eq!(pool.stream_base(), 0);
+    }
+
+    #[test]
+    fn maintained_pool_matches_fresh_stream_window() {
+        // Rotating a pool (evict + extend) must land on byte-for-byte
+        // the same live window a from-scratch pool of the full stream
+        // would hold after evicting the same prefix.
+        let net = diamond_net();
+        let seed = 23u64;
+
+        let mut maintained =
+            RrrPool::generate_sharded(&net, 1_000, PropagationModel::WeightedCascade, seed, 2);
+        maintained.advance_epoch();
+        maintained.evict_before_epoch(1, 200); // live window [200, 1000)
+        maintained.extend_to(&net, 1_100, 3); // live window [200, 1300)
+
+        let mut fresh =
+            RrrPool::generate_sharded(&net, 1_300, PropagationModel::WeightedCascade, seed, 1);
+        fresh.advance_epoch();
+        fresh.evict_before_epoch(1, 200); // live window [200, 1300)
+
+        assert_eq!(maintained.n_sets(), fresh.n_sets());
+        assert_eq!(maintained.stream_base(), fresh.stream_base());
+        assert_eq!(maintained.fingerprint(), fresh.fingerprint());
+        assert_eq!(maintained.membership_arena(), fresh.membership_arena());
+        assert_eq!(maintained.roots(), fresh.roots());
+    }
+
+    #[test]
+    fn eviction_can_empty_the_pool_and_recover() {
+        let net = diamond_net();
+        let mut pool =
+            RrrPool::generate_sharded(&net, 400, PropagationModel::WeightedCascade, 24, 1);
+        pool.advance_epoch();
+        assert_eq!(pool.evict_before_epoch(1, usize::MAX), 400);
+        assert_eq!(pool.n_sets(), 0);
+        assert_eq!(pool.scale(), 0.0);
+        for w in 0..4 {
+            assert!(pool.sets_containing(w).is_empty());
+        }
+        // Growth resumes from the retired stream position.
+        pool.extend_to(&net, 100, 1);
+        assert_eq!(pool.n_sets(), 100);
+        assert_eq!(pool.stream_base(), 400);
+        let mut fresh =
+            RrrPool::generate_sharded(&net, 500, PropagationModel::WeightedCascade, 24, 1);
+        fresh.advance_epoch();
+        fresh.evict_before_epoch(1, 400);
+        assert_eq!(pool.fingerprint(), fresh.fingerprint());
     }
 
     #[test]

@@ -32,6 +32,8 @@ pub struct ExperimentRunner {
     dataset: SyntheticDataset,
     pipeline: DitaPipeline,
     n_days: usize,
+    /// Thread budget for the sweep phase (parallel point evaluation).
+    sweep_threads: Parallelism,
 }
 
 impl ExperimentRunner {
@@ -47,13 +49,18 @@ impl ExperimentRunner {
             dataset,
             pipeline,
             n_days: 4,
+            sweep_threads: Parallelism::Auto,
         }
     }
 
-    /// Like [`ExperimentRunner::new`] with an explicit sampling thread
-    /// budget for the training phase (RRR pool generation). Metrics are
-    /// bit-identical at any budget — sampling is seeded per set index —
-    /// so sweeps stay comparable across machines and thread counts.
+    /// Like [`ExperimentRunner::new`] with an explicit thread budget
+    /// governing **both** phases: RRR-pool sampling during training and
+    /// sweep-point evaluation in
+    /// [`ExperimentRunner::run_comparison_parallel`] /
+    /// [`ExperimentRunner::run_ablation_parallel`]. Metrics are
+    /// bit-identical at any budget — sampling is seeded per set index
+    /// and sweep points merge in axis order — so sweeps stay comparable
+    /// across machines and thread counts.
     pub fn with_threads(
         profile: &DatasetProfile,
         seed: u64,
@@ -61,13 +68,23 @@ impl ExperimentRunner {
         threads: Parallelism,
     ) -> Self {
         config.rpo.threads = threads;
-        Self::new(profile, seed, config)
+        let mut runner = Self::new(profile, seed, config);
+        runner.sweep_threads = threads;
+        runner
     }
 
     /// Overrides the number of simulated days averaged per point.
     #[must_use]
     pub fn days(mut self, n_days: usize) -> Self {
         self.n_days = n_days.max(1);
+        self
+    }
+
+    /// Overrides the sweep-phase thread budget only (training keeps
+    /// its own [`DitaConfig::threads`] setting).
+    #[must_use]
+    pub fn sweep_threads(mut self, threads: Parallelism) -> Self {
+        self.sweep_threads = threads;
         self
     }
 
@@ -93,25 +110,22 @@ impl ExperimentRunner {
     }
 
     /// Like [`ExperimentRunner::run_comparison`] but with sweep points
-    /// distributed over threads (std scoped threads). Counts, influence,
-    /// propagation, and travel metrics are bit-identical to the
-    /// sequential runner; `cpu_ms` is noisier under contention, so use
-    /// the sequential runner when timing fidelity matters.
+    /// distributed over the configured thread budget
+    /// ([`ExperimentRunner::sweep_threads`], default one shard per
+    /// core). Points are chunked into at most `budget` contiguous
+    /// shards — never one OS thread per point — and merged in axis
+    /// order, so counts, influence, propagation, and travel metrics are
+    /// bit-identical to the sequential runner at any budget. `cpu_ms`
+    /// is noisier under contention; use the sequential runner when
+    /// timing fidelity matters.
     pub fn run_comparison_parallel(
         &self,
         axis: &SweepAxis,
         defaults: &SweepValues,
     ) -> Vec<ComparisonPoint> {
         let xs = axis.values();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = xs
-                .iter()
-                .map(|&x| scope.spawn(move || self.comparison_point(x, axis, defaults)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("sweep worker panicked"))
-                .collect()
+        crate::par::map_chunked(xs.len(), self.sweep_threads.resolve(), |i| {
+            self.comparison_point(xs[i], axis, defaults)
         })
     }
 
@@ -159,38 +173,55 @@ impl ExperimentRunner {
     pub fn run_ablation(&self, axis: &SweepAxis, defaults: &SweepValues) -> Vec<AblationPoint> {
         axis.values()
             .into_iter()
-            .map(|x| {
-                let values = axis.apply(x, defaults);
-                let mut sums = vec![0.0f64; InfluenceVariant::ALL.len()];
-                for day in 0..self.n_days {
-                    let day_inst = self.dataset.instance_for_day(
-                        day,
-                        values.n_tasks,
-                        values.n_workers,
-                        values.options,
-                    );
-                    let matrix = EligibilityMatrix::build(&day_inst.instance);
-                    // AI is always evaluated under the *full* influence
-                    // definition so the variants are comparable — a variant
-                    // only changes which pairs get chosen, not the yardstick.
-                    let full_scorer = self.pipeline.scorer();
-                    for (vi, &variant) in InfluenceVariant::ALL.iter().enumerate() {
-                        let scorer = self.pipeline.scorer_variant(variant);
-                        let input = AssignInput::new(&day_inst.instance, &scorer);
-                        let assignment = run_with_matrix(AlgorithmKind::Ia, &input, &matrix);
-                        sums[vi] += self.full_ai(&assignment, &day_inst.instance, &full_scorer);
-                    }
-                }
-                AblationPoint {
-                    x,
-                    ai: InfluenceVariant::ALL
-                        .iter()
-                        .zip(sums.iter())
-                        .map(|(v, s)| (v.label().to_string(), s / self.n_days as f64))
-                        .collect(),
-                }
-            })
+            .map(|x| self.ablation_point(x, axis, defaults))
             .collect()
+    }
+
+    /// Like [`ExperimentRunner::run_ablation`] with points distributed
+    /// over the configured [`ExperimentRunner::sweep_threads`] budget;
+    /// results are bit-identical to the sequential runner.
+    pub fn run_ablation_parallel(
+        &self,
+        axis: &SweepAxis,
+        defaults: &SweepValues,
+    ) -> Vec<AblationPoint> {
+        let xs = axis.values();
+        crate::par::map_chunked(xs.len(), self.sweep_threads.resolve(), |i| {
+            self.ablation_point(xs[i], axis, defaults)
+        })
+    }
+
+    /// One sweep point of the ablation experiment.
+    fn ablation_point(&self, x: f64, axis: &SweepAxis, defaults: &SweepValues) -> AblationPoint {
+        let values = axis.apply(x, defaults);
+        let mut sums = vec![0.0f64; InfluenceVariant::ALL.len()];
+        for day in 0..self.n_days {
+            let day_inst = self.dataset.instance_for_day(
+                day,
+                values.n_tasks,
+                values.n_workers,
+                values.options,
+            );
+            let matrix = EligibilityMatrix::build(&day_inst.instance);
+            // AI is always evaluated under the *full* influence
+            // definition so the variants are comparable — a variant
+            // only changes which pairs get chosen, not the yardstick.
+            let full_scorer = self.pipeline.scorer();
+            for (vi, &variant) in InfluenceVariant::ALL.iter().enumerate() {
+                let scorer = self.pipeline.scorer_variant(variant);
+                let input = AssignInput::new(&day_inst.instance, &scorer);
+                let assignment = run_with_matrix(AlgorithmKind::Ia, &input, &matrix);
+                sums[vi] += self.full_ai(&assignment, &day_inst.instance, &full_scorer);
+            }
+        }
+        AblationPoint {
+            x,
+            ai: InfluenceVariant::ALL
+                .iter()
+                .zip(sums.iter())
+                .map(|(v, s)| (v.label().to_string(), s / self.n_days as f64))
+                .collect(),
+        }
     }
 
     fn record(&self, acc: &mut MetricsAccumulator, cpu_ms: f64, assignment: &Assignment) {
@@ -259,6 +290,7 @@ mod tests {
                 ..Default::default()
             },
             seed: 5,
+            ..Default::default()
         };
         ExperimentRunner::new(&profile, 9, config).days(2)
     }
@@ -338,6 +370,58 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sweep_respects_thread_budget() {
+        // Six sweep points on a budget of two: the chunked scheduler
+        // must evaluate them on at most two worker threads (previously
+        // it spawned one OS thread per point unconditionally). Verified
+        // via the shared chunking plan: one contiguous shard per worker
+        // thread, never more shards than the budget.
+        let budget = 2usize;
+        let points = 6usize;
+        let bounds = crate::par::chunk_bounds(points, budget);
+        assert_eq!(bounds.len(), budget, "at most one shard per budget slot");
+        assert_eq!(bounds, vec![(0, 3), (3, 6)]);
+
+        // And the runner wired through it produces sequential-identical
+        // metrics at that budget.
+        let runner = tiny_runner().sweep_threads(Parallelism::Fixed(budget));
+        let axis = SweepAxis::Tasks(vec![10, 15, 20, 25, 30, 35]);
+        let defaults = SweepValues {
+            n_tasks: 20,
+            n_workers: 30,
+            options: Default::default(),
+        };
+        let seq = runner.run_comparison(&axis, &defaults);
+        let par = runner.run_comparison_parallel(&axis, &defaults);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a.x, b.x);
+            for (ra, rb) in a.rows.iter().zip(b.rows.iter()) {
+                assert_eq!(ra.assigned, rb.assigned);
+                assert_eq!(ra.ai, rb.ai);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_ablation_matches_sequential() {
+        let runner = tiny_runner().sweep_threads(Parallelism::Fixed(2));
+        let axis = SweepAxis::Workers(vec![20, 30, 40]);
+        let defaults = SweepValues {
+            n_tasks: 25,
+            n_workers: 30,
+            options: Default::default(),
+        };
+        let seq = runner.run_ablation(&axis, &defaults);
+        let par = runner.run_ablation_parallel(&axis, &defaults);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.ai, b.ai, "ablation metrics must merge deterministically");
+        }
+    }
+
+    #[test]
     fn parallel_sweep_matches_sequential() {
         let runner = tiny_runner();
         let axis = SweepAxis::Tasks(vec![20, 35, 50]);
@@ -379,6 +463,7 @@ mod tests {
                 ..Default::default()
             },
             seed: 3,
+            ..Default::default()
         };
         let single =
             ExperimentRunner::with_threads(&profile, 9, config, Parallelism::Single).days(1);

@@ -13,18 +13,27 @@
 //!
 //! The harness feeds the figure-regeneration binaries in `sc-bench`
 //! (`fig05`–`fig16`) and prints the same series the paper plots.
+//!
+//! Beyond the paper's batch protocol, [`online::OnlineEngine`] serves
+//! the *online* deployment mode: streaming task/worker arrivals,
+//! per-round assignment, and bounded RRR-pool maintenance (rotation
+//! instead of retraining). [`platform::simulate_day`] is a
+//! day-in-the-life driver built on the engine.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod harness;
 pub mod metrics;
+pub mod online;
+pub(crate) mod par;
 pub mod platform;
 pub mod sweep;
 pub mod table;
 
 pub use harness::{AblationPoint, ComparisonPoint, ExperimentRunner};
 pub use metrics::MetricsRow;
-pub use sc_core::Parallelism;
+pub use online::{scripted_arrival, OnlineEngine, OnlineSummary, RoundReport};
+pub use sc_core::{OnlineConfig, Parallelism};
 pub use sweep::{ExperimentScale, SweepAxis, SweepValues};
 pub use table::{render_table, to_csv};

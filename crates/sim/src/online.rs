@@ -1,0 +1,769 @@
+//! The online assignment engine: a live DITA pipeline serving
+//! streaming arrivals with bounded per-round pool maintenance.
+//!
+//! The paper evaluates one batch per day, but its own setup describes
+//! an online platform ("a worker is online until the worker is
+//! assigned a task"). [`OnlineEngine`] is that deployment mode as a
+//! first-class subsystem:
+//!
+//! * **streaming state** — tasks and workers arrive and depart between
+//!   rounds ([`OnlineEngine::task_arrives`],
+//!   [`OnlineEngine::worker_arrives`], [`OnlineEngine::worker_departs`]);
+//!   unassigned tasks persist until they expire, assigned workers
+//!   leave the pool;
+//! * **one expiry pass per round** — arrivals are ingested *before*
+//!   the expiry check, so a task that is already stale when the round
+//!   opens is counted expired and never offered, exactly like a
+//!   carried-over task (the batch simulator historically offered such
+//!   tasks in their arrival round);
+//! * **bounded maintenance instead of retraining** — each round the
+//!   engine advances the RRR pool epoch, evicts at most
+//!   `growth_cap` sets older than `eviction_horizon` rounds, and
+//!   samples at most `growth_cap` fresh sets back toward the target
+//!   ([`OnlineConfig`]). After warm-up the pipeline is never retrained:
+//!   maintenance cost per round is `O(growth_cap · avg set size +
+//!   live memberships)`, a small fraction of a full RPO build.
+//!
+//! Determinism: the pool's per-set seeding contract (PR 2) extends to
+//! maintenance — eviction retires stream indices permanently and
+//! growth continues the stream, so the live pool is a pure function of
+//! `(master_seed, stream window)` at **any** thread count. Round
+//! reports are therefore identical between `threads = 1` and
+//! `threads = N` runs of the same arrival script.
+
+use sc_assign::AlgorithmKind;
+use sc_core::{DitaPipeline, OnlineConfig};
+use sc_datagen::SyntheticDataset;
+use sc_influence::SocialNetwork;
+use sc_types::{Duration, Task, TaskId, TimeInstant, VenueId, Worker, WorkerId};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Builds the `id`-th task of a scripted arrival stream: a
+/// deterministic venue pick (via [`rand::mix_stream`], the same
+/// primitive that seeds RRR sets) and a `phi`-hour task published at
+/// `now` from that venue. Shared by the `dita online` CLI driver and
+/// the `bench_online` perf binary so their arrival streams cannot
+/// silently diverge.
+pub fn scripted_arrival(
+    data: &SyntheticDataset,
+    seed: u64,
+    id: u32,
+    now: TimeInstant,
+    phi: f64,
+) -> (Task, VenueId) {
+    let pick = rand::mix_stream(seed, id as u64) as usize % data.venues.len();
+    let venue = data.venues.venue(VenueId::from(pick));
+    (
+        Task::with_categories(
+            TaskId::new(id),
+            venue.location,
+            now,
+            Duration::hours_f64(phi),
+            venue.categories.clone(),
+        ),
+        venue.id,
+    )
+}
+
+/// Outcome of one assignment round.
+///
+/// Equality ignores the wall-clock field (`maintenance_ms`) so
+/// determinism suites can compare whole reports across thread counts.
+#[derive(Debug, Clone)]
+pub struct RoundReport {
+    /// Round counter (0-based).
+    pub round: u64,
+    /// The time instance the round was evaluated at.
+    pub now: TimeInstant,
+    /// Tasks that arrived since the previous round.
+    pub task_arrivals: usize,
+    /// Workers that arrived since the previous round.
+    pub worker_arrivals: usize,
+    /// Tasks offered this round (arrived + carried over, post-expiry).
+    pub available_tasks: usize,
+    /// Workers online when the round was assigned.
+    pub online_workers: usize,
+    /// Tasks assigned this round.
+    pub assigned: usize,
+    /// Tasks that expired at this round's open (including arrivals
+    /// that were already stale).
+    pub expired: usize,
+    /// Average influence of this round's assignment.
+    pub ai: f64,
+    /// Live RRR sets after maintenance.
+    pub pool_sets: usize,
+    /// Stale sets evicted by this round's maintenance.
+    pub sets_evicted: usize,
+    /// Fresh sets sampled by this round's maintenance.
+    pub sets_added: usize,
+    /// Wall time of pool maintenance, milliseconds (excluded from
+    /// `PartialEq`).
+    pub maintenance_ms: f64,
+}
+
+impl PartialEq for RoundReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.round == other.round
+            && self.now == other.now
+            && self.task_arrivals == other.task_arrivals
+            && self.worker_arrivals == other.worker_arrivals
+            && self.available_tasks == other.available_tasks
+            && self.online_workers == other.online_workers
+            && self.assigned == other.assigned
+            && self.expired == other.expired
+            && self.ai == other.ai
+            && self.pool_sets == other.pool_sets
+            && self.sets_evicted == other.sets_evicted
+            && self.sets_added == other.sets_added
+        // maintenance_ms is a run condition, not a result.
+    }
+}
+
+/// Totals of an engine's lifetime, with the conservation invariant
+/// `published == assigned + expired + still_open`.
+///
+/// Equality ignores the wall-clock field (`maintenance_ms`), mirroring
+/// [`RoundReport`], so summaries of two runs of the same arrival
+/// script compare equal across thread counts.
+#[derive(Debug, Clone)]
+pub struct OnlineSummary {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Tasks that ever arrived.
+    pub published: usize,
+    /// Tasks assigned across all rounds.
+    pub assigned: usize,
+    /// Tasks that expired unassigned.
+    pub expired: usize,
+    /// Tasks still open (arrived, neither assigned nor expired).
+    pub still_open: usize,
+    /// Mean influence over every assignment made.
+    pub average_influence: f64,
+    /// Total fresh sets sampled by maintenance.
+    pub sets_added: usize,
+    /// Total stale sets evicted by maintenance.
+    pub sets_evicted: usize,
+    /// Total pool-maintenance wall time, milliseconds.
+    pub maintenance_ms: f64,
+}
+
+impl PartialEq for OnlineSummary {
+    fn eq(&self, other: &Self) -> bool {
+        self.rounds == other.rounds
+            && self.published == other.published
+            && self.assigned == other.assigned
+            && self.expired == other.expired
+            && self.still_open == other.still_open
+            && self.average_influence == other.average_influence
+            && self.sets_added == other.sets_added
+            && self.sets_evicted == other.sets_evicted
+        // maintenance_ms is a run condition, not a result.
+    }
+}
+
+impl OnlineSummary {
+    /// Fraction of published tasks that were assigned.
+    pub fn assignment_rate(&self) -> f64 {
+        if self.published == 0 {
+            0.0
+        } else {
+            self.assigned as f64 / self.published as f64
+        }
+    }
+}
+
+/// How the engine holds its pipeline: owned (live, maintainable) or
+/// borrowed (frozen — zero-copy for drivers that never rotate the
+/// pool, like [`crate::platform::simulate_day`]).
+#[derive(Debug)]
+enum PipelineHandle<'a> {
+    /// Boxed: the pipeline struct is large and the borrowed variant is
+    /// one pointer (clippy::large_enum_variant).
+    Owned(Box<DitaPipeline>),
+    Borrowed(&'a DitaPipeline),
+}
+
+impl PipelineHandle<'_> {
+    fn get(&self) -> &DitaPipeline {
+        match self {
+            PipelineHandle::Owned(p) => p,
+            PipelineHandle::Borrowed(p) => p,
+        }
+    }
+}
+
+/// A stateful online assignment engine owning a live [`DitaPipeline`].
+///
+/// Create it from a trained pipeline and the social network it was
+/// trained on, feed arrivals, and call [`OnlineEngine::run_round`] at
+/// each time instance. See the module docs for the maintenance and
+/// determinism contracts. Drivers that never maintain the pool can
+/// borrow the pipeline instead via [`OnlineEngine::frozen`].
+#[derive(Debug)]
+pub struct OnlineEngine<'a> {
+    pipeline: PipelineHandle<'a>,
+    net: &'a SocialNetwork,
+    config: OnlineConfig,
+    /// Resolved sampling thread budget for maintenance top-ups.
+    threads: usize,
+    /// Live-set target maintenance holds the pool at.
+    target_sets: usize,
+    open: Vec<(Task, VenueId)>,
+    workers: Vec<Worker>,
+    /// `WorkerId` → index in `workers`: O(1) duplicate screening on
+    /// arrival. Rebuilt after the (already linear) removal passes.
+    online_index: HashMap<WorkerId, usize>,
+    round: u64,
+    pending_tasks: usize,
+    pending_workers: usize,
+    published: usize,
+    assigned_total: usize,
+    expired_total: usize,
+    influence_sum: f64,
+    sets_added_total: usize,
+    sets_evicted_total: usize,
+    maintenance_ms_total: f64,
+}
+
+impl<'a> OnlineEngine<'a> {
+    /// Wraps a trained pipeline into an engine. The maintenance knobs
+    /// come from the pipeline's [`OnlineConfig`]
+    /// (`pipeline.model().config().online`); `net` must be the social
+    /// network the pipeline was trained on.
+    pub fn new(pipeline: DitaPipeline, net: &'a SocialNetwork) -> Self {
+        let config = pipeline.model().config().online;
+        Self::with_config(pipeline, net, config)
+    }
+
+    /// Like [`OnlineEngine::new`] with an explicit maintenance
+    /// configuration (overrides the one trained into the pipeline).
+    pub fn with_config(
+        pipeline: DitaPipeline,
+        net: &'a SocialNetwork,
+        config: OnlineConfig,
+    ) -> Self {
+        Self::build(PipelineHandle::Owned(Box::new(pipeline)), net, config)
+    }
+
+    /// A zero-copy engine borrowing a frozen pipeline: streaming state
+    /// and round accounting without pool maintenance (the
+    /// configuration is forced to the non-maintaining
+    /// [`OnlineConfig::default`]). This is the
+    /// [`crate::platform::simulate_day`] path — the paper's
+    /// trained-once setting over online dynamics.
+    pub fn frozen(pipeline: &'a DitaPipeline, net: &'a SocialNetwork) -> Self {
+        Self::build(
+            PipelineHandle::Borrowed(pipeline),
+            net,
+            OnlineConfig::default(),
+        )
+    }
+
+    fn build(pipeline: PipelineHandle<'a>, net: &'a SocialNetwork, config: OnlineConfig) -> Self {
+        debug_assert_eq!(
+            net.n_workers(),
+            pipeline.get().model().pool().n_workers(),
+            "engine network must match the trained pool"
+        );
+        debug_assert!(
+            !config.maintains_pool() || matches!(pipeline, PipelineHandle::Owned(_)),
+            "a maintaining engine must own its pipeline"
+        );
+        let threads = pipeline.get().model().config().rpo.threads.resolve();
+        let trained = pipeline.get().model().pool().n_sets();
+        let target_sets = if config.target_sets == 0 {
+            trained
+        } else {
+            config.target_sets
+        };
+        OnlineEngine {
+            pipeline,
+            net,
+            config,
+            threads,
+            target_sets,
+            open: Vec::new(),
+            workers: Vec::new(),
+            online_index: HashMap::new(),
+            round: 0,
+            pending_tasks: 0,
+            pending_workers: 0,
+            published: 0,
+            assigned_total: 0,
+            expired_total: 0,
+            influence_sum: 0.0,
+            sets_added_total: 0,
+            sets_evicted_total: 0,
+            maintenance_ms_total: 0.0,
+        }
+    }
+
+    /// Queues a task arrival for the next round. The task is offered
+    /// from the next round on, unless it is already expired at that
+    /// round's instant — then it is counted expired without ever being
+    /// offered. Returns `true` if the task is newly published;
+    /// re-arrival of an id that is still open refreshes that entry in
+    /// place instead of duplicating it (a duplicated id would corrupt
+    /// the `published == assigned + expired + still_open` invariant,
+    /// because assignment and closing key tasks by id). The open list
+    /// is transient and small (bounded by arrival rate × φ), so the
+    /// screening scan is cheap.
+    pub fn task_arrives(&mut self, task: Task, venue: VenueId) -> bool {
+        if let Some(entry) = self.open.iter_mut().find(|(t, _)| t.id == task.id) {
+            *entry = (task, venue);
+            return false;
+        }
+        self.open.push((task, venue));
+        self.pending_tasks += 1;
+        self.published += 1;
+        true
+    }
+
+    /// Queues a worker arrival (online from the next round on).
+    /// Returns `true` if the worker is newly online; re-arrival of an
+    /// already-online id refreshes that worker's state (location,
+    /// radius) in place instead of duplicating it — multi-day drivers
+    /// re-sample cohorts from one population, and a duplicated id
+    /// would let one worker be assigned twice in a round.
+    pub fn worker_arrives(&mut self, worker: Worker) -> bool {
+        if let Some(&idx) = self.online_index.get(&worker.id) {
+            self.workers[idx] = worker;
+            return false;
+        }
+        self.online_index.insert(worker.id, self.workers.len());
+        self.workers.push(worker);
+        self.pending_workers += 1;
+        true
+    }
+
+    /// Removes an online worker (e.g. the worker logs off). Returns
+    /// whether the worker was online.
+    pub fn worker_departs(&mut self, id: WorkerId) -> bool {
+        if !self.online_index.contains_key(&id) {
+            return false;
+        }
+        // Order-preserving removal keeps the assignment input (and so
+        // any tie-breaking) deterministic; the index is rebuilt by the
+        // same linear pass.
+        self.workers.retain(|w| w.id != id);
+        self.reindex_workers();
+        true
+    }
+
+    /// Rebuilds the id→index map after an order-preserving removal.
+    fn reindex_workers(&mut self) {
+        self.online_index = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.id, i))
+            .collect();
+    }
+
+    /// Runs one assignment round at time `now`: expiry, bounded pool
+    /// maintenance, assignment, retirement of matched workers/tasks.
+    pub fn run_round(&mut self, now: TimeInstant, algorithm: AlgorithmKind) -> RoundReport {
+        let task_arrivals = std::mem::take(&mut self.pending_tasks);
+        let worker_arrivals = std::mem::take(&mut self.pending_workers);
+
+        // One expiry pass over arrivals *and* carried tasks: a task is
+        // offered iff it is alive at `now`, no matter when it arrived.
+        let before = self.open.len();
+        self.open.retain(|(t, _)| !t.is_expired_at(now));
+        let expired = before - self.open.len();
+        self.expired_total += expired;
+
+        let (sets_evicted, sets_added, maintenance_ms) = self.maintain();
+
+        let tasks: Vec<Task> = self.open.iter().map(|(t, _)| t.clone()).collect();
+        let venues: Vec<VenueId> = self.open.iter().map(|(_, v)| *v).collect();
+        let available_tasks = tasks.len();
+        let online_workers = self.workers.len();
+        let instance = sc_types::Instance::new(now, self.workers.clone(), tasks);
+        let assignment = self
+            .pipeline
+            .get()
+            .assign_with_venues(&instance, &venues, algorithm);
+
+        let assigned = assignment.len();
+        let ai = assignment.average_influence();
+        self.assigned_total += assigned;
+        self.influence_sum += assignment.total_influence();
+
+        // Assigned workers leave the platform; assigned tasks close.
+        let assigned_workers: std::collections::HashSet<WorkerId> =
+            assignment.pairs().iter().map(|p| p.worker).collect();
+        let assigned_tasks: std::collections::HashSet<sc_types::TaskId> =
+            assignment.pairs().iter().map(|p| p.task).collect();
+        if !assigned_workers.is_empty() {
+            self.workers.retain(|w| !assigned_workers.contains(&w.id));
+            self.reindex_workers();
+        }
+        self.open.retain(|(t, _)| !assigned_tasks.contains(&t.id));
+
+        let report = RoundReport {
+            round: self.round,
+            now,
+            task_arrivals,
+            worker_arrivals,
+            available_tasks,
+            online_workers,
+            assigned,
+            expired,
+            ai,
+            pool_sets: self.pipeline.get().model().pool().n_sets(),
+            sets_evicted,
+            sets_added,
+            maintenance_ms,
+        };
+        self.round += 1;
+        report
+    }
+
+    /// One bounded maintenance step: advance the pool epoch, evict at
+    /// most `growth_cap` sets that fell behind the horizon, sample at
+    /// most `growth_cap` fresh sets back toward the target.
+    fn maintain(&mut self) -> (usize, usize, f64) {
+        if !self.config.maintains_pool() {
+            return (0, 0, 0.0);
+        }
+        let t0 = Instant::now();
+        let quantum = self.config.growth_cap;
+        let horizon = self.config.eviction_horizon;
+        let pool = match &mut self.pipeline {
+            PipelineHandle::Owned(p) => p.model_mut().pool_mut(),
+            // Unreachable: `frozen` forces a non-maintaining config.
+            PipelineHandle::Borrowed(_) => return (0, 0, 0.0),
+        };
+
+        let epoch = pool.advance_epoch();
+        let evicted = if horizon > 0 && epoch > horizon {
+            pool.evict_before_epoch(epoch - horizon, quantum)
+        } else {
+            0
+        };
+        let live = pool.n_sets();
+        let target = self.target_sets.min(live + quantum);
+        let added = target.saturating_sub(live);
+        if added > 0 {
+            pool.extend_to(self.net, target, self.threads);
+        }
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        self.sets_evicted_total += evicted;
+        self.sets_added_total += added;
+        self.maintenance_ms_total += ms;
+        (evicted, added, ms)
+    }
+
+    /// The live pipeline.
+    pub fn pipeline(&self) -> &DitaPipeline {
+        self.pipeline.get()
+    }
+
+    /// Mutable access to the live pipeline — used by the
+    /// retrain-every-round oracle in `bench_online`; normal drivers
+    /// never need it.
+    ///
+    /// # Panics
+    /// On a borrowed-pipeline engine ([`OnlineEngine::frozen`]), which
+    /// by construction never mutates its pipeline.
+    pub fn pipeline_mut(&mut self) -> &mut DitaPipeline {
+        match &mut self.pipeline {
+            PipelineHandle::Owned(p) => p,
+            PipelineHandle::Borrowed(_) => {
+                panic!("a frozen (borrowed-pipeline) engine cannot be mutated")
+            }
+        }
+    }
+
+    /// Consumes the engine, returning the (maintained) pipeline. A
+    /// borrowed-pipeline engine returns a clone of the frozen original.
+    pub fn into_pipeline(self) -> DitaPipeline {
+        match self.pipeline {
+            PipelineHandle::Owned(p) => *p,
+            PipelineHandle::Borrowed(p) => p.clone(),
+        }
+    }
+
+    /// The maintenance configuration in effect.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.config
+    }
+
+    /// Tasks currently open (arrived, unexpired, unassigned — plus
+    /// arrivals not yet screened by a round).
+    pub fn open_tasks(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Workers currently online.
+    pub fn online_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// Lifetime totals (see [`OnlineSummary`] for the invariant).
+    pub fn summary(&self) -> OnlineSummary {
+        OnlineSummary {
+            rounds: self.round,
+            published: self.published,
+            assigned: self.assigned_total,
+            expired: self.expired_total,
+            still_open: self.open.len(),
+            average_influence: if self.assigned_total == 0 {
+                0.0
+            } else {
+                self.influence_sum / self.assigned_total as f64
+            },
+            sets_added: self.sets_added_total,
+            sets_evicted: self.sets_evicted_total,
+            maintenance_ms: self.maintenance_ms_total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_core::{DitaBuilder, DitaConfig};
+    use sc_datagen::{DatasetProfile, InstanceOptions, SyntheticDataset};
+    use sc_influence::RpoParams;
+    use sc_types::Duration;
+
+    fn setup(online: OnlineConfig) -> (SyntheticDataset, DitaPipeline) {
+        let mut profile = DatasetProfile::brightkite_small();
+        profile.n_workers = 100;
+        profile.n_venues = 100;
+        profile.checkins_per_worker = 10;
+        let dataset = SyntheticDataset::generate(&profile, 4);
+        let pipeline = DitaBuilder::new()
+            .config(DitaConfig {
+                n_topics: 5,
+                lda_sweeps: 10,
+                infer_sweeps: 5,
+                rpo: RpoParams {
+                    max_sets: 3_000,
+                    ..Default::default()
+                },
+                online,
+                seed: 2,
+            })
+            .build(&dataset.social, &dataset.histories)
+            .unwrap();
+        (dataset, pipeline)
+    }
+
+    fn feed_workers(engine: &mut OnlineEngine<'_>, dataset: &SyntheticDataset, n: usize) {
+        let base = dataset.instance_for_day(0, 0, n, InstanceOptions::default());
+        for w in base.instance.workers {
+            engine.worker_arrives(w);
+        }
+    }
+
+    fn hourly_task(dataset: &SyntheticDataset, id: u32, now: TimeInstant, phi: f64) -> (Task, VenueId) {
+        let venue = dataset.venues.venue(sc_types::VenueId::from((id as usize * 7) % dataset.venues.len()));
+        (
+            Task::with_categories(
+                sc_types::TaskId::new(id),
+                venue.location,
+                now,
+                Duration::hours_f64(phi),
+                venue.categories.clone(),
+            ),
+            venue.id,
+        )
+    }
+
+    #[test]
+    fn frozen_config_never_touches_the_pool() {
+        let (dataset, pipeline) = setup(OnlineConfig::default());
+        let fp = pipeline.model().pool().fingerprint();
+        let mut engine = OnlineEngine::new(pipeline, &dataset.social);
+        feed_workers(&mut engine, &dataset, 40);
+        for hour in 8..14 {
+            let now = TimeInstant::at(0, hour);
+            for i in 0..8u32 {
+                let (t, v) = hourly_task(&dataset, hour as u32 * 100 + i, now, 3.0);
+                engine.task_arrives(t, v);
+            }
+            let r = engine.run_round(now, AlgorithmKind::Ia);
+            assert_eq!(r.sets_added, 0);
+            assert_eq!(r.sets_evicted, 0);
+        }
+        assert_eq!(engine.pipeline().model().pool().fingerprint(), fp);
+        let s = engine.summary();
+        assert_eq!(s.published, s.assigned + s.expired + s.still_open);
+        assert!(s.assigned > 0);
+    }
+
+    #[test]
+    fn maintenance_is_bounded_per_round_and_rotates() {
+        let online = OnlineConfig {
+            round_hours: 1,
+            growth_cap: 256,
+            eviction_horizon: 2,
+            target_sets: 0,
+        };
+        let (dataset, pipeline) = setup(online);
+        let trained = pipeline.model().pool().n_sets();
+        let mut engine = OnlineEngine::new(pipeline, &dataset.social);
+        feed_workers(&mut engine, &dataset, 30);
+        let mut evicted_any = false;
+        for hour in 0..10 {
+            let now = TimeInstant::at(0, hour);
+            let (t, v) = hourly_task(&dataset, hour as u32, now, 4.0);
+            engine.task_arrives(t, v);
+            let r = engine.run_round(now, AlgorithmKind::Ia);
+            assert!(r.sets_added <= 256, "growth cap violated: {}", r.sets_added);
+            assert!(r.sets_evicted <= 256, "eviction cap violated: {}", r.sets_evicted);
+            assert!(r.pool_sets <= trained);
+            evicted_any |= r.sets_evicted > 0;
+        }
+        assert!(evicted_any, "horizon 2 must rotate stale sets out");
+        assert!(
+            engine.pipeline().model().pool().stream_base() > 0,
+            "rotation retires stream indices"
+        );
+        let s = engine.summary();
+        assert_eq!(s.sets_added, s.sets_evicted, "steady state at the target");
+    }
+
+    #[test]
+    fn stale_arrival_is_expired_not_offered() {
+        let (dataset, pipeline) = setup(OnlineConfig::default());
+        let mut engine = OnlineEngine::new(pipeline, &dataset.social);
+        feed_workers(&mut engine, &dataset, 20);
+        // Arrived long before the round instant, already expired.
+        let (stale, v) = hourly_task(&dataset, 0, TimeInstant::at(0, 1), 1.0);
+        engine.task_arrives(stale, v);
+        // Alive control task.
+        let now = TimeInstant::at(0, 9);
+        let (alive, v2) = hourly_task(&dataset, 1, now, 3.0);
+        engine.task_arrives(alive, v2);
+        let r = engine.run_round(now, AlgorithmKind::Ia);
+        assert_eq!(r.task_arrivals, 2);
+        assert_eq!(r.expired, 1, "stale arrival expires at the round open");
+        assert_eq!(r.available_tasks, 1, "stale arrival is never offered");
+        let s = engine.summary();
+        assert_eq!(s.published, 2);
+        assert_eq!(s.published, s.assigned + s.expired + s.still_open);
+    }
+
+    #[test]
+    fn workers_depart_and_assigned_workers_leave() {
+        let (dataset, pipeline) = setup(OnlineConfig::default());
+        let mut engine = OnlineEngine::new(pipeline, &dataset.social);
+        feed_workers(&mut engine, &dataset, 10);
+        assert_eq!(engine.online_workers(), 10);
+        let departing = WorkerId::new(0);
+        let went = engine.worker_departs(departing);
+        // The sampled instance may or may not include worker 0; if it
+        // did, the pool shrinks.
+        assert_eq!(engine.online_workers(), if went { 9 } else { 10 });
+        let before = engine.online_workers();
+        let now = TimeInstant::at(0, 9);
+        for i in 0..20u32 {
+            let (t, v) = hourly_task(&dataset, i, now, 5.0);
+            engine.task_arrives(t, v);
+        }
+        let r = engine.run_round(now, AlgorithmKind::Mta);
+        assert!(r.assigned > 0);
+        assert_eq!(engine.online_workers(), before - r.assigned);
+    }
+
+    #[test]
+    fn rearriving_worker_is_refreshed_not_duplicated() {
+        // Multi-day drivers re-sample cohorts from one population: a
+        // carried-over worker re-sampled the next morning must not be
+        // duplicated (a duplicated id could be assigned two tasks in
+        // one round).
+        let (dataset, pipeline) = setup(OnlineConfig::default());
+        let mut engine = OnlineEngine::new(pipeline, &dataset.social);
+        feed_workers(&mut engine, &dataset, 15);
+        let n = engine.online_workers();
+        // Day-2 cohort drawn from the same population overlaps day 1's.
+        let day2 = dataset.instance_for_day(0, 0, 15, InstanceOptions::default());
+        for w in day2.instance.workers {
+            assert!(!engine.worker_arrives(w), "same cohort: every id re-arrives");
+        }
+        assert_eq!(engine.online_workers(), n, "no duplicates added");
+        let now = TimeInstant::at(0, 9);
+        for i in 0..30u32 {
+            let (t, v) = hourly_task(&dataset, i, now, 5.0);
+            engine.task_arrives(t, v);
+        }
+        let r = engine.run_round(now, AlgorithmKind::Mta);
+        assert!(r.assigned <= n, "each distinct worker serves at most one task");
+    }
+
+    #[test]
+    fn rearriving_open_task_is_refreshed_not_duplicated() {
+        let (dataset, pipeline) = setup(OnlineConfig::default());
+        let mut engine = OnlineEngine::new(pipeline, &dataset.social);
+        feed_workers(&mut engine, &dataset, 20);
+        let now = TimeInstant::at(0, 9);
+        let (t, v) = hourly_task(&dataset, 7, now, 4.0);
+        assert!(engine.task_arrives(t.clone(), v));
+        assert!(!engine.task_arrives(t, v), "same open id refreshes in place");
+        assert_eq!(engine.open_tasks(), 1);
+        let r = engine.run_round(now, AlgorithmKind::Ia);
+        assert_eq!(r.task_arrivals, 1);
+        let s = engine.summary();
+        assert_eq!(s.published, 1, "a refreshed task is published once");
+        assert_eq!(s.published, s.assigned + s.expired + s.still_open);
+    }
+
+    #[test]
+    fn frozen_engine_borrows_without_cloning() {
+        let (dataset, pipeline) = setup(OnlineConfig::default());
+        let fp = pipeline.model().pool().fingerprint();
+        let mut engine = OnlineEngine::frozen(&pipeline, &dataset.social);
+        feed_workers(&mut engine, &dataset, 20);
+        let now = TimeInstant::at(0, 10);
+        for i in 0..10u32 {
+            let (t, v) = hourly_task(&dataset, i, now, 3.0);
+            engine.task_arrives(t, v);
+        }
+        let r = engine.run_round(now, AlgorithmKind::Ia);
+        assert!(r.assigned > 0);
+        assert_eq!(r.sets_added + r.sets_evicted, 0, "frozen engines never maintain");
+        // The borrowed original is untouched and still usable.
+        drop(engine);
+        assert_eq!(pipeline.model().pool().fingerprint(), fp);
+    }
+
+    #[test]
+    #[should_panic(expected = "frozen (borrowed-pipeline) engine")]
+    fn frozen_engine_rejects_mutation() {
+        let (dataset, pipeline) = setup(OnlineConfig::default());
+        let mut engine = OnlineEngine::frozen(&pipeline, &dataset.social);
+        let _ = engine.pipeline_mut();
+    }
+
+    #[test]
+    fn summary_average_influence_is_assignment_weighted() {
+        let (dataset, pipeline) = setup(OnlineConfig::default());
+        let mut engine = OnlineEngine::new(pipeline, &dataset.social);
+        feed_workers(&mut engine, &dataset, 50);
+        let mut influence = 0.0;
+        let mut assigned = 0usize;
+        for hour in 8..12 {
+            let now = TimeInstant::at(0, hour);
+            for i in 0..10u32 {
+                let (t, v) = hourly_task(&dataset, hour as u32 * 50 + i, now, 2.0);
+                engine.task_arrives(t, v);
+            }
+            let r = engine.run_round(now, AlgorithmKind::Ia);
+            influence += r.ai * r.assigned as f64;
+            assigned += r.assigned;
+        }
+        let s = engine.summary();
+        assert_eq!(s.assigned, assigned);
+        assert!((s.average_influence - influence / assigned as f64).abs() < 1e-9);
+    }
+}

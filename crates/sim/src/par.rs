@@ -1,0 +1,102 @@
+//! Budget-respecting deterministic parallel map for sweep points.
+//!
+//! `std::thread::scope` with one thread per item oversubscribes on long
+//! axes and ignores the user's [`sc_core::Parallelism`] knob. This
+//! helper chunks the item range into at most `threads` contiguous
+//! shards, runs each shard sequentially on its own scoped thread, and
+//! concatenates shard outputs in index order — so results are
+//! bit-identical to a sequential map at any budget, and the number of
+//! spawned worker threads never exceeds the budget.
+
+/// Balanced contiguous chunk bounds: at most `threads` non-empty
+/// `(lo, hi)` ranges covering `0..n` in order.
+pub(crate) fn chunk_bounds(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.clamp(1, n.max(1));
+    let base = n / threads;
+    let rem = n % threads;
+    let mut bounds = Vec::with_capacity(threads);
+    let mut lo = 0;
+    for i in 0..threads {
+        let hi = lo + base + usize::from(i < rem);
+        if hi > lo {
+            bounds.push((lo, hi));
+        }
+        lo = hi;
+    }
+    bounds
+}
+
+/// Maps `f` over `0..n` using at most `threads` worker threads,
+/// returning outputs in index order (identical to the sequential map).
+pub(crate) fn map_chunked<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let bounds = chunk_bounds(n, threads);
+    if bounds.len() <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(lo, hi)| scope.spawn(move || (lo..hi).map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("sweep worker panicked"));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn bounds_cover_everything_in_order_without_overlap() {
+        for n in [0usize, 1, 2, 5, 7, 16, 33] {
+            for threads in [1usize, 2, 3, 4, 8, 64] {
+                let bounds = chunk_bounds(n, threads);
+                assert!(bounds.len() <= threads, "n={n} threads={threads}");
+                assert!(bounds.len() <= n.max(1));
+                let mut expect = 0;
+                for &(lo, hi) in &bounds {
+                    assert_eq!(lo, expect, "contiguous");
+                    assert!(hi > lo, "non-empty");
+                    expect = hi;
+                }
+                assert_eq!(expect, n, "full coverage");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_map_matches_sequential() {
+        for threads in [1usize, 2, 3, 7] {
+            let got = map_chunked(11, threads, |i| i * i);
+            let want: Vec<usize> = (0..11).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn concurrency_never_exceeds_budget() {
+        // High-water mark of concurrently running closures: with a
+        // budget of 2 and deliberately staggered work, it must never
+        // exceed 2 even though there are 12 items.
+        let running = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let _ = map_chunked(12, 2, |i| {
+            let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(2 + (i % 3) as u64));
+            running.fetch_sub(1, Ordering::SeqCst);
+            i
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "budget of 2 exceeded");
+    }
+}

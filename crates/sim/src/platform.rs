@@ -7,13 +7,23 @@
 //! tasks persist until they expire, and assigned workers leave the pool.
 //! It powers the `day_in_the_life` example and gives integration tests a
 //! stateful workload.
+//!
+//! Since PR 3 the hourly loop is a thin driver over
+//! [`crate::online::OnlineEngine`] (frozen-pool configuration): the
+//! engine owns the expiry/assign/retire ordering, which also fixed a
+//! subtle accounting skew — a task that is already expired at its
+//! arrival instant is now counted `expired` and never offered, exactly
+//! like a carried-over task, so
+//! `published == assigned + expired + still_open` holds by
+//! construction.
 
+use crate::online::OnlineEngine;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use sc_assign::AlgorithmKind;
 use sc_core::DitaPipeline;
 use sc_datagen::{InstanceOptions, SyntheticDataset};
-use sc_types::{Duration, Instance, Task, TaskId, TimeInstant, VenueId};
+use sc_types::{Duration, Task, TaskId, TimeInstant, VenueId};
 
 /// Configuration of an online day.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,6 +94,13 @@ impl DayReport {
 }
 
 /// Runs the online simulation of one day.
+///
+/// A thin driver over [`OnlineEngine::frozen`]: the engine borrows the
+/// pipeline zero-copy (no per-round maintenance — the day-in-the-life
+/// workload matches the paper's trained-once setting), the initial
+/// worker cohort goes online at the first hour, and every hour
+/// publishes `tasks_per_hour` tasks from random venues before the
+/// engine runs its round. Deterministic in `(dataset seed, day)`.
 pub fn simulate_day(
     dataset: &SyntheticDataset,
     pipeline: &DitaPipeline,
@@ -96,32 +113,27 @@ pub fn simulate_day(
         dataset.seed() ^ 0x00D_A11 ^ (day as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
     );
 
+    let mut engine = OnlineEngine::frozen(pipeline, &dataset.social);
+
     // Initial online workers, sampled through the day-instance machinery
     // so locations match the dataset.
     let base = dataset.instance_for_day(day, 0, config.n_workers, config.options);
-    let mut online_workers = base.instance.workers;
+    for worker in base.instance.workers {
+        engine.worker_arrives(worker);
+    }
 
-    let mut open_tasks: Vec<(Task, VenueId)> = Vec::new();
     let mut next_task_id = 0u32;
-    let mut published = 0usize;
-    let mut assigned_total = 0usize;
-    let mut expired = 0usize;
     let mut hours = Vec::new();
 
     for hour in config.start_hour..config.end_hour {
         let now = TimeInstant::at(day as i64, hour);
-
-        // Expire leftovers.
-        let before = open_tasks.len();
-        open_tasks.retain(|(t, _)| !t.is_expired_at(now));
-        expired += before - open_tasks.len();
 
         // Publish this hour's tasks from random venues.
         for _ in 0..config.tasks_per_hour {
             let venue = dataset
                 .venues
                 .venue(VenueId::from(rng.random_range(0..dataset.venues.len())));
-            open_tasks.push((
+            engine.task_arrives(
                 Task::with_categories(
                     TaskId::new(next_task_id),
                     venue.location,
@@ -130,41 +142,32 @@ pub fn simulate_day(
                     venue.categories.clone(),
                 ),
                 venue.id,
-            ));
+            );
             next_task_id += 1;
-            published += 1;
         }
 
-        // Assemble the instance and assign.
-        let tasks: Vec<Task> = open_tasks.iter().map(|(t, _)| t.clone()).collect();
-        let venues: Vec<VenueId> = open_tasks.iter().map(|(_, v)| *v).collect();
-        let instance = Instance::new(now, online_workers.clone(), tasks);
-        let assignment = pipeline.assign_with_venues(&instance, &venues, algorithm);
-
+        let round = engine.run_round(now, algorithm);
         hours.push(HourReport {
             hour,
-            available_tasks: instance.n_tasks(),
-            online_workers: online_workers.len(),
-            assigned: assignment.len(),
-            ai: assignment.average_influence(),
+            available_tasks: round.available_tasks,
+            online_workers: round.online_workers,
+            assigned: round.assigned,
+            ai: round.ai,
         });
-        assigned_total += assignment.len();
-
-        // Assigned workers leave; assigned tasks close.
-        let assigned_workers: std::collections::HashSet<_> =
-            assignment.pairs().iter().map(|p| p.worker).collect();
-        let assigned_tasks: std::collections::HashSet<_> =
-            assignment.pairs().iter().map(|p| p.task).collect();
-        online_workers.retain(|w| !assigned_workers.contains(&w.id));
-        open_tasks.retain(|(t, _)| !assigned_tasks.contains(&t.id));
     }
 
+    let summary = engine.summary();
+    debug_assert_eq!(
+        summary.published,
+        summary.assigned + summary.expired + summary.still_open,
+        "task conservation"
+    );
     DayReport {
         hours,
-        published,
-        assigned: assigned_total,
-        expired,
-        still_open: open_tasks.len(),
+        published: summary.published,
+        assigned: summary.assigned,
+        expired: summary.expired,
+        still_open: summary.still_open,
     }
 }
 
@@ -191,6 +194,7 @@ mod tests {
                     ..Default::default()
                 },
                 seed: 2,
+                ..Default::default()
             })
             .build(&dataset.social, &dataset.histories)
             .unwrap();
@@ -260,6 +264,41 @@ mod tests {
         let available: Vec<usize> = report.hours.iter().map(|h| h.available_tasks).collect();
         // With φ = 2h, steady state carries ~2 extra batches.
         assert!(available.iter().max().unwrap() > &5);
+    }
+
+    #[test]
+    fn same_hour_expiry_keeps_accounts_balanced() {
+        // Regression: a task whose valid time ends within its arrival
+        // hour must flow through the same expire-before-offer path as a
+        // carried-over task. With φ = 0.5h and no workers, every task is
+        // offered exactly once (its arrival hour) and expires at the
+        // next round — the conservation invariant must hold exactly.
+        let (dataset, pipeline) = setup();
+        let config = DayConfig {
+            n_workers: 0,
+            tasks_per_hour: 6,
+            start_hour: 8,
+            end_hour: 14,
+            options: InstanceOptions {
+                valid_hours: 0.5,
+                ..Default::default()
+            },
+        };
+        let report = simulate_day(&dataset, &pipeline, 5, &config, AlgorithmKind::Ia);
+        assert_eq!(report.published, 36);
+        assert_eq!(report.assigned, 0);
+        assert_eq!(
+            report.published,
+            report.assigned + report.expired + report.still_open,
+            "published tasks must be conserved across assign/expire/open"
+        );
+        // Sub-hour tasks never carry over: each hour offers exactly the
+        // fresh batch, and the final batch is the only one still open.
+        for h in &report.hours {
+            assert_eq!(h.available_tasks, 6, "hour {}: no stale carry-over", h.hour);
+        }
+        assert_eq!(report.still_open, 6);
+        assert_eq!(report.expired, 30);
     }
 
     #[test]

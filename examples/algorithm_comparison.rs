@@ -24,6 +24,7 @@ fn main() {
             ..Default::default()
         },
         seed: 3,
+        ..Default::default()
     };
     println!("training DITA on '{}'…", profile.name);
     let runner = ExperimentRunner::new(&profile, 555, config).days(4);

@@ -25,6 +25,7 @@ fn main() {
                 ..Default::default()
             },
             seed: 13,
+            ..Default::default()
         })
         .build(&data.social, &data.histories)
         .expect("training");

@@ -22,6 +22,7 @@ fn main() {
                 ..Default::default()
             },
             seed: 4,
+            ..Default::default()
         })
         .build(&data.social, &data.histories)
         .expect("training");

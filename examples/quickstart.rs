@@ -33,6 +33,7 @@ fn main() {
             ..Default::default()
         },
         seed: 7,
+        ..Default::default()
     };
     println!("training DITA ({} topics, ε = {})…", config.n_topics, config.rpo.epsilon);
     let pipeline = DitaBuilder::new()

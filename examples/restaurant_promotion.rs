@@ -37,6 +37,7 @@ fn main() {
                 ..Default::default()
             },
             seed: 99,
+            ..Default::default()
         })
         .build(&data.social, &data.histories)
         .expect("training");

@@ -6,19 +6,24 @@
 //! dita comparison --profile bk-small --axis tasks --threads 4
 //! dita ablation   --profile fs-small --axis radius
 //! dita simulate   --profile bk-small --day 0 --algorithm EIA --verbose
+//! dita online     --profile bk-small --days 3 --growth-cap 1024 --horizon 24
 //! ```
 //!
 //! Flags are `--key value` pairs (`--verbose` may stand alone); every
 //! command accepts `--seed`, and the training commands accept
-//! `--threads N` (0 = one shard per core) — results are bit-identical
-//! at any thread count. Argument parsing is deliberately
-//! dependency-free.
+//! `--threads N` (0 = one shard per core) governing **all** thread
+//! budgets of the run — RRR-pool sampling, sweep-point evaluation, and
+//! online pool maintenance — with bit-identical results at any count.
+//! Argument parsing is deliberately dependency-free.
 
-use dita::core::{AlgorithmKind, DitaBuilder, DitaConfig, DitaPipeline};
+use dita::core::{AlgorithmKind, DitaBuilder, DitaConfig, DitaPipeline, OnlineConfig};
 use dita::datagen::{io as dio, DatasetProfile, InstanceOptions, SyntheticDataset};
 use dita::influence::{Parallelism, RpoParams};
 use dita::sim::platform::{simulate_day, DayConfig};
-use dita::sim::{render_table, ExperimentRunner, SweepAxis, SweepValues};
+use dita::sim::{
+    render_table, scripted_arrival, ExperimentRunner, OnlineEngine, SweepAxis, SweepValues,
+};
+use dita::types::TimeInstant;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -35,6 +40,7 @@ fn main() -> ExitCode {
         "comparison" => cmd_sweep(&flags, false),
         "ablation" => cmd_sweep(&flags, true),
         "simulate" => cmd_simulate(&flags),
+        "online" => cmd_online(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -60,11 +66,29 @@ USAGE:
   dita comparison [--profile P] [--seed N] [--axis tasks|workers|phi|radius]
   dita ablation   [--profile P] [--seed N] [--axis tasks|workers|phi|radius]
   dita simulate   [--profile P] [--seed N] [--day D] [--algorithm A]
+  dita online     [--profile P] [--seed N] [--days D] [--algorithm A]
+                  [--workers N] [--tasks-per-round T] [--phi H]
+                  [--round-hours H] [--growth-cap G] [--horizon R]
+                  [--target-sets N]
 
-COMMON FLAGS (assign/comparison/ablation/simulate):
-  --threads N   RRR sampling threads; 0 = one per core (results are
-                bit-identical at any thread count)
+COMMON FLAGS (assign/comparison/ablation/simulate/online):
+  --threads N   thread budget for the whole run: RRR sampling during
+                training, sweep-point evaluation (comparison/ablation),
+                and online pool maintenance; 0 = one per core (results
+                are bit-identical at any thread count)
   --verbose     print RPO diagnostics (pool size, cap, per-phase wall time)
+
+ONLINE FLAGS:
+  --days D           simulated days of hourly rounds, 08:00-20:00 (default 2)
+  --workers N        worker cohort arriving each morning (default 100)
+  --tasks-per-round T  tasks published per hourly round (default 20)
+  --phi H            task valid time in hours (default 3)
+  --round-hours H    hours between assignment rounds (default 1)
+  --growth-cap G     max RRR sets evicted and sampled per round; the
+                     rotation quantum (default 1024, 0 = frozen pool)
+  --horizon R        rounds before a set becomes eviction-eligible
+                     (default 24, 0 = never evict)
+  --target-sets N    live-set target (default 0 = trained pool size)
 
 PROFILES: bk, fs, bk-small (default), fs-small";
 
@@ -152,6 +176,7 @@ fn cli_config(profile: &DatasetProfile, seed: u64, threads: Parallelism) -> Dita
             ..Default::default()
         },
         seed,
+        ..Default::default()
     }
 }
 
@@ -283,14 +308,17 @@ fn cmd_sweep(flags: &HashMap<String, String>, ablation: bool) -> Result<(), Stri
     } else {
         SweepValues::paper_defaults()
     };
-    let config = cli_config(&profile, seed, threads_of(flags)?);
-    let runner = ExperimentRunner::new(&profile, seed, config).days(4);
+    let threads = threads_of(flags)?;
+    let config = cli_config(&profile, seed, threads);
+    // One knob for the whole run: `threads` governs RRR sampling during
+    // training (inside `config.rpo`) *and* sweep-point evaluation below.
+    let runner = ExperimentRunner::with_threads(&profile, seed, config, threads).days(4);
     if verbose_of(flags) {
         print_rpo_stats(runner.pipeline());
     }
 
     if ablation {
-        let points = runner.run_ablation(&axis, &defaults);
+        let points = runner.run_ablation_parallel(&axis, &defaults);
         let mut headers = vec![axis.name().to_string()];
         headers.extend(points[0].ai.iter().map(|(l, _)| l.clone()));
         let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
@@ -304,7 +332,7 @@ fn cmd_sweep(flags: &HashMap<String, String>, ablation: bool) -> Result<(), Stri
             .collect();
         print!("{}", render_table(&headers_ref, &rows));
     } else {
-        let points = runner.run_comparison(&axis, &defaults);
+        let points = runner.run_comparison_parallel(&axis, &defaults);
         let mut headers = vec![axis.name().to_string()];
         headers.extend(points[0].rows.iter().map(|r| r.algorithm.clone()));
         let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
@@ -329,6 +357,108 @@ fn cmd_sweep(flags: &HashMap<String, String>, ablation: bool) -> Result<(), Stri
             .collect();
         print!("{}", render_table(&headers_ref, &rows));
     }
+    Ok(())
+}
+
+/// `dita online` — multi-day streaming run on the online engine:
+/// hourly assignment rounds with bounded RRR-pool rotation instead of
+/// retraining, reported per round.
+fn cmd_online(flags: &HashMap<String, String>) -> Result<(), String> {
+    let profile = profile_of(flags)?;
+    let seed: u64 = num(flags, "seed", 42)?;
+    let days: usize = num(flags, "days", 2)?;
+    let n_workers: usize = num(flags, "workers", 100)?;
+    let tasks_per_round: usize = num(flags, "tasks-per-round", 20)?;
+    let phi: f64 = num(flags, "phi", 3.0)?;
+    let algorithm = algorithm_of(flags)?;
+    let threads = threads_of(flags)?;
+    let round_hours: i64 = num(flags, "round-hours", 1)?;
+    if round_hours < 1 {
+        return Err("--round-hours must be at least 1".into());
+    }
+    let online = OnlineConfig {
+        round_hours,
+        growth_cap: num(flags, "growth-cap", 1_024)?,
+        eviction_horizon: num(flags, "horizon", 24)?,
+        target_sets: num(flags, "target-sets", 0)?,
+    };
+
+    eprintln!(
+        "training DITA on '{}' ({} workers, {} sampling thread(s))…",
+        profile.name, profile.n_workers, threads
+    );
+    let data = SyntheticDataset::generate(&profile, seed);
+    let pipeline = DitaBuilder::new()
+        .config(cli_config(&profile, seed, threads))
+        .online(online)
+        .build(&data.social, &data.histories)
+        .expect("training");
+    if verbose_of(flags) {
+        print_rpo_stats(&pipeline);
+    }
+    let trained_sets = pipeline.model().pool().n_sets();
+
+    let mut engine = OnlineEngine::new(pipeline, &data.social);
+    let opts = InstanceOptions {
+        valid_hours: phi,
+        ..Default::default()
+    };
+    println!(
+        "round  time    open  online  assigned      AI    pool  +new  -old  maint ms"
+    );
+    let mut next_task_id = 0u32;
+    for day in 0..days {
+        let cohort = data.instance_for_day(day, 0, n_workers, opts);
+        for w in cohort.instance.workers {
+            engine.worker_arrives(w);
+        }
+        // Rounds run every `round_hours` across the operating window.
+        for hour in (8..20i64).step_by(online.round_hours as usize) {
+            let now = TimeInstant::at(day as i64, hour);
+            for _ in 0..tasks_per_round {
+                let (task, venue) = scripted_arrival(&data, seed, next_task_id, now, phi);
+                engine.task_arrives(task, venue);
+                next_task_id += 1;
+            }
+            let r = engine.run_round(now, algorithm);
+            println!(
+                "{:>5}  d{}:{:02}  {:>4}  {:>6}  {:>8}  {:>6.4}  {:>6}  {:>4}  {:>4}  {:>8.2}",
+                r.round,
+                day,
+                hour,
+                r.available_tasks,
+                r.online_workers,
+                r.assigned,
+                r.ai,
+                r.pool_sets,
+                r.sets_added,
+                r.sets_evicted,
+                r.maintenance_ms
+            );
+        }
+    }
+    let s = engine.summary();
+    let pool = engine.pipeline().model().pool();
+    println!(
+        "published {}, assigned {} ({:.0}%), expired {}, open {}; AI {:.4}",
+        s.published,
+        s.assigned,
+        s.assignment_rate() * 100.0,
+        s.expired,
+        s.still_open,
+        s.average_influence
+    );
+    println!(
+        "pool: trained {}, live {}, stream window [{}, {}); maintenance sampled {} / evicted {} sets in {:.1} ms over {} rounds (zero full retrains)",
+        trained_sets,
+        pool.n_sets(),
+        pool.stream_base(),
+        pool.stream_base() + pool.n_sets(),
+        s.sets_added,
+        s.sets_evicted,
+        s.maintenance_ms,
+        s.rounds
+    );
     Ok(())
 }
 

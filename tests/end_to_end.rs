@@ -17,6 +17,7 @@ fn light_config(seed: u64) -> DitaConfig {
             ..Default::default()
         },
         seed,
+        ..Default::default()
     }
 }
 

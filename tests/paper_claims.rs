@@ -18,6 +18,7 @@ fn runner_on(profile: DatasetProfile, seed: u64) -> ExperimentRunner {
             ..Default::default()
         },
         seed,
+        ..Default::default()
     };
     ExperimentRunner::new(&profile, seed, config).days(3)
 }
