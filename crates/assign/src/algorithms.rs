@@ -50,6 +50,12 @@ impl fmt::Display for AlgorithmKind {
     }
 }
 
+/// Pair counts below this score sequentially even under a multi-thread
+/// budget: one influence evaluation is microseconds, so spawn overhead
+/// would dominate. Values are unaffected either way (the sharded scan
+/// merges in pair order).
+const SCORE_SHARD_THRESHOLD: usize = 1024;
+
 /// Everything an algorithm needs to run on one instance.
 pub struct AssignInput<'a> {
     /// The instance snapshot.
@@ -60,15 +66,21 @@ pub struct AssignInput<'a> {
     /// Required by [`AlgorithmKind::Eia`]; treated as all-zero otherwise
     /// when absent.
     pub task_entropy: Option<&'a [f64]>,
+    /// Thread budget for the scoring passes (eligibility construction
+    /// in [`run`] and the per-pair influence scan). Results are
+    /// bit-identical at any value — shards are contiguous index ranges
+    /// merged in order — so this trades wall time only. Defaults to 1.
+    pub threads: usize,
 }
 
 impl<'a> AssignInput<'a> {
-    /// Creates an input without entropy data.
+    /// Creates an input without entropy data, scoring on one thread.
     pub fn new(instance: &'a Instance, influence: &'a dyn InfluenceOracle) -> Self {
         AssignInput {
             instance,
             influence,
             task_entropy: None,
+            threads: 1,
         }
     }
 
@@ -83,11 +95,20 @@ impl<'a> AssignInput<'a> {
         self.task_entropy = Some(entropy);
         self
     }
+
+    /// Sets the scoring thread budget (clamped to at least 1). Results
+    /// are bit-identical at any budget.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
 }
 
-/// Runs `kind` on `input` and returns the assignment.
+/// Runs `kind` on `input` and returns the assignment. Eligibility and
+/// the scoring pass honor [`AssignInput::threads`].
 pub fn run(kind: AlgorithmKind, input: &AssignInput<'_>) -> Assignment {
-    let matrix = EligibilityMatrix::build(input.instance);
+    let matrix = EligibilityMatrix::build_with_threads(input.instance, input.threads);
     run_with_matrix(kind, input, &matrix)
 }
 
@@ -114,19 +135,28 @@ enum CostModel {
     DistanceInfluence,
 }
 
-/// Precomputes `if(w, s)` for every available pair.
+/// Precomputes `if(w, s)` for every available pair, sharding the scan
+/// over [`AssignInput::threads`] when the pair count warrants it.
+/// Shards are contiguous pair ranges merged in index order, and every
+/// score is a pure read of the (already warm or content-deterministic)
+/// oracle, so the vector is identical at any thread count.
 fn pair_influences(input: &AssignInput<'_>, matrix: &EligibilityMatrix) -> Vec<f64> {
-    matrix
-        .pairs()
-        .iter()
-        .map(|p| {
-            let worker = &input.instance.workers[p.worker_idx as usize];
-            let task = &input.instance.tasks[p.task_idx as usize];
-            let v = input.influence.influence(worker.id, task);
-            debug_assert!(v.is_finite() && v >= 0.0, "influence must be >= 0, got {v}");
-            v
-        })
-        .collect()
+    let score = |p: &crate::EligiblePair| {
+        let worker = &input.instance.workers[p.worker_idx as usize];
+        let task = &input.instance.tasks[p.task_idx as usize];
+        let v = input.influence.influence(worker.id, task);
+        debug_assert!(v.is_finite() && v >= 0.0, "influence must be >= 0, got {v}");
+        v
+    };
+    let pairs = matrix.pairs();
+    if input.threads <= 1 || pairs.len() < SCORE_SHARD_THRESHOLD {
+        return pairs.iter().map(score).collect();
+    }
+    // Clamp the width so every shard carries at least a threshold's
+    // worth of pairs — spawning 16 threads for 1.1k pairs would be
+    // spawn-dominated (same rule as RrrPool::MIN_SETS_PER_SHARD).
+    let threads = input.threads.min(pairs.len().div_ceil(SCORE_SHARD_THRESHOLD));
+    sc_stats::par::map_chunked(pairs.len(), threads, |pi| score(&pairs[pi]))
 }
 
 fn to_assignment(

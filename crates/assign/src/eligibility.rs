@@ -9,13 +9,32 @@
 //!
 //! For large instances the candidate tasks per worker are found through a
 //! [`GridIndex`] over task locations instead of a full scan.
+//!
+//! # Sharded construction
+//!
+//! [`EligibilityMatrix::build_with_threads`] distributes the build over
+//! the workspace's chunked-shard scheduler (`sc_stats::par`). The
+//! matrix is a per-worker CSR, so the shard axis is the worker range:
+//! each shard evaluates a contiguous run of workers against the *shared
+//! read-only task grid* and emits its rows in worker order; shard
+//! outputs concatenate into the final CSR in shard order. Because every
+//! worker's row is computed by the same code over the same grid in the
+//! same candidate order, the sharded matrix is **byte-for-byte equal to
+//! the sequential one at any thread count** (the task axis needs no
+//! sharding of its own — the grid already prunes it per worker).
 
 use sc_spatial::GridIndex;
-use sc_types::{Duration, Instance};
+use sc_types::{Duration, Instance, Worker};
 
 /// Instances below this |W|·|S| threshold use the direct double loop;
 /// the grid only pays off once the quadratic scan dominates.
 const GRID_THRESHOLD: usize = 64 * 64;
+
+/// Instances below this |W|·|S| threshold build sequentially even when
+/// a multi-thread budget is offered: thread-spawn overhead beats the
+/// pair-test work. Results are unaffected (the sharded merge equals
+/// the sequential build by construction) — only the parallel width is.
+const SHARD_THRESHOLD: usize = 48 * 48;
 
 /// One available worker-task pair with its geometry precomputed.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,14 +56,67 @@ pub struct EligibilityMatrix {
     n_tasks: usize,
 }
 
+/// Appends worker `wi`'s eligible pairs to `out` in ascending task
+/// order — the one row body shared by the sequential and sharded
+/// builds, so their outputs can only be identical. `candidates` is a
+/// caller-owned scratch buffer (cleared here) to avoid re-allocating
+/// per worker.
+fn worker_row(
+    instance: &Instance,
+    grid: Option<&GridIndex>,
+    wi: usize,
+    worker: &Worker,
+    candidates: &mut Vec<usize>,
+    out: &mut Vec<EligiblePair>,
+) {
+    candidates.clear();
+    if let Some(grid) = grid {
+        grid.for_each_within(&worker.location, worker.radius_km, |idx, _| {
+            candidates.push(idx);
+        });
+        candidates.sort_unstable();
+    } else {
+        candidates.extend(0..instance.tasks.len());
+    }
+    for &ti in candidates.iter() {
+        let task = &instance.tasks[ti];
+        let d = worker.location.distance_km(&task.location);
+        if d > worker.radius_km {
+            continue;
+        }
+        let travel = Duration::seconds(worker.travel_seconds(&task.location).ceil() as i64);
+        if instance.now + travel > task.deadline() {
+            continue;
+        }
+        out.push(EligiblePair {
+            worker_idx: wi as u32,
+            task_idx: ti as u32,
+            distance_km: d,
+        });
+    }
+}
+
 impl EligibilityMatrix {
-    /// Computes the matrix for an instance.
+    /// Computes the matrix for an instance on the calling thread.
+    ///
+    /// Equivalent to [`EligibilityMatrix::build_with_threads`] with a
+    /// budget of 1 (which is byte-for-byte equal at any budget).
     pub fn build(instance: &Instance) -> Self {
+        Self::build_with_threads(instance, 1)
+    }
+
+    /// Computes the matrix for an instance on up to `threads` worker
+    /// threads (see the module docs for the sharding scheme).
+    ///
+    /// The result is **byte-for-byte identical at any thread count**:
+    /// shards cover contiguous worker ranges, every row is produced by
+    /// the same code over the same shared task grid, and shard outputs
+    /// merge in worker order. Small instances (|W|·|S| below an
+    /// internal threshold) build sequentially regardless of the budget
+    /// because spawn overhead would dominate.
+    pub fn build_with_threads(instance: &Instance, threads: usize) -> Self {
         let n_workers = instance.workers.len();
         let n_tasks = instance.tasks.len();
-        let mut pairs = Vec::new();
-        let mut offsets = Vec::with_capacity(n_workers + 1);
-        offsets.push(0u32);
 
         let use_grid = n_workers * n_tasks >= GRID_THRESHOLD && n_tasks > 0;
         let grid = use_grid.then(|| {
@@ -54,36 +126,60 @@ impl EligibilityMatrix {
                 / n_workers.max(1) as f64;
             GridIndex::build(&locations, (mean_r / 2.0).max(0.25))
         });
+        let grid = grid.as_ref();
 
-        let mut candidates: Vec<usize> = Vec::new();
-        for (wi, worker) in instance.workers.iter().enumerate() {
-            if let Some(grid) = &grid {
-                candidates.clear();
-                grid.for_each_within(&worker.location, worker.radius_km, |idx, _| {
-                    candidates.push(idx);
-                });
-                candidates.sort_unstable();
-            } else {
-                candidates.clear();
-                candidates.extend(0..n_tasks);
+        if threads <= 1 || n_workers * n_tasks < SHARD_THRESHOLD {
+            let mut pairs = Vec::new();
+            let mut offsets = Vec::with_capacity(n_workers + 1);
+            offsets.push(0u32);
+            let mut candidates: Vec<usize> = Vec::new();
+            for (wi, worker) in instance.workers.iter().enumerate() {
+                worker_row(instance, grid, wi, worker, &mut candidates, &mut pairs);
+                offsets.push(pairs.len() as u32);
             }
-            for &ti in &candidates {
-                let task = &instance.tasks[ti];
-                let d = worker.location.distance_km(&task.location);
-                if d > worker.radius_km {
-                    continue;
-                }
-                let travel = Duration::seconds(worker.travel_seconds(&task.location).ceil() as i64);
-                if instance.now + travel > task.deadline() {
-                    continue;
-                }
-                pairs.push(EligiblePair {
-                    worker_idx: wi as u32,
-                    task_idx: ti as u32,
-                    distance_km: d,
-                });
+            return EligibilityMatrix {
+                pairs,
+                offsets,
+                n_tasks,
+            };
+        }
+
+        // Sharded path: one contiguous worker range per shard, each
+        // emitting `(rows, per-worker lengths)`; the merge concatenates
+        // pairs and accumulates lengths into the CSR offsets in shard
+        // order — exactly the sequential layout. The width clamp keeps
+        // every shard above a threshold's worth of pair tests, so a
+        // large budget never degenerates into spawn-dominated
+        // micro-shards.
+        let threads = threads.min((n_workers * n_tasks).div_ceil(SHARD_THRESHOLD));
+        let shards = sc_stats::par::map_shards(n_workers, threads, |lo, hi| {
+            let mut pairs = Vec::new();
+            let mut lens = Vec::with_capacity(hi - lo);
+            let mut candidates: Vec<usize> = Vec::new();
+            for wi in lo..hi {
+                let before = pairs.len();
+                worker_row(
+                    instance,
+                    grid,
+                    wi,
+                    &instance.workers[wi],
+                    &mut candidates,
+                    &mut pairs,
+                );
+                lens.push((pairs.len() - before) as u32);
             }
-            offsets.push(pairs.len() as u32);
+            (pairs, lens)
+        });
+
+        let total: usize = shards.iter().map(|(p, _)| p.len()).sum();
+        let mut pairs = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(n_workers + 1);
+        offsets.push(0u32);
+        for (shard_pairs, lens) in shards {
+            for len in lens {
+                offsets.push(offsets.last().unwrap() + len);
+            }
+            pairs.extend_from_slice(&shard_pairs);
         }
 
         EligibilityMatrix {

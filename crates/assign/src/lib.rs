@@ -14,8 +14,22 @@
 //!
 //! The influence values `if(w, s)` come from an [`InfluenceOracle`] —
 //! `sc-core` provides the full DITA oracle; tests use closures.
+//!
+//! ## Intra-instance parallelism
+//!
+//! The two scoring passes that dominate a single instance — building
+//! the [`EligibilityMatrix`] and evaluating `if(w, s)` per eligible
+//! pair — shard over the workspace scheduler (`sc_stats::par`) when
+//! [`AssignInput::with_threads`] carries a budget above 1:
+//! [`EligibilityMatrix::build_with_threads`] splits the worker (CSR)
+//! axis into contiguous ranges over a shared task grid, and the
+//! pair-influence scan splits the pair range. Both merge in index
+//! order, so assignments are **bit-identical at any thread count** —
+//! the same contract as `sc-influence`'s sharded RRR sampling. The
+//! combinatorial solve (max-flow / MCMF / greedy) stays sequential;
+//! only the embarrassingly parallel scoring work fans out.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod algorithms;

@@ -8,7 +8,14 @@
 use sc_types::{Task, WorkerId};
 
 /// Supplies `if(w, s)` for candidate pairs.
-pub trait InfluenceOracle {
+///
+/// `Sync` is a supertrait because the scoring pass over eligible pairs
+/// is sharded across threads when [`crate::AssignInput`] carries a
+/// multi-thread budget: oracles must tolerate concurrent `influence`
+/// calls (scores must not depend on call order — `sc-core`'s cached
+/// scorer satisfies this by computing per-task entries
+/// deterministically from task content).
+pub trait InfluenceOracle: Sync {
     /// Worker-task influence of assigning `task` to `worker`.
     /// Must be non-negative and finite.
     fn influence(&self, worker: WorkerId, task: &Task) -> f64;
@@ -25,10 +32,11 @@ impl InfluenceOracle for ZeroInfluence {
     }
 }
 
-/// Adapter turning any closure into an oracle.
+/// Adapter turning any closure into an oracle (the closure must be
+/// `Sync`, i.e. safe to call from the sharded scoring pass).
 pub struct InfluenceFn<F>(pub F);
 
-impl<F: Fn(WorkerId, &Task) -> f64> InfluenceOracle for InfluenceFn<F> {
+impl<F: Fn(WorkerId, &Task) -> f64 + Sync> InfluenceOracle for InfluenceFn<F> {
     #[inline]
     fn influence(&self, worker: WorkerId, task: &Task) -> f64 {
         (self.0)(worker, task)

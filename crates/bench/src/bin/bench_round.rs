@@ -1,0 +1,232 @@
+//! Per-round scoring throughput across thread counts → `BENCH_round.json`.
+//!
+//! PR 2/3 parallelized training (sharded RRR sampling) and sweeps
+//! (chunked sweep points); this binary measures the third axis —
+//! **intra-point parallelism**: the scoring passes *inside* one online
+//! round (eligibility sharding, influence-cache warming, the per-pair
+//! influence scan), all scheduled through `sc_stats::par` under the
+//! pipeline's thread budget.
+//!
+//! One pipeline is trained once; per thread count a clone is re-budgeted
+//! via [`sc_core::DitaPipeline::set_threads`] (no retrain — results are
+//! bit-identical by contract) and driven through an identical scripted
+//! arrival stream with a frozen pool, timing only the rounds. The
+//! binary asserts the [`sc_sim::RoundReport`]s of every budget equal
+//! the single-thread run report-for-report, and — on a host with ≥ 4
+//! cores — that 4 threads deliver at least a 2× per-round speedup.
+//!
+//! ```text
+//! cargo run --release -p sc-bench --bin bench_round
+//! DITA_BENCH_COHORT=2000 DITA_BENCH_TASKS=400 cargo run --release -p sc-bench --bin bench_round
+//! ```
+//!
+//! Speedups are only meaningful on a multi-core host; the JSON records
+//! `host_threads` (and whether the floor was enforced) so a 1-core CI
+//! run is not misread as a regression.
+
+use sc_core::{AlgorithmKind, DitaBuilder, DitaConfig, DitaPipeline, OnlineConfig, Parallelism};
+use sc_datagen::{DatasetProfile, InstanceOptions, SyntheticDataset};
+use sc_influence::RpoParams;
+use sc_sim::{scripted_arrival, OnlineEngine, RoundReport};
+use sc_types::TimeInstant;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Run {
+    threads: usize,
+    round_ms: f64,
+    reports: Vec<RoundReport>,
+}
+
+/// The scripted workload every thread count replays identically.
+#[derive(Clone, Copy)]
+struct Script {
+    cohort: usize,
+    tasks_per_round: usize,
+    rounds: usize,
+    phi: f64,
+    seed: u64,
+}
+
+/// Drives the scripted stream once on a re-budgeted clone of the
+/// trained pipeline, returning total in-round wall time and the
+/// per-round reports.
+fn drive(
+    base: &DitaPipeline,
+    data: &SyntheticDataset,
+    threads: usize,
+    script: Script,
+) -> (f64, Vec<RoundReport>) {
+    let Script {
+        cohort,
+        tasks_per_round,
+        rounds,
+        phi,
+        seed,
+    } = script;
+    let mut pipeline = base.clone();
+    pipeline.set_threads(Parallelism::Fixed(threads));
+    let mut engine = OnlineEngine::with_config(pipeline, &data.social, OnlineConfig::default());
+    // A city-scale 5 km radius keeps the eligible-pair count (and with
+    // it the *sequential* MCMF solve) small relative to the sharded
+    // scoring passes, so the measurement isolates what this bench is
+    // about: scoring scalability. Measured split at these defaults:
+    // ~74 ms/round parallelizable (cache warm + eligibility + pair
+    // scan) vs ~11 ms sequential solve — an Amdahl ceiling of ~2.9×
+    // at 4 threads.
+    let opts = InstanceOptions {
+        valid_hours: phi,
+        radius_km: 5.0,
+        ..Default::default()
+    };
+    for w in data.instance_for_day(0, 0, cohort, opts).instance.workers {
+        engine.worker_arrives(w);
+    }
+    let mut next_id = 0u32;
+    let mut reports = Vec::with_capacity(rounds);
+    let mut wall = 0.0f64;
+    for round in 0..rounds {
+        let now = TimeInstant::at(0, 8 + round as i64);
+        for _ in 0..tasks_per_round {
+            let (task, venue) = scripted_arrival(data, seed, next_id, now, phi);
+            engine.task_arrives(task, venue);
+            next_id += 1;
+        }
+        let t0 = Instant::now();
+        reports.push(engine.run_round(now, AlgorithmKind::Ia));
+        wall += t0.elapsed().as_secs_f64() * 1e3;
+    }
+    (wall, reports)
+}
+
+fn main() {
+    let population = env_usize("DITA_BENCH_WORKERS", 2_000);
+    let cohort = env_usize("DITA_BENCH_COHORT", 1_500);
+    let tasks_per_round = env_usize("DITA_BENCH_TASKS", 250);
+    let rounds = env_usize("DITA_BENCH_ROUNDS", 6);
+    let n_sets = env_usize("DITA_BENCH_SETS", 40_000);
+    let reps = env_usize("DITA_BENCH_REPS", 2);
+    let phi = 3.0;
+    let seed = 0xD17A_0004u64;
+
+    let mut profile = DatasetProfile::brightkite_small();
+    profile.n_workers = population;
+    profile.n_venues = (population / 2).max(100);
+    profile.checkins_per_worker = 12;
+
+    eprintln!("[bench_round] generating dataset ({population} workers)…");
+    let data = SyntheticDataset::generate(&profile, 17);
+    eprintln!("[bench_round] training pipeline once (pool {n_sets} sets)…");
+    let t0 = Instant::now();
+    let base = DitaBuilder::new()
+        .config(DitaConfig {
+            n_topics: 12,
+            lda_sweeps: 15,
+            infer_sweeps: 10,
+            rpo: RpoParams {
+                max_sets: n_sets,
+                ..Default::default()
+            },
+            seed,
+            ..Default::default()
+        })
+        .build(&data.social, &data.histories)
+        .expect("training");
+    eprintln!(
+        "[bench_round] trained in {:.1} ms ({} live sets)",
+        t0.elapsed().as_secs_f64() * 1e3,
+        base.model().pool().n_sets()
+    );
+
+    let script = Script {
+        cohort,
+        tasks_per_round,
+        rounds,
+        phi,
+        seed,
+    };
+    // Warm pass outside the timed region (allocator, page cache).
+    let _ = drive(&base, &data, 1, Script { rounds: 2, ..script });
+
+    let mut runs: Vec<Run> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let mut best = f64::INFINITY;
+        let mut reports = Vec::new();
+        for _ in 0..reps.max(1) {
+            let (wall, r) = drive(&base, &data, threads, script);
+            best = best.min(wall);
+            reports = r;
+        }
+        eprintln!(
+            "[bench_round] {threads} thread(s): {best:.1} ms total, {:.2} ms/round",
+            best / rounds as f64
+        );
+        runs.push(Run {
+            threads,
+            round_ms: best / rounds as f64,
+            reports,
+        });
+    }
+
+    let assigned: usize = runs[0].reports.iter().map(|r| r.assigned).sum();
+    assert!(assigned > 0, "degenerate workload: nothing was assigned");
+    for run in &runs[1..] {
+        assert_eq!(
+            run.reports, runs[0].reports,
+            "round reports diverged at {} threads — determinism contract broken",
+            run.threads
+        );
+    }
+
+    let single_ms = runs[0].round_ms;
+    let speedup_at = |threads: usize| {
+        runs.iter()
+            .find(|r| r.threads == threads)
+            .map(|r| single_ms / r.round_ms)
+            .unwrap_or(0.0)
+    };
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // The ≥2× floor needs hardware to speed up *on*; on fewer than 4
+    // cores the JSON records the honest numbers and skips the assert
+    // (same convention as bench_pool).
+    let enforce_floor = host_threads >= 4;
+    if enforce_floor {
+        assert!(
+            speedup_at(4) >= 2.0,
+            "4-thread per-round speedup {:.2}× below the 2× floor",
+            speedup_at(4)
+        );
+    }
+
+    let run_rows: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"threads\": {}, \"round_ms\": {:.3}, \"rounds_per_sec\": {:.1}, \"speedup_vs_single\": {:.3}}}",
+                r.threads,
+                r.round_ms,
+                1e3 / r.round_ms,
+                single_ms / r.round_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"online_round_scoring\",\n  \"population\": {population},\n  \"worker_cohort\": {cohort},\n  \"tasks_per_round\": {tasks_per_round},\n  \"rounds\": {rounds},\n  \"pool_sets\": {},\n  \"reps\": {reps},\n  \"host_threads\": {host_threads},\n  \"assigned_total\": {assigned},\n  \"reports_identical_across_threads\": true,\n  \"speedup_floor_enforced\": {enforce_floor},\n  \"speedup_at_4_threads\": {:.3},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        base.model().pool().n_sets(),
+        speedup_at(4),
+        run_rows.join(",\n")
+    );
+
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_round.json");
+    std::fs::write(&path, &json).expect("write BENCH_round.json");
+    println!("{json}");
+    eprintln!("[bench_round] written to {}", path.display());
+}

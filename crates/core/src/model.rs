@@ -90,6 +90,15 @@ impl InfluenceModel {
         &self.config
     }
 
+    /// Re-targets the thread budget without retraining. Every result —
+    /// training pools, assignments, round reports — is bit-identical
+    /// at any budget, so this changes only the wall time of subsequent
+    /// scoring and pool maintenance. Used by serving deployments (and
+    /// `bench_round`) to scale one trained model across machines.
+    pub fn set_threads(&mut self, threads: sc_influence::Parallelism) {
+        self.config.rpo.threads = threads;
+    }
+
     /// RPO diagnostics (pool size, bounds, rounds).
     #[inline]
     pub fn rpo_stats(&self) -> &RpoStats {

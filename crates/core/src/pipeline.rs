@@ -47,8 +47,63 @@ impl DitaBuilder {
         self
     }
 
-    /// Overrides the sampling thread budget. Training results are
-    /// bit-identical at any setting — this knob trades wall time only.
+    /// Overrides the thread budget. One knob governs every parallel
+    /// phase of the pipeline: RRR-pool sampling during training *and*
+    /// the per-instance scoring passes of every `assign*` call
+    /// (eligibility sharding, influence-cache warming, the pair scan).
+    /// Results are bit-identical at any setting — this knob trades
+    /// wall time only.
+    ///
+    /// ```
+    /// use sc_core::{AlgorithmKind, DitaBuilder, OnlineConfig, Parallelism};
+    /// use sc_influence::{RpoParams, SocialNetwork};
+    /// use sc_types::*;
+    ///
+    /// // A 4-worker toy world: a chain social network and two
+    /// // check-ins per worker.
+    /// let social = SocialNetwork::from_undirected_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+    /// let mut histories = HistoryStore::with_workers(4);
+    /// for w in 0..4u32 {
+    ///     for i in 0..2 {
+    ///         histories.push(CheckIn::at(
+    ///             WorkerId::new(w),
+    ///             VenueId::new(w * 2 + i),
+    ///             Location::new(w as f64, i as f64),
+    ///             TimeInstant::from_seconds((w * 10 + i) as i64),
+    ///             vec![CategoryId::new(w % 2)],
+    ///         ));
+    ///     }
+    /// }
+    ///
+    /// // The threads knob parallelizes training *and* per-round
+    /// // scoring; the online knob configures bounded pool rotation
+    /// // for serving. Both are plumbed through the one builder.
+    /// let pipeline = DitaBuilder::new()
+    ///     .topics(2)
+    ///     .seed(7)
+    ///     .rpo(RpoParams { max_sets: 2_000, ..Default::default() })
+    ///     .threads(Parallelism::Fixed(2))
+    ///     .online(OnlineConfig::streaming())
+    ///     .build(&social, &histories)
+    ///     .unwrap();
+    /// assert_eq!(pipeline.scoring_threads(), 2);
+    /// assert!(pipeline.model().config().online.maintains_pool());
+    ///
+    /// // Assignments are bit-identical at any thread count.
+    /// let instance = Instance::new(
+    ///     TimeInstant::at(0, 9),
+    ///     (0..4).map(|w| Worker::new(WorkerId::new(w), Location::new(w as f64, 0.0), 30.0)).collect(),
+    ///     (0..3).map(|t| Task::new(
+    ///         TaskId::new(t),
+    ///         Location::new(t as f64, 0.5),
+    ///         TimeInstant::at(0, 8),
+    ///         Duration::hours(4),
+    ///         CategoryId::new(t % 2),
+    ///     )).collect(),
+    /// );
+    /// let a = pipeline.assign(&instance, AlgorithmKind::Ia);
+    /// assert_eq!(a.len(), 3);
+    /// ```
     #[must_use]
     pub fn threads(mut self, threads: sc_influence::Parallelism) -> Self {
         self.config.rpo.threads = threads;
@@ -95,10 +150,45 @@ impl DitaPipeline {
         &self.model
     }
 
+    /// The resolved thread budget the per-instance scoring passes run
+    /// on (from [`DitaConfig::threads`], the same knob that governed
+    /// training). Every `assign*` call shards eligibility
+    /// construction, influence-cache warming, and the pair scan over
+    /// this many threads; results are bit-identical at any value.
+    pub fn scoring_threads(&self) -> usize {
+        self.model.config().threads().resolve()
+    }
+
+    /// The shared prelude of every `assign*` path: resolve the thread
+    /// budget, build the (sharded) eligibility matrix, and pre-fill
+    /// `scorer`'s per-task cache for every task with at least one
+    /// eligible pair ([`InfluenceScorer::warm_eligible`]). With a
+    /// budget of 1 warming is skipped — the lazy fill inside the
+    /// scoring pass does the same work with the same results.
+    fn prepare(
+        &self,
+        scorer: &InfluenceScorer<'_>,
+        instance: &Instance,
+    ) -> (usize, EligibilityMatrix) {
+        let threads = self.scoring_threads();
+        let matrix = EligibilityMatrix::build_with_threads(instance, threads);
+        if threads > 1 {
+            scorer.warm_eligible(instance, &matrix, threads);
+        }
+        (threads, matrix)
+    }
+
     /// Mutable access to the model — the online-maintenance hook (see
     /// [`InfluenceModel::pool_mut`]).
     pub fn model_mut(&mut self) -> &mut InfluenceModel {
         &mut self.model
+    }
+
+    /// Re-targets the thread budget of this trained pipeline (see
+    /// [`InfluenceModel::set_threads`]): scoring and maintenance wall
+    /// time changes, results never do.
+    pub fn set_threads(&mut self, threads: sc_influence::Parallelism) {
+        self.model.set_threads(threads);
     }
 
     /// Creates an influence oracle (full product).
@@ -112,15 +202,20 @@ impl DitaPipeline {
     }
 
     /// Runs an assignment algorithm on an instance (no entropy data;
-    /// EIA degrades to IA weighting with `s.e = 0`).
+    /// EIA degrades to IA weighting with `s.e = 0`). Eligibility,
+    /// cache warming, and pair scoring run on
+    /// [`DitaPipeline::scoring_threads`] threads with bit-identical
+    /// results at any budget.
     pub fn assign(&self, instance: &Instance, kind: AlgorithmKind) -> Assignment {
         let scorer = self.scorer();
-        let input = AssignInput::new(instance, &scorer);
-        sc_assign::run(kind, &input)
+        let (threads, matrix) = self.prepare(&scorer, instance);
+        let input = AssignInput::new(instance, &scorer).with_threads(threads);
+        run_with_matrix(kind, &input, &matrix)
     }
 
     /// Runs an assignment with task→venue mapping so EIA can use real
-    /// location entropies.
+    /// location entropies. Scoring parallelism as in
+    /// [`DitaPipeline::assign`].
     pub fn assign_with_venues(
         &self,
         instance: &Instance,
@@ -128,21 +223,29 @@ impl DitaPipeline {
         kind: AlgorithmKind,
     ) -> Assignment {
         let scorer = self.scorer();
+        let (threads, matrix) = self.prepare(&scorer, instance);
         let entropies = self.model.task_entropies(task_venues);
-        let input = AssignInput::new(instance, &scorer).with_entropy(&entropies);
-        sc_assign::run(kind, &input)
+        let input = AssignInput::new(instance, &scorer)
+            .with_entropy(&entropies)
+            .with_threads(threads);
+        run_with_matrix(kind, &input, &matrix)
     }
 
-    /// Runs an ablation variant of IA on an instance.
+    /// Runs an ablation variant of IA on an instance. Scoring
+    /// parallelism as in [`DitaPipeline::assign`].
     pub fn assign_variant(&self, instance: &Instance, variant: InfluenceVariant) -> Assignment {
         let scorer = self.scorer_variant(variant);
-        let input = AssignInput::new(instance, &scorer);
-        sc_assign::run(AlgorithmKind::Ia, &input)
+        let (threads, matrix) = self.prepare(&scorer, instance);
+        let input = AssignInput::new(instance, &scorer).with_threads(threads);
+        run_with_matrix(AlgorithmKind::Ia, &input, &matrix)
     }
 
     /// Runs several algorithms on one instance reusing the eligibility
     /// matrix and the per-task influence caches; returns assignments in
-    /// the order of `kinds`.
+    /// the order of `kinds`. Scoring parallelism as in
+    /// [`DitaPipeline::assign`] — the shared matrix and warm cache are
+    /// built once over the budget, then each algorithm's solve runs
+    /// sequentially on them.
     pub fn assign_many(
         &self,
         instance: &Instance,
@@ -150,12 +253,12 @@ impl DitaPipeline {
         kinds: &[AlgorithmKind],
     ) -> Vec<Assignment> {
         let scorer = self.scorer();
-        let matrix = EligibilityMatrix::build(instance);
+        let (threads, matrix) = self.prepare(&scorer, instance);
         let entropies = task_venues.map(|tv| self.model.task_entropies(tv));
         kinds
             .iter()
             .map(|&kind| {
-                let mut input = AssignInput::new(instance, &scorer);
+                let mut input = AssignInput::new(instance, &scorer).with_threads(threads);
                 if let Some(e) = &entropies {
                     input = input.with_entropy(e);
                 }

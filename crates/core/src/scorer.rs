@@ -8,11 +8,19 @@
 //! The per-task quantities — the task's topic distribution and the
 //! population willingness vector — are cached on first use, because every
 //! algorithm queries many workers against the same task.
+//!
+//! The cache sits behind a reader-writer lock so the sharded scoring
+//! pass (`sc-assign`'s parallel pair scan) reads it concurrently;
+//! [`InfluenceScorer::warm_tasks`] fills it up front over the thread
+//! budget — per-task work items evaluated in parallel, merged in index
+//! order — after which every `score` call is a pure shared read. Cache
+//! entries derive deterministically from task content, so lazy, warmed,
+//! sequential, and sharded paths all see identical values.
 
 use crate::model::InfluenceModel;
-use parking_lot::Mutex;
-use sc_assign::InfluenceOracle;
-use sc_types::{Task, WorkerId};
+use parking_lot::RwLock;
+use sc_assign::{EligibilityMatrix, InfluenceOracle};
+use sc_types::{Instance, Task, WorkerId};
 use std::collections::HashMap;
 
 /// Which factors of the influence product are active — the evaluation's
@@ -81,7 +89,7 @@ pub struct InfluenceBreakdown {
 pub struct InfluenceScorer<'a> {
     model: &'a InfluenceModel,
     variant: InfluenceVariant,
-    cache: Mutex<HashMap<u32, TaskCache>>,
+    cache: RwLock<HashMap<u32, TaskCache>>,
 }
 
 impl<'a> InfluenceScorer<'a> {
@@ -95,7 +103,7 @@ impl<'a> InfluenceScorer<'a> {
         InfluenceScorer {
             model,
             variant,
-            cache: Mutex::new(HashMap::new()),
+            cache: RwLock::new(HashMap::new()),
         }
     }
 
@@ -104,14 +112,80 @@ impl<'a> InfluenceScorer<'a> {
         self.variant
     }
 
+    /// The per-task quantities every score of `task` needs — derived
+    /// purely from task content and the frozen model, so any thread
+    /// computing the entry produces the same bytes.
+    fn compute_task_cache(&self, task: &Task) -> TaskCache {
+        let topics = self.model.task_topics(task);
+        let mut willingness = Vec::new();
+        self.model.willingness_all(&task.location, &mut willingness);
+        TaskCache { topics, willingness }
+    }
+
+    /// Pre-fills the per-task cache for `tasks` using up to `threads`
+    /// worker threads. Each task is one work item; items are evaluated
+    /// over the workspace's chunked-shard scheduler and merged into the
+    /// cache in index order. Warming is an optimization only: values
+    /// are identical whether entries were warmed or computed lazily,
+    /// at any thread count. Already-cached and duplicate ids are
+    /// skipped.
+    pub fn warm_tasks(&self, tasks: &[&Task], threads: usize) {
+        let todo: Vec<&Task> = {
+            let cache = self.cache.read();
+            let mut seen = std::collections::HashSet::new();
+            tasks
+                .iter()
+                .filter(|t| !cache.contains_key(&t.id.raw()) && seen.insert(t.id.raw()))
+                .copied()
+                .collect()
+        };
+        if todo.is_empty() {
+            return;
+        }
+        let entries =
+            sc_stats::par::map_chunked(todo.len(), threads.max(1), |i| self.compute_task_cache(todo[i]));
+        let mut cache = self.cache.write();
+        for (task, entry) in todo.iter().zip(entries) {
+            cache.entry(task.id.raw()).or_insert(entry);
+        }
+    }
+
+    /// Warms the cache for every task of `instance` that has at least
+    /// one eligible pair in `matrix` (tasks nobody can reach are never
+    /// scored, so warming them would be wasted fold-in work). The one
+    /// eligibility-driven warming rule, shared by [`crate::DitaPipeline`]'s
+    /// assign paths and the sweep harness.
+    pub fn warm_eligible(&self, instance: &Instance, matrix: &EligibilityMatrix, threads: usize) {
+        let mut used = vec![false; instance.tasks.len()];
+        for pair in matrix.pairs() {
+            used[pair.task_idx as usize] = true;
+        }
+        let tasks: Vec<&Task> = instance
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|&(ti, _)| used[ti])
+            .map(|(_, t)| t)
+            .collect();
+        self.warm_tasks(&tasks, threads);
+    }
+
     fn with_task_cache<T>(&self, task: &Task, f: impl FnOnce(&TaskCache) -> T) -> T {
-        let mut cache = self.cache.lock();
-        let entry = cache.entry(task.id.raw()).or_insert_with(|| {
-            let topics = self.model.task_topics(task);
-            let mut willingness = Vec::new();
-            self.model.willingness_all(&task.location, &mut willingness);
-            TaskCache { topics, willingness }
-        });
+        let key = task.id.raw();
+        {
+            // Warm path: a shared read — concurrent scorers (the
+            // sharded pair scan) never serialize on the lock.
+            let cache = self.cache.read();
+            if let Some(entry) = cache.get(&key) {
+                return f(entry);
+            }
+        }
+        // Miss: compute outside any lock (another thread may race on
+        // the same task; both compute identical bytes and the first
+        // insert wins), then publish.
+        let computed = self.compute_task_cache(task);
+        let mut cache = self.cache.write();
+        let entry = cache.entry(key).or_insert(computed);
         f(entry)
     }
 

@@ -27,8 +27,16 @@
 //! * [`rpo`] — Algorithm 1: decides how many sets the pool needs, with
 //!   incremental (never-resampling) top-ups.
 //! * [`parallel`] — the [`Parallelism`] thread-budget knob.
+//!
+//! Sharded sampling schedules through the workspace-wide
+//! `sc_stats::par` chunked-shard scheduler — the same primitive that
+//! drives eligibility sharding and influence scoring in `sc-assign` /
+//! `sc-core` and sweep-point evaluation in `sc-sim` — so one budget
+//! (`Parallelism`, the CLI's `--threads`) governs every parallel phase
+//! with one determinism contract (seed per work item, merge in index
+//! order).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod cascade;

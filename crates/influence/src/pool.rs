@@ -231,31 +231,17 @@ impl RrrPool {
         }
         let count = target - first_new;
         let threads = threads.clamp(1, count.div_ceil(Self::MIN_SETS_PER_SHARD).max(1));
-        // Stream indices of the new sets: evicted indices stay consumed.
-        let (s_lo, s_hi) = (self.stream_base + first_new, self.stream_base + target);
+        // First stream index of the new sets: evicted indices stay consumed.
+        let s_lo = self.stream_base + first_new;
 
-        let outs: Vec<ShardOut> = if threads == 1 {
-            vec![sample_shard(net, self.model, self.master_seed, s_lo, s_hi)]
-        } else {
-            let base = count / threads;
-            let rem = count % threads;
-            let mut bounds = Vec::with_capacity(threads + 1);
-            bounds.push(s_lo);
-            for i in 0..threads {
-                bounds.push(bounds[i] + base + usize::from(i < rem));
-            }
-            let (model, seed) = (self.model, self.master_seed);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = bounds
-                    .windows(2)
-                    .map(|w| scope.spawn(move || sample_shard(net, model, seed, w[0], w[1])))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("RRR sampler shard panicked"))
-                    .collect()
-            })
-        };
+        // The shared chunked-shard scheduler splits the *new-set count*
+        // into contiguous ranges; each shard samples its stream-index
+        // window `[s_lo + lo, s_lo + hi)` and outputs splice back in
+        // shard order — bit-identical to a single-threaded pass.
+        let (model, seed) = (self.model, self.master_seed);
+        let outs: Vec<ShardOut> = sc_stats::par::map_shards(count, threads, |lo, hi| {
+            sample_shard(net, model, seed, s_lo + lo, s_lo + hi)
+        });
 
         self.roots.reserve(count);
         self.set_offsets.reserve(count);

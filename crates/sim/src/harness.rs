@@ -124,7 +124,7 @@ impl ExperimentRunner {
         defaults: &SweepValues,
     ) -> Vec<ComparisonPoint> {
         let xs = axis.values();
-        crate::par::map_chunked(xs.len(), self.sweep_threads.resolve(), |i| {
+        sc_stats::par::map_chunked(xs.len(), self.sweep_threads.resolve(), |i| {
             self.comparison_point(xs[i], axis, defaults)
         })
     }
@@ -186,7 +186,7 @@ impl ExperimentRunner {
         defaults: &SweepValues,
     ) -> Vec<AblationPoint> {
         let xs = axis.values();
-        crate::par::map_chunked(xs.len(), self.sweep_threads.resolve(), |i| {
+        sc_stats::par::map_chunked(xs.len(), self.sweep_threads.resolve(), |i| {
             self.ablation_point(xs[i], axis, defaults)
         })
     }
@@ -257,18 +257,17 @@ impl ExperimentRunner {
     }
 }
 
-/// Scores every eligible pair once so that per-algorithm timings measure
-/// the assignment step, not the shared influence-model evaluation.
+/// Fills the scorer's per-task cache up front so that per-algorithm
+/// timings measure the assignment step, not the shared influence-model
+/// evaluation. Runs on one thread: sweep points are already evaluated
+/// in parallel on the outer chunked scheduler, so sharding inside a
+/// point would oversubscribe the budget.
 fn warm_influence_cache(
     scorer: &InfluenceScorer<'_>,
     instance: &sc_types::Instance,
     matrix: &EligibilityMatrix,
 ) {
-    for pair in matrix.pairs() {
-        let worker = &instance.workers[pair.worker_idx as usize];
-        let task = &instance.tasks[pair.task_idx as usize];
-        let _ = scorer.score(worker.id, task);
-    }
+    scorer.warm_eligible(instance, matrix, 1);
 }
 
 #[cfg(test)]
@@ -378,7 +377,7 @@ mod tests {
         // thread, never more shards than the budget.
         let budget = 2usize;
         let points = 6usize;
-        let bounds = crate::par::chunk_bounds(points, budget);
+        let bounds = sc_stats::par::chunk_bounds(points, budget);
         assert_eq!(bounds.len(), budget, "at most one shard per budget slot");
         assert_eq!(bounds, vec![(0, 3), (3, 6)]);
 

@@ -19,14 +19,19 @@
 //! per-round assignment, and bounded RRR-pool maintenance (rotation
 //! instead of retraining). [`platform::simulate_day`] is a
 //! day-in-the-life driver built on the engine.
+//!
+//! All parallelism — sweep points across instances *and* the scoring
+//! passes inside one instance — schedules through the workspace's
+//! `sc_stats::par` chunked-shard scheduler under one budget
+//! ([`Parallelism`], the CLI's `--threads`), with results bit-identical
+//! at any thread count.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod harness;
 pub mod metrics;
 pub mod online;
-pub(crate) mod par;
 pub mod platform;
 pub mod sweep;
 pub mod table;

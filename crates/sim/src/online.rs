@@ -30,6 +30,17 @@
 //! `(master_seed, stream window)` at **any** thread count. Round
 //! reports are therefore identical between `threads = 1` and
 //! `threads = N` runs of the same arrival script.
+//!
+//! Rounds also *scale* with that thread budget: the pipeline the
+//! engine owns shards its per-instance scoring passes — eligibility
+//! construction, influence-cache warming, the per-pair influence
+//! scan — over [`sc_core::DitaPipeline::scoring_threads`] threads
+//! (the same `DitaConfig` knob that governed training), so a single
+//! streaming round exploits all cores, not just batch sweeps. The
+//! sharded passes merge in index order, which is why the bit-identity
+//! above survives intra-round parallelism
+//! (`crates/sim/tests/round_parallel_determinism.rs` pins it;
+//! `bench_round` measures the speedup).
 
 use sc_assign::AlgorithmKind;
 use sc_core::{DitaPipeline, OnlineConfig};
@@ -205,8 +216,6 @@ pub struct OnlineEngine<'a> {
     pipeline: PipelineHandle<'a>,
     net: &'a SocialNetwork,
     config: OnlineConfig,
-    /// Resolved sampling thread budget for maintenance top-ups.
-    threads: usize,
     /// Live-set target maintenance holds the pool at.
     target_sets: usize,
     open: Vec<(Task, VenueId)>,
@@ -270,7 +279,6 @@ impl<'a> OnlineEngine<'a> {
             !config.maintains_pool() || matches!(pipeline, PipelineHandle::Owned(_)),
             "a maintaining engine must own its pipeline"
         );
-        let threads = pipeline.get().model().config().rpo.threads.resolve();
         let trained = pipeline.get().model().pool().n_sets();
         let target_sets = if config.target_sets == 0 {
             trained
@@ -281,7 +289,6 @@ impl<'a> OnlineEngine<'a> {
             pipeline,
             net,
             config,
-            threads,
             target_sets,
             open: Vec::new(),
             workers: Vec::new(),
@@ -431,8 +438,15 @@ impl<'a> OnlineEngine<'a> {
         let t0 = Instant::now();
         let quantum = self.config.growth_cap;
         let horizon = self.config.eviction_horizon;
-        let pool = match &mut self.pipeline {
-            PipelineHandle::Owned(p) => p.model_mut().pool_mut(),
+        let (pool, threads) = match &mut self.pipeline {
+            PipelineHandle::Owned(p) => {
+                // Resolved per round, not cached at construction, so a
+                // live re-budget (`pipeline_mut().set_threads(..)`)
+                // reaches maintenance top-ups too — one knob governs
+                // scoring *and* maintenance at all times.
+                let threads = p.scoring_threads();
+                (p.model_mut().pool_mut(), threads)
+            }
             // Unreachable: `frozen` forces a non-maintaining config.
             PipelineHandle::Borrowed(_) => return (0, 0, 0.0),
         };
@@ -447,7 +461,7 @@ impl<'a> OnlineEngine<'a> {
         let target = self.target_sets.min(live + quantum);
         let added = target.saturating_sub(live);
         if added > 0 {
-            pool.extend_to(self.net, target, self.threads);
+            pool.extend_to(self.net, target, threads);
         }
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         self.sets_evicted_total += evicted;

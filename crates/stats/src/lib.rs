@@ -15,6 +15,11 @@
 //! * [`Histogram`] — fixed-width binning for distribution sanity checks.
 //! * [`power_iteration`] — stationary distributions of row-stochastic
 //!   matrices (the RWR model of Section III-B1).
+//! * [`par`] — the workspace's budget-respecting chunked-shard
+//!   scheduler: every parallel phase (RRR sampling, eligibility,
+//!   scoring, sweeps) maps contiguous index ranges onto at most
+//!   `threads` scoped threads and merges outputs in index order, so
+//!   parallel results are bit-identical to sequential ones.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -23,6 +28,7 @@ pub mod alias;
 pub mod entropy;
 pub mod histogram;
 pub mod moments;
+pub mod par;
 pub mod pareto;
 pub mod power_iter;
 pub mod zipf;
@@ -31,6 +37,7 @@ pub use alias::AliasTable;
 pub use entropy::{entropy_from_counts, entropy_from_probs};
 pub use histogram::Histogram;
 pub use moments::{OnlineMoments, Summary};
+pub use par::{chunk_bounds, map_chunked, map_shards};
 pub use pareto::Pareto;
 pub use power_iter::{power_iteration, PowerIterationResult};
 pub use zipf::Zipf;

@@ -1,0 +1,176 @@
+//! Budget-respecting deterministic fork-join scheduling.
+//!
+//! Every parallel phase in the workspace — RRR-set sampling
+//! (`sc-influence`), eligibility construction and pair scoring
+//! (`sc-assign`), influence-cache warming (`sc-core`), and sweep-point
+//! evaluation (`sc-sim`) — schedules through this one primitive, so the
+//! whole system shares a single parallelism contract:
+//!
+//! 1. **Budget.** At most `threads` worker threads ever run, no matter
+//!    how many items there are (`std::thread::scope` with one thread
+//!    per item oversubscribes on long inputs and ignores the user's
+//!    `--threads` knob).
+//! 2. **Contiguity.** The item range `0..n` is split into at most
+//!    `threads` contiguous shards, sized within one item of each other.
+//! 3. **Deterministic merge.** Shard outputs are concatenated in shard
+//!    (= index) order, so the result is identical to a sequential map
+//!    at any budget. Combined with per-work-item seeding (callers
+//!    derive any randomness from the item index, never from thread
+//!    identity), parallel runs are *bit-identical* to sequential ones.
+//!
+//! A budget of 1 — or a range small enough to fit one shard — runs
+//! inline on the calling thread with no spawn at all, so sequential
+//! callers pay nothing for routing through here.
+
+/// Balanced contiguous chunk bounds: at most `threads` non-empty
+/// `(lo, hi)` ranges covering `0..n` in order.
+///
+/// Shard sizes differ by at most one item; empty ranges are never
+/// emitted, so `chunk_bounds(0, t)` is empty and
+/// `chunk_bounds(n, t)` has `min(n, max(t, 1))` entries.
+pub fn chunk_bounds(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.clamp(1, n.max(1));
+    let base = n / threads;
+    let rem = n % threads;
+    let mut bounds = Vec::with_capacity(threads);
+    let mut lo = 0;
+    for i in 0..threads {
+        let hi = lo + base + usize::from(i < rem);
+        if hi > lo {
+            bounds.push((lo, hi));
+        }
+        lo = hi;
+    }
+    bounds
+}
+
+/// Runs `f` once per contiguous shard of `0..n` on at most `threads`
+/// worker threads, returning the shard outputs in shard order.
+///
+/// This is the building block for phases whose shard bodies carry
+/// per-shard scratch state (an RRR sampler's visited buffer, an
+/// eligibility builder's candidate list): the callee loops `lo..hi`
+/// itself and returns one merged value per shard. With one shard the
+/// call runs inline on the calling thread (no spawn).
+pub fn map_shards<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    let bounds = chunk_bounds(n, threads);
+    if bounds.len() <= 1 {
+        return bounds.into_iter().map(|(lo, hi)| f(lo, hi)).collect();
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(lo, hi)| scope.spawn(move || f(lo, hi)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sharded worker panicked"))
+            .collect()
+    })
+}
+
+/// Maps `f` over `0..n` using at most `threads` worker threads,
+/// returning outputs in index order (identical to the sequential map).
+pub fn map_chunked<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let bounds = chunk_bounds(n, threads);
+    if bounds.len() <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let shards = map_shards(n, threads, |lo, hi| (lo..hi).map(&f).collect::<Vec<R>>());
+    let mut out = Vec::with_capacity(n);
+    for shard in shards {
+        out.extend(shard);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn bounds_cover_everything_in_order_without_overlap() {
+        for n in [0usize, 1, 2, 5, 7, 16, 33] {
+            for threads in [1usize, 2, 3, 4, 8, 64] {
+                let bounds = chunk_bounds(n, threads);
+                assert!(bounds.len() <= threads, "n={n} threads={threads}");
+                assert!(bounds.len() <= n.max(1));
+                let mut expect = 0;
+                for &(lo, hi) in &bounds {
+                    assert_eq!(lo, expect, "contiguous");
+                    assert!(hi > lo, "non-empty");
+                    expect = hi;
+                }
+                assert_eq!(expect, n, "full coverage");
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_are_balanced_within_one() {
+        for n in [10usize, 11, 100, 101] {
+            for threads in [2usize, 3, 4, 7] {
+                let sizes: Vec<usize> = chunk_bounds(n, threads)
+                    .iter()
+                    .map(|&(lo, hi)| hi - lo)
+                    .collect();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "n={n} threads={threads}: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_map_matches_sequential() {
+        for threads in [1usize, 2, 3, 7] {
+            let got = map_chunked(11, threads, |i| i * i);
+            let want: Vec<usize> = (0..11).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn shard_map_sees_every_range_in_order() {
+        for threads in [1usize, 2, 3, 5] {
+            let ranges = map_shards(13, threads, |lo, hi| (lo, hi));
+            assert_eq!(ranges, chunk_bounds(13, threads), "threads={threads}");
+        }
+        assert!(map_shards(0, 4, |lo, hi| (lo, hi)).is_empty());
+    }
+
+    #[test]
+    fn concurrency_never_exceeds_budget() {
+        // High-water mark of concurrently running closures: with a
+        // budget of 2 and deliberately staggered work, it must never
+        // exceed 2 even though there are 12 items.
+        let running = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let _ = map_chunked(12, 2, |i| {
+            let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(2 + (i % 3) as u64));
+            running.fetch_sub(1, Ordering::SeqCst);
+            i
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "budget of 2 exceeded");
+    }
+
+    #[test]
+    fn single_budget_runs_inline() {
+        // With one shard the closure must run on the calling thread.
+        let caller = std::thread::current().id();
+        let ids = map_shards(5, 1, |_, _| std::thread::current().id());
+        assert_eq!(ids, vec![caller]);
+    }
+}

@@ -59,38 +59,52 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 dita — influence-aware task assignment (ICDE 2022 reproduction)
 
-USAGE:
-  dita generate   --profile P [--seed N] [--out DIR]
-  dita assign     [--profile P] [--seed N] [--day D] [--tasks S] [--workers W]
-                  [--algorithm MTA|IA|EIA|DIA|MI|GREEDY] [--phi H] [--radius KM]
-  dita comparison [--profile P] [--seed N] [--axis tasks|workers|phi|radius]
-  dita ablation   [--profile P] [--seed N] [--axis tasks|workers|phi|radius]
-  dita simulate   [--profile P] [--seed N] [--day D] [--algorithm A]
-  dita online     [--profile P] [--seed N] [--days D] [--algorithm A]
-                  [--workers N] [--tasks-per-round T] [--phi H]
-                  [--round-hours H] [--growth-cap G] [--horizon R]
-                  [--target-sets N]
+USAGE: dita <mode> [--flag value ...]   (bare flags are booleans)
 
-COMMON FLAGS (assign/comparison/ablation/simulate/online):
-  --threads N   thread budget for the whole run: RRR sampling during
-                training, sweep-point evaluation (comparison/ablation),
-                and online pool maintenance; 0 = one per core (results
-                are bit-identical at any thread count)
-  --verbose     print RPO diagnostics (pool size, cap, per-phase wall time)
+MODES
+  generate     write a synthetic dataset (edges.tsv, checkins.tsv, profile.json)
+  assign       train once, assign one instance, print metrics
+  comparison   sweep one Table II axis over MTA / IA / EIA / DIA / MI
+  ablation     sweep one axis over the IA variants (IA / IA-WP / IA-AP / IA-AW)
+  simulate     one day of hourly rounds on a frozen pipeline
+  online       multi-day streaming rounds with bounded RRR-pool rotation
+  help         print this text
 
-ONLINE FLAGS:
-  --days D           simulated days of hourly rounds, 08:00-20:00 (default 2)
-  --workers N        worker cohort arriving each morning (default 100)
-  --tasks-per-round T  tasks published per hourly round (default 20)
-  --phi H            task valid time in hours (default 3)
-  --round-hours H    hours between assignment rounds (default 1)
-  --growth-cap G     max RRR sets evicted and sampled per round; the
-                     rotation quantum (default 1024, 0 = frozen pool)
-  --horizon R        rounds before a set becomes eviction-eligible
-                     (default 24, 0 = never evict)
-  --target-sets N    live-set target (default 0 = trained pool size)
+FLAGS                 applies to            meaning (default)
+  --profile P         all                   bk | fs | bk-small | fs-small (bk-small)
+  --seed N            all                   master seed; every random phase
+                                            derives from it (42)
+  --threads N         all but generate      thread budget for the WHOLE run:
+                                            RRR sampling during training,
+                                            per-instance scoring (eligibility,
+                                            cache warming, pair scan), sweep
+                                            points, and online maintenance;
+                                            0 = one per core; results are
+                                            bit-identical at any count (0)
+  --verbose           all but generate      print RPO diagnostics
+  --out DIR           generate              output directory (data/)
+  --day D             assign, simulate      simulated day index (0)
+  --tasks S           assign                tasks per instance (150)
+  --workers W         assign                workers per instance (120)
+                      online                worker cohort per morning (100)
+  --algorithm A       assign, simulate,     MTA | IA | EIA | DIA | MI | GREEDY
+                      online                (IA)
+  --phi H             assign, online        task valid time in hours (5 / 3)
+  --radius KM         assign                reachable radius (25)
+  --axis X            comparison, ablation  tasks | workers | phi | radius (tasks)
+  --days D            online                days of rounds, 08:00-20:00 (2)
+  --tasks-per-round T online                tasks published per round (20)
+  --round-hours H     online                hours between rounds (1)
+  --growth-cap G      online                rotation quantum: max RRR sets
+                                            evicted AND sampled per round
+                                            (1024; 0 = frozen pool)
+  --horizon R         online                rounds before a set becomes
+                                            eviction-eligible (24; 0 = never)
+  --target-sets N     online                live-set target (0 = trained size)
 
-PROFILES: bk, fs, bk-small (default), fs-small";
+ENVIRONMENT
+  DITA_SCALE=paper|small   sweep scale for the sc-bench figure binaries
+  DITA_THREADS=N           thread budget for the sc-bench perf binaries";
 
 fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
     let command = args.first()?.clone();
