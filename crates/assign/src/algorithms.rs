@@ -155,7 +155,9 @@ fn pair_influences(input: &AssignInput<'_>, matrix: &EligibilityMatrix) -> Vec<f
     // Clamp the width so every shard carries at least a threshold's
     // worth of pairs — spawning 16 threads for 1.1k pairs would be
     // spawn-dominated (same rule as RrrPool::MIN_SETS_PER_SHARD).
-    let threads = input.threads.min(pairs.len().div_ceil(SCORE_SHARD_THRESHOLD));
+    let threads = input
+        .threads
+        .min(pairs.len().div_ceil(SCORE_SHARD_THRESHOLD));
     sc_stats::par::map_chunked(pairs.len(), threads, |pi| score(&pairs[pi]))
 }
 
@@ -206,9 +208,7 @@ fn mcmf_assign(
         let inf = influences[pi];
         match model {
             CostModel::Influence => 1.0 / (inf + 1.0),
-            CostModel::EntropyInfluence => {
-                (entropy[p.task_idx as usize] + 1.0) / (inf + 1.0)
-            }
+            CostModel::EntropyInfluence => (entropy[p.task_idx as usize] + 1.0) / (inf + 1.0),
             CostModel::DistanceInfluence => {
                 let worker = &input.instance.workers[p.worker_idx as usize];
                 let f = 1.0 - (p.distance_km / worker.radius_km).min(1.0);
@@ -321,9 +321,7 @@ fn greedy_nearest(input: &AssignInput<'_>, matrix: &EligibilityMatrix) -> Assign
 mod tests {
     use super::*;
     use crate::oracle::{InfluenceFn, ZeroInfluence};
-    use sc_types::{
-        CategoryId, Duration, Location, Task, TaskId, TimeInstant, Worker, WorkerId,
-    };
+    use sc_types::{CategoryId, Duration, Location, Task, TaskId, TimeInstant, Worker, WorkerId};
 
     fn worker(id: u32, x: f64, r: f64) -> Worker {
         Worker::new(WorkerId::new(id), Location::new(x, 0.0), r)
@@ -410,13 +408,15 @@ mod tests {
             vec![worker(0, 0.0, 100.0)],
             vec![task(0, 0.4), task(1, 0.6)],
         );
-        let oracle = InfluenceFn(|_w: WorkerId, t: &Task| {
-            if t.id.raw() == 0 {
-                5.0
-            } else {
-                1.0
-            }
-        });
+        let oracle = InfluenceFn(
+            |_w: WorkerId, t: &Task| {
+                if t.id.raw() == 0 {
+                    5.0
+                } else {
+                    1.0
+                }
+            },
+        );
         let mi = run(AlgorithmKind::Mi, &AssignInput::new(&inst, &oracle));
         assert_eq!(mi.len(), 1);
         assert_eq!(mi.worker_of(TaskId::new(0)), Some(WorkerId::new(0)));
@@ -505,7 +505,10 @@ mod tests {
             AlgorithmKind::GreedyNearest,
             &AssignInput::new(&inst2, &ZeroInfluence),
         );
-        let mta2 = run(AlgorithmKind::Mta, &AssignInput::new(&inst2, &ZeroInfluence));
+        let mta2 = run(
+            AlgorithmKind::Mta,
+            &AssignInput::new(&inst2, &ZeroInfluence),
+        );
         assert_eq!(mta2.len(), 2, "flow reroutes w0 to t1");
         assert!(greedy2.len() <= mta2.len());
     }

@@ -122,8 +122,8 @@ impl EligibilityMatrix {
         let grid = use_grid.then(|| {
             let locations: Vec<_> = instance.tasks.iter().map(|t| t.location).collect();
             // Cell size near the median radius keeps cells busy but small.
-            let mean_r = instance.workers.iter().map(|w| w.radius_km).sum::<f64>()
-                / n_workers.max(1) as f64;
+            let mean_r =
+                instance.workers.iter().map(|w| w.radius_km).sum::<f64>() / n_workers.max(1) as f64;
             GridIndex::build(&locations, (mean_r / 2.0).max(0.25))
         });
         let grid = grid.as_ref();
@@ -336,7 +336,11 @@ mod tests {
         let inst = Instance::new(
             TimeInstant::at(0, 0),
             vec![worker(0, 0.0, 4.0), worker(1, 10.0, 4.0)],
-            vec![task(0, 1.0, 0, 24), task(1, 9.0, 0, 24), task(2, 11.0, 0, 24)],
+            vec![
+                task(0, 1.0, 0, 24),
+                task(1, 9.0, 0, 24),
+                task(2, 11.0, 0, 24),
+            ],
         );
         let m = EligibilityMatrix::build(&inst);
         assert_eq!(m.of_worker(0).len(), 1);
@@ -386,7 +390,11 @@ mod tests {
                 }
             }
         }
-        let got: Vec<(u32, u32)> = m.pairs().iter().map(|p| (p.worker_idx, p.task_idx)).collect();
+        let got: Vec<(u32, u32)> = m
+            .pairs()
+            .iter()
+            .map(|p| (p.worker_idx, p.task_idx))
+            .collect();
         assert_eq!(got, expect);
     }
 

@@ -64,12 +64,10 @@ fn empty_instance() {
 
 #[test]
 fn single_task() {
-    let workers = (0..60).map(|w| worker(w, (w % 10) as f64, 0.0, 6.0)).collect();
-    let inst = Instance::new(
-        TimeInstant::at(0, 0),
-        workers,
-        vec![task(0, 3.0, 0.0, 24)],
-    );
+    let workers = (0..60)
+        .map(|w| worker(w, (w % 10) as f64, 0.0, 6.0))
+        .collect();
+    let inst = Instance::new(TimeInstant::at(0, 0), workers, vec![task(0, 3.0, 0.0, 24)]);
     assert_identical_at_all_budgets(&inst, "single task");
     assert!(EligibilityMatrix::build_with_threads(&inst, 4).n_pairs() > 0);
 }
@@ -78,12 +76,10 @@ fn single_task() {
 fn single_worker_many_tasks() {
     // The shard axis is the worker range: one worker means one shard
     // does all the work, and the merge must still be exact.
-    let tasks = (0..300).map(|t| task(t, (t % 20) as f64, (t / 20) as f64, 24)).collect();
-    let inst = Instance::new(
-        TimeInstant::at(0, 0),
-        vec![worker(0, 5.0, 5.0, 8.0)],
-        tasks,
-    );
+    let tasks = (0..300)
+        .map(|t| task(t, (t % 20) as f64, (t / 20) as f64, 24))
+        .collect();
+    let inst = Instance::new(TimeInstant::at(0, 0), vec![worker(0, 5.0, 5.0, 8.0)], tasks);
     assert_identical_at_all_budgets(&inst, "one worker");
 }
 
@@ -92,7 +88,14 @@ fn tasks_far_exceed_threads() {
     // 3 workers × 500 tasks: well past the grid and shard thresholds
     // on the task side while the worker side barely covers the budget.
     let tasks = (0..500)
-        .map(|t| task(t, (t % 25) as f64 * 0.8, (t / 25) as f64 * 0.8, 1 + (t % 9) as i64))
+        .map(|t| {
+            task(
+                t,
+                (t % 25) as f64 * 0.8,
+                (t / 25) as f64 * 0.8,
+                1 + (t % 9) as i64,
+            )
+        })
         .collect();
     let inst = Instance::new(
         TimeInstant::at(0, 0),
@@ -110,7 +113,9 @@ fn tasks_far_exceed_threads() {
 fn worker_eligible_for_zero_tasks() {
     // Worker 1 sits far outside every task's reach: its CSR row must
     // be empty in every sharded layout and offsets must stay aligned.
-    let tasks = (0..80).map(|t| task(t, (t % 10) as f64, (t / 10) as f64, 24)).collect();
+    let tasks = (0..80)
+        .map(|t| task(t, (t % 10) as f64, (t / 10) as f64, 24))
+        .collect();
     let workers = vec![
         worker(0, 4.0, 4.0, 10.0),
         worker(1, 500.0, 500.0, 1.0), // stranded
@@ -119,7 +124,10 @@ fn worker_eligible_for_zero_tasks() {
     let inst = Instance::new(TimeInstant::at(0, 0), workers, tasks);
     assert_identical_at_all_budgets(&inst, "zero-eligibility worker");
     let m = EligibilityMatrix::build_with_threads(&inst, 4);
-    assert!(m.of_worker(1).is_empty(), "stranded worker has an empty row");
+    assert!(
+        m.of_worker(1).is_empty(),
+        "stranded worker has an empty row"
+    );
     assert!(!m.of_worker(0).is_empty());
     assert!(!m.of_worker(2).is_empty());
 }
@@ -151,7 +159,10 @@ fn grid_path_instances_match_at_any_budget() {
         .collect();
     let inst = Instance::new(TimeInstant::at(0, 0), workers, tasks);
     assert_identical_at_all_budgets(&inst, "grid path");
-    assert!(EligibilityMatrix::build(&inst).n_pairs() > 0, "non-trivial fixture");
+    assert!(
+        EligibilityMatrix::build(&inst).n_pairs() > 0,
+        "non-trivial fixture"
+    );
 }
 
 #[test]

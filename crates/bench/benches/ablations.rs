@@ -9,7 +9,6 @@
 //! * `grid_cell_size` — eligibility query cost versus grid granularity.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use sc_datagen::{generate_social_edges, DatasetProfile, InstanceOptions, SyntheticDataset};
@@ -17,6 +16,7 @@ use sc_graph::{MinCostMaxFlow, ShortestPathEngine};
 use sc_influence::{PropagationModel, RrrPool, SocialNetwork};
 use sc_spatial::GridIndex;
 use sc_types::Location;
+use std::hint::black_box;
 
 fn bench_rrr_pool_vs_perworker(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(1);
@@ -81,7 +81,12 @@ fn assignment_edges(n: usize, degree: usize, seed: u64) -> Vec<(usize, usize, f6
         .collect()
 }
 
-fn solve(engine: ShortestPathEngine, n: usize, edges: &[(usize, usize, f64)], quantize: bool) -> f64 {
+fn solve(
+    engine: ShortestPathEngine,
+    n: usize,
+    edges: &[(usize, usize, f64)],
+    quantize: bool,
+) -> f64 {
     let (s, t) = (2 * n, 2 * n + 1);
     let mut g = MinCostMaxFlow::new(2 * n + 2).with_engine(engine);
     for w in 0..n {

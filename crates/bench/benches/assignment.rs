@@ -2,11 +2,11 @@
 //! the paper's comparison figures, per algorithm, at a fixed instance.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use sc_assign::{run_with_matrix, AlgorithmKind, AssignInput, EligibilityMatrix};
 use sc_core::{DitaBuilder, DitaConfig};
 use sc_datagen::{DatasetProfile, InstanceOptions, SyntheticDataset};
 use sc_influence::RpoParams;
+use std::hint::black_box;
 
 fn setup() -> (SyntheticDataset, sc_core::DitaPipeline) {
     let mut profile = DatasetProfile::brightkite_small();
@@ -50,8 +50,7 @@ fn bench_algorithms(c: &mut Criterion) {
             &kind,
             |b, &kind| {
                 b.iter(|| {
-                    let input =
-                        AssignInput::new(&day.instance, &scorer).with_entropy(&entropies);
+                    let input = AssignInput::new(&day.instance, &scorer).with_entropy(&entropies);
                     black_box(run_with_matrix(kind, &input, &matrix))
                 });
             },

@@ -3,10 +3,10 @@
 //! training time for affinity quality.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use sc_topics::{Corpus, LdaParams, LdaTrainer};
+use std::hint::black_box;
 
 /// Synthetic worker-document corpus with `n_docs` docs over `n_words`
 /// words grouped into recoverable themes.

@@ -2,10 +2,10 @@
 //! influence-aware algorithm (paper Section IV-A).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use sc_graph::{Dinic, MinCostMaxFlow};
+use std::hint::black_box;
 
 /// Random bipartite assignment instance: `n` workers, `n` tasks,
 /// `degree` candidate tasks per worker.

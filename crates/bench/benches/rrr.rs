@@ -1,11 +1,11 @@
 //! RRR-set sampling and RPO benchmarks (paper Sections III-C and III-E).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sc_datagen::generate_social_edges;
 use sc_influence::{Parallelism, PropagationModel, Rpo, RpoParams, RrrPool, SocialNetwork};
+use std::hint::black_box;
 
 fn network(n: usize, seed: u64) -> SocialNetwork {
     let mut rng = SmallRng::seed_from_u64(seed);

@@ -3,10 +3,10 @@
 //! that dominates influence scoring.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use sc_datagen::{DatasetProfile, SyntheticDataset};
 use sc_mobility::WillingnessModel;
 use sc_types::Location;
+use std::hint::black_box;
 
 fn dataset() -> SyntheticDataset {
     let mut profile = DatasetProfile::brightkite_small();

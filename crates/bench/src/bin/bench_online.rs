@@ -69,7 +69,11 @@ fn build_script(
                 tasks.push(scripted_arrival(data, seed, next_id, now, phi));
                 next_id += 1;
             }
-            script.push(RoundScript { now, workers, tasks });
+            script.push(RoundScript {
+                now,
+                workers,
+                tasks,
+            });
         }
     }
     script
@@ -114,7 +118,9 @@ fn main() {
     let rounds = script.len();
 
     // --- Live engine: bounded rotation, zero retrains. -----------------
-    eprintln!("[bench_online] live engine: {rounds} rounds, quantum {growth_cap}, horizon {horizon}…");
+    eprintln!(
+        "[bench_online] live engine: {rounds} rounds, quantum {growth_cap}, horizon {horizon}…"
+    );
     let mut engine = OnlineEngine::new(pipeline.clone(), &data.social);
     let mut maint_ms = Vec::with_capacity(rounds);
     let t0 = Instant::now();

@@ -88,7 +88,9 @@ fn main() {
     );
 
     let single_ms = runs[0].wall_ms;
-    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let run_rows: Vec<String> = runs
         .iter()
         .map(|r| {

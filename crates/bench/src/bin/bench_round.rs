@@ -152,7 +152,15 @@ fn main() {
         seed,
     };
     // Warm pass outside the timed region (allocator, page cache).
-    let _ = drive(&base, &data, 1, Script { rounds: 2, ..script });
+    let _ = drive(
+        &base,
+        &data,
+        1,
+        Script {
+            rounds: 2,
+            ..script
+        },
+    );
 
     let mut runs: Vec<Run> = Vec::new();
     for threads in [1usize, 2, 4, 8] {
@@ -191,7 +199,9 @@ fn main() {
             .map(|r| single_ms / r.round_ms)
             .unwrap_or(0.0)
     };
-    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     // The ≥2× floor needs hardware to speed up *on*; on fewer than 4
     // cores the JSON records the honest numbers and skips the assert
     // (same convention as bench_pool).

@@ -1,8 +1,16 @@
 //! Figure 5: effect of |S| on the AI of the IA ablation variants
 //! (IA, IA-WP, IA-AP, IA-AW), on both dataset profiles.
 fn main() {
-    sc_bench::ablation_figure("fig05", "BK", sc_bench::AxisSel::Tasks,
-        "Effect of |S| on Average Influence (ablation, BK)");
-    sc_bench::ablation_figure("fig05", "FS", sc_bench::AxisSel::Tasks,
-        "Effect of |S| on Average Influence (ablation, FS)");
+    sc_bench::ablation_figure(
+        "fig05",
+        "BK",
+        sc_bench::AxisSel::Tasks,
+        "Effect of |S| on Average Influence (ablation, BK)",
+    );
+    sc_bench::ablation_figure(
+        "fig05",
+        "FS",
+        sc_bench::AxisSel::Tasks,
+        "Effect of |S| on Average Influence (ablation, FS)",
+    );
 }

@@ -1,7 +1,15 @@
 //! Figure 6: effect of |W| on the AI of the IA ablation variants.
 fn main() {
-    sc_bench::ablation_figure("fig06", "BK", sc_bench::AxisSel::Workers,
-        "Effect of |W| on Average Influence (ablation, BK)");
-    sc_bench::ablation_figure("fig06", "FS", sc_bench::AxisSel::Workers,
-        "Effect of |W| on Average Influence (ablation, FS)");
+    sc_bench::ablation_figure(
+        "fig06",
+        "BK",
+        sc_bench::AxisSel::Workers,
+        "Effect of |W| on Average Influence (ablation, BK)",
+    );
+    sc_bench::ablation_figure(
+        "fig06",
+        "FS",
+        sc_bench::AxisSel::Workers,
+        "Effect of |W| on Average Influence (ablation, FS)",
+    );
 }

@@ -1,7 +1,15 @@
 //! Figure 7: effect of the valid time φ on the AI of the IA variants.
 fn main() {
-    sc_bench::ablation_figure("fig07", "BK", sc_bench::AxisSel::ValidTime,
-        "Effect of phi on Average Influence (ablation, BK)");
-    sc_bench::ablation_figure("fig07", "FS", sc_bench::AxisSel::ValidTime,
-        "Effect of phi on Average Influence (ablation, FS)");
+    sc_bench::ablation_figure(
+        "fig07",
+        "BK",
+        sc_bench::AxisSel::ValidTime,
+        "Effect of phi on Average Influence (ablation, BK)",
+    );
+    sc_bench::ablation_figure(
+        "fig07",
+        "FS",
+        sc_bench::AxisSel::ValidTime,
+        "Effect of phi on Average Influence (ablation, FS)",
+    );
 }

@@ -1,7 +1,15 @@
 //! Figure 8: effect of the reachable radius r on the AI of the IA variants.
 fn main() {
-    sc_bench::ablation_figure("fig08", "BK", sc_bench::AxisSel::Radius,
-        "Effect of r on Average Influence (ablation, BK)");
-    sc_bench::ablation_figure("fig08", "FS", sc_bench::AxisSel::Radius,
-        "Effect of r on Average Influence (ablation, FS)");
+    sc_bench::ablation_figure(
+        "fig08",
+        "BK",
+        sc_bench::AxisSel::Radius,
+        "Effect of r on Average Influence (ablation, BK)",
+    );
+    sc_bench::ablation_figure(
+        "fig08",
+        "FS",
+        sc_bench::AxisSel::Radius,
+        "Effect of r on Average Influence (ablation, FS)",
+    );
 }

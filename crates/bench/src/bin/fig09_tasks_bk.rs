@@ -1,6 +1,10 @@
 //! Figure 9: effect of |S| on BK — CPU time, assigned tasks, AI, AP,
 //! travel cost for MTA / IA / EIA / DIA / MI.
 fn main() {
-    sc_bench::comparison_figure("fig09", "BK", sc_bench::AxisSel::Tasks,
-        "Effect of |S| on BK (five metrics, five algorithms)");
+    sc_bench::comparison_figure(
+        "fig09",
+        "BK",
+        sc_bench::AxisSel::Tasks,
+        "Effect of |S| on BK (five metrics, five algorithms)",
+    );
 }

@@ -1,5 +1,9 @@
 //! Figure 10: effect of |S| on FS.
 fn main() {
-    sc_bench::comparison_figure("fig10", "FS", sc_bench::AxisSel::Tasks,
-        "Effect of |S| on FS (five metrics, five algorithms)");
+    sc_bench::comparison_figure(
+        "fig10",
+        "FS",
+        sc_bench::AxisSel::Tasks,
+        "Effect of |S| on FS (five metrics, five algorithms)",
+    );
 }

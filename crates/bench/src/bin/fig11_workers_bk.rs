@@ -1,5 +1,9 @@
 //! Figure 11: effect of |W| on BK.
 fn main() {
-    sc_bench::comparison_figure("fig11", "BK", sc_bench::AxisSel::Workers,
-        "Effect of |W| on BK (five metrics, five algorithms)");
+    sc_bench::comparison_figure(
+        "fig11",
+        "BK",
+        sc_bench::AxisSel::Workers,
+        "Effect of |W| on BK (five metrics, five algorithms)",
+    );
 }

@@ -1,5 +1,9 @@
 //! Figure 12: effect of |W| on FS.
 fn main() {
-    sc_bench::comparison_figure("fig12", "FS", sc_bench::AxisSel::Workers,
-        "Effect of |W| on FS (five metrics, five algorithms)");
+    sc_bench::comparison_figure(
+        "fig12",
+        "FS",
+        sc_bench::AxisSel::Workers,
+        "Effect of |W| on FS (five metrics, five algorithms)",
+    );
 }

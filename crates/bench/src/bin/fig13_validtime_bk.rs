@@ -1,5 +1,9 @@
 //! Figure 13: effect of φ on BK.
 fn main() {
-    sc_bench::comparison_figure("fig13", "BK", sc_bench::AxisSel::ValidTime,
-        "Effect of phi on BK (five metrics, five algorithms)");
+    sc_bench::comparison_figure(
+        "fig13",
+        "BK",
+        sc_bench::AxisSel::ValidTime,
+        "Effect of phi on BK (five metrics, five algorithms)",
+    );
 }

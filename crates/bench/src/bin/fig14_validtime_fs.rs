@@ -1,5 +1,9 @@
 //! Figure 14: effect of φ on FS.
 fn main() {
-    sc_bench::comparison_figure("fig14", "FS", sc_bench::AxisSel::ValidTime,
-        "Effect of phi on FS (five metrics, five algorithms)");
+    sc_bench::comparison_figure(
+        "fig14",
+        "FS",
+        sc_bench::AxisSel::ValidTime,
+        "Effect of phi on FS (five metrics, five algorithms)",
+    );
 }

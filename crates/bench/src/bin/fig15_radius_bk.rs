@@ -1,5 +1,9 @@
 //! Figure 15: effect of r on BK.
 fn main() {
-    sc_bench::comparison_figure("fig15", "BK", sc_bench::AxisSel::Radius,
-        "Effect of r on BK (five metrics, five algorithms)");
+    sc_bench::comparison_figure(
+        "fig15",
+        "BK",
+        sc_bench::AxisSel::Radius,
+        "Effect of r on BK (five metrics, five algorithms)",
+    );
 }

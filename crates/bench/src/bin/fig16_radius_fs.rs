@@ -1,5 +1,9 @@
 //! Figure 16: effect of r on FS.
 fn main() {
-    sc_bench::comparison_figure("fig16", "FS", sc_bench::AxisSel::Radius,
-        "Effect of r on FS (five metrics, five algorithms)");
+    sc_bench::comparison_figure(
+        "fig16",
+        "FS",
+        sc_bench::AxisSel::Radius,
+        "Effect of r on FS (five metrics, five algorithms)",
+    );
 }

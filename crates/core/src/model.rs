@@ -7,7 +7,7 @@ use rand::SeedableRng;
 use sc_influence::{Rpo, RpoStats, RrrPool, SocialNetwork};
 use sc_mobility::{LocationEntropy, WillingnessModel};
 use sc_topics::{topic_affinity, Corpus, LdaModel, LdaTrainer};
-use sc_types::{HistoryStore, Location, Task, VenueId, WorkerId};
+use sc_types::{History, HistoryStore, Location, Task, VenueId, WorkerId};
 
 /// The frozen output of DITA's influence-modeling component
 /// (left half of paper Figure 2).
@@ -130,6 +130,68 @@ impl InfluenceModel {
         &self.willingness
     }
 
+    /// Folds a previously-unseen worker into the trained model without
+    /// retraining, returning the worker's new (dense) id.
+    ///
+    /// `net` must be the social network *after*
+    /// [`sc_influence::SocialNetwork::fold_in_worker`] — i.e. it already
+    /// contains the new worker and their friendships. `history` is
+    /// whatever check-in evidence has been observed for the worker so
+    /// far (possibly a single record); it drives all three per-worker
+    /// components:
+    ///
+    /// * **affinity** — the worker's topic distribution is inferred by
+    ///   LDA fold-in over the history's category document (seeded by
+    ///   content, like [`InfluenceModel::task_topics`]);
+    /// * **willingness** — a [`WillingnessModel`] entry fitted from the
+    ///   history (zero everywhere if the history is empty);
+    /// * **propagation** — the RRR pool splices the worker into live
+    ///   sets via [`sc_influence::RrrPool::fold_in_worker`]'s bounded
+    ///   first-order approximation.
+    ///
+    /// Location entropy is venue-keyed and stays frozen. The result is
+    /// a late arrival that scores **non-zero influence immediately**,
+    /// at a per-worker cost orders of magnitude below a retrain
+    /// (measured in `bench_replay`); subsequent pool rotation replaces
+    /// the approximated memberships with exactly-sampled ones.
+    pub fn fold_in_worker(&mut self, net: &SocialNetwork, history: &History) -> WorkerId {
+        let id = WorkerId::from(self.n_workers);
+        debug_assert_eq!(
+            net.n_workers(),
+            self.n_workers + 1,
+            "fold the network first"
+        );
+
+        // Affinity: infer θ from the (possibly tiny) category document,
+        // deterministically per content.
+        let doc: Vec<u32> = history
+            .category_document()
+            .iter()
+            .map(|c| c.raw())
+            .collect();
+        let mut h = 0x9E37_79B9_7F4A_7C15u64 ^ self.config.seed ^ (id.raw() as u64).rotate_left(32);
+        for &w in &doc {
+            h ^= w as u64 + 1;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let mut rng = SmallRng::seed_from_u64(h);
+        self.worker_topics
+            .push(self.lda.infer(&doc, self.config.infer_sweeps, &mut rng));
+
+        // Willingness: pad any gap first (a training store may cover
+        // fewer workers than the social network), then fit the arrival.
+        while self.willingness.n_workers() < self.n_workers {
+            self.willingness.fold_in(&History::new());
+        }
+        self.willingness.fold_in(history);
+
+        // Propagation: splice into the live RRR sets.
+        self.pool.fold_in_worker(net, id.raw());
+
+        self.n_workers += 1;
+        id
+    }
+
     /// θ of a worker's historical document (uniform for unknown workers).
     pub fn worker_topics(&self, worker: WorkerId) -> &[f64] {
         static EMPTY: Vec<f64> = Vec::new();
@@ -176,7 +238,8 @@ impl InfluenceModel {
         if source.index() >= self.pool.n_workers() || target.index() >= self.pool.n_workers() {
             return 0.0;
         }
-        self.pool.propagation_probability(source.raw(), target.raw())
+        self.pool
+            .propagation_probability(source.raw(), target.raw())
     }
 
     /// `Σ_{w ≠ source} P_pro(source, w)` — the AP metric contribution.
@@ -329,7 +392,10 @@ mod tests {
         let (social, store) = tiny_world();
         let a = InfluenceModel::train(&small_config(), &social, &store);
         let b = InfluenceModel::train(&small_config(), &social, &store);
-        assert_eq!(a.worker_topics(WorkerId::new(0)), b.worker_topics(WorkerId::new(0)));
+        assert_eq!(
+            a.worker_topics(WorkerId::new(0)),
+            b.worker_topics(WorkerId::new(0))
+        );
         assert_eq!(a.pool().n_sets(), b.pool().n_sets());
     }
 
@@ -341,6 +407,70 @@ mod tests {
         assert_eq!(model.entropy_of_venue(VenueId::new(0)), 0.0);
         let es = model.task_entropies(&[VenueId::new(0), VenueId::new(999)]);
         assert_eq!(es, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn fold_in_worker_scores_nonzero_immediately() {
+        let (social, store) = tiny_world();
+        let mut model = InfluenceModel::train(&small_config(), &social, &store);
+
+        // The arrival: one category-A check-in near the A cluster,
+        // friends with workers 0 and 1 (category-A regulars).
+        let mut hist = History::new();
+        hist.push(sc_types::CheckIn::at(
+            WorkerId::new(4),
+            VenueId::new(99),
+            Location::new(0.5, 0.0),
+            TimeInstant::from_seconds(5_000),
+            vec![CategoryId::new(0)],
+        ));
+        let folded_net = social.fold_in_worker(&[0, 1]);
+        let id = model.fold_in_worker(&folded_net, &hist);
+        assert_eq!(id, WorkerId::new(4));
+        assert_eq!(model.n_workers(), 5);
+
+        // All three factors are live: affinity from the inferred θ,
+        // willingness from the fitted entry, propagation from the
+        // spliced pool memberships.
+        let task = task_with(0, 0.0);
+        let theta = model.task_topics(&task);
+        assert!(model.affinity_with(id, &theta) > 0.0);
+        assert!(model.willingness(id, &Location::new(0.5, 0.0)) > 0.0);
+        assert!(
+            model.total_propagation(id) > 0.0,
+            "fold-in must land the worker in live RRR sets"
+        );
+        // willingness_all covers the grown population without panicking.
+        let mut buf = Vec::new();
+        model.willingness_all(&task.location, &mut buf);
+        assert_eq!(buf.len(), 5);
+    }
+
+    #[test]
+    fn fold_in_is_deterministic() {
+        let (social, store) = tiny_world();
+        let mut a = InfluenceModel::train(&small_config(), &social, &store);
+        let mut b = InfluenceModel::train(&small_config(), &social, &store);
+        let mut hist = History::new();
+        hist.push(sc_types::CheckIn::at(
+            WorkerId::new(4),
+            VenueId::new(7),
+            Location::new(1.0, 1.0),
+            TimeInstant::from_seconds(10),
+            vec![CategoryId::new(1), CategoryId::new(2)],
+        ));
+        let net = social.fold_in_worker(&[1, 2]);
+        a.fold_in_worker(&net, &hist);
+        b.fold_in_worker(&net, &hist);
+        assert_eq!(
+            a.worker_topics(WorkerId::new(4)),
+            b.worker_topics(WorkerId::new(4))
+        );
+        assert_eq!(a.pool().fingerprint(), b.pool().fingerprint());
+        assert_eq!(
+            a.total_propagation(WorkerId::new(4)),
+            b.total_propagation(WorkerId::new(4))
+        );
     }
 
     #[test]

@@ -191,6 +191,20 @@ impl DitaPipeline {
         self.model.set_threads(threads);
     }
 
+    /// Folds a previously-unseen worker into the trained model without
+    /// retraining (see [`InfluenceModel::fold_in_worker`]): topic
+    /// fold-in for affinity, a fitted willingness entry, and an
+    /// approximate splice into the live RRR pool. Returns the worker's
+    /// new dense id. `net` must already contain the worker
+    /// ([`sc_influence::SocialNetwork::fold_in_worker`]).
+    pub fn fold_in_worker(
+        &mut self,
+        net: &SocialNetwork,
+        history: &sc_types::History,
+    ) -> sc_types::WorkerId {
+        self.model.fold_in_worker(net, history)
+    }
+
     /// Creates an influence oracle (full product).
     pub fn scorer(&self) -> InfluenceScorer<'_> {
         InfluenceScorer::new(&self.model)

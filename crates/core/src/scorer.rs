@@ -119,7 +119,10 @@ impl<'a> InfluenceScorer<'a> {
         let topics = self.model.task_topics(task);
         let mut willingness = Vec::new();
         self.model.willingness_all(&task.location, &mut willingness);
-        TaskCache { topics, willingness }
+        TaskCache {
+            topics,
+            willingness,
+        }
     }
 
     /// Pre-fills the per-task cache for `tasks` using up to `threads`
@@ -142,8 +145,9 @@ impl<'a> InfluenceScorer<'a> {
         if todo.is_empty() {
             return;
         }
-        let entries =
-            sc_stats::par::map_chunked(todo.len(), threads.max(1), |i| self.compute_task_cache(todo[i]));
+        let entries = sc_stats::par::map_chunked(todo.len(), threads.max(1), |i| {
+            self.compute_task_cache(todo[i])
+        });
         let mut cache = self.cache.write();
         for (task, entry) in todo.iter().zip(entries) {
             cache.entry(task.id.raw()).or_insert(entry);

@@ -8,9 +8,7 @@ use rand::rngs::SmallRng;
 use rand::seq::index::sample as index_sample;
 use rand::{RngExt, SeedableRng};
 use sc_influence::SocialNetwork;
-use sc_types::{
-    Duration, Instance, Task, TaskId, TimeInstant, VenueId, Worker, WorkerId,
-};
+use sc_types::{Duration, Instance, Task, TaskId, TimeInstant, VenueId, Worker, WorkerId};
 
 /// A complete synthetic LBSN dataset: social graph, venues, histories.
 #[derive(Debug, Clone)]
@@ -61,7 +59,10 @@ impl Default for InstanceOptions {
 impl InstanceOptions {
     /// Draws a worker speed according to the jitter setting.
     pub(crate) fn draw_speed<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        assert!((0.0..1.0).contains(&self.speed_jitter), "jitter must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&self.speed_jitter),
+            "jitter must be in [0,1)"
+        );
         if self.speed_jitter == 0.0 {
             self.speed_kmh
         } else {
@@ -123,9 +124,8 @@ impl SyntheticDataset {
         n_workers: usize,
         opts: InstanceOptions,
     ) -> DayInstance {
-        let mut rng = SmallRng::seed_from_u64(
-            self.seed ^ (day as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+        let mut rng =
+            SmallRng::seed_from_u64(self.seed ^ (day as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let now = TimeInstant::at(day as i64, opts.now_hour);
 
         // Sample online workers (dense ids preserved from the population).

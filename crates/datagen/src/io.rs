@@ -7,7 +7,9 @@
 //!   against this crate also ingest the real data after projection.
 //! * **JSON** (serde) for structured pieces (profiles, venue maps).
 
-use sc_types::{CategoryId, CheckIn, HistoryStore, Location, ScError, TimeInstant, VenueId, WorkerId};
+use sc_types::{
+    CategoryId, CheckIn, HistoryStore, Location, ScError, TimeInstant, VenueId, WorkerId,
+};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
@@ -143,7 +145,10 @@ mod tests {
         let back = read_checkins_tsv(&path).unwrap();
         assert_eq!(back.total_checkins(), data.histories.total_checkins());
         let w = WorkerId::new(0);
-        assert_eq!(back.history(w).records(), data.histories.history(w).records());
+        assert_eq!(
+            back.history(w).records(),
+            data.histories.history(w).records()
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -193,7 +198,10 @@ mod tests {
         });
         write_checkins_tsv(&path, &store).unwrap();
         let back = read_checkins_tsv(&path).unwrap();
-        assert_eq!(back.history(WorkerId::new(0)).records()[0].categories, vec![]);
+        assert_eq!(
+            back.history(WorkerId::new(0)).records()[0].categories,
+            vec![]
+        );
         std::fs::remove_file(&path).ok();
     }
 }

@@ -29,11 +29,13 @@ pub mod dataset;
 pub mod io;
 pub mod loader;
 pub mod profile;
+pub mod replay;
 pub mod social;
 pub mod venues;
 
 pub use dataset::{DayInstance, InstanceOptions, SyntheticDataset};
-pub use loader::{LoadedDataset, LoadedVenue};
+pub use loader::{LoadedDataset, LoadedVenue, TrainingSlice};
 pub use profile::DatasetProfile;
+pub use replay::{ReplayEvent, ReplayOptions, ReplayRoundEvents, ReplayStream};
 pub use social::generate_social_edges;
 pub use venues::{Venue, VenueMap};

@@ -34,6 +34,25 @@ pub struct LoadedVenue {
     pub active_days: Vec<i64>,
 }
 
+/// The training view of a trace: the population observed *before* a
+/// replay day, with dense ids — what a platform actually knows when the
+/// day opens.
+///
+/// Workers with no check-in before the cut are excluded (and re-enter
+/// through the online engine's worker fold-in when they first appear
+/// mid-replay); edges between excluded workers are dropped with them.
+#[derive(Debug, Clone)]
+pub struct TrainingSlice {
+    /// The social network over the trained (dense-id) population.
+    pub social: SocialNetwork,
+    /// Histories truncated to the training window, dense ids.
+    pub histories: HistoryStore,
+    /// Trace id → dense trained id.
+    pub to_dense: HashMap<WorkerId, WorkerId>,
+    /// Dense trained id → trace id (index = dense id).
+    pub from_dense: Vec<WorkerId>,
+}
+
 /// A dataset ingested from edge + check-in relations.
 #[derive(Debug, Clone)]
 pub struct LoadedDataset {
@@ -116,6 +135,73 @@ impl LoadedDataset {
         self.n_workers
     }
 
+    /// Extracts the training view for a replay of `before_day`: workers
+    /// with at least one check-in strictly before that day, their
+    /// pre-cut histories, and the friendship edges among them, all
+    /// remapped to dense ids in ascending trace-id order.
+    ///
+    /// This is the honest population split of trace-driven evaluation:
+    /// the pipeline trains on what the platform had seen when the day
+    /// opened, and workers whose first check-in falls *on* the replay
+    /// day arrive as genuinely unseen (the replay driver folds them
+    /// into the live model — see `sc_sim::replay`). Errors when no
+    /// worker has any prior history.
+    pub fn training_slice(&self, before_day: i64) -> sc_types::Result<TrainingSlice> {
+        let mut from_dense = Vec::new();
+        for (w, history) in self.histories.iter() {
+            if history
+                .records()
+                .iter()
+                .any(|r| r.arrived.day() < before_day)
+            {
+                from_dense.push(w);
+            }
+        }
+        if from_dense.is_empty() {
+            return Err(ScError::data(format!(
+                "no check-ins before day {before_day}: nothing to train on"
+            )));
+        }
+        let to_dense: HashMap<WorkerId, WorkerId> = from_dense
+            .iter()
+            .enumerate()
+            .map(|(dense, &trace)| (trace, WorkerId::from(dense)))
+            .collect();
+
+        let mut histories = HistoryStore::with_workers(from_dense.len());
+        for (dense, &trace) in from_dense.iter().enumerate() {
+            for r in self.histories.history(trace).records() {
+                if r.arrived.day() < before_day {
+                    let mut rec = r.clone();
+                    rec.worker = WorkerId::from(dense);
+                    histories.push(rec);
+                }
+            }
+        }
+
+        let mut edges = Vec::new();
+        for (u, v) in self.social.graph().edges() {
+            // The trace graph holds both directions of each friendship;
+            // keep one (u < v) and let the constructor mirror it.
+            if u < v {
+                if let (Some(du), Some(dv)) = (
+                    to_dense.get(&WorkerId::new(u)),
+                    to_dense.get(&WorkerId::new(v)),
+                ) {
+                    edges.push((du.raw(), dv.raw()));
+                }
+            }
+        }
+        let social = SocialNetwork::from_undirected_edges(from_dense.len(), &edges);
+
+        Ok(TrainingSlice {
+            social,
+            histories,
+            to_dense,
+            from_dense,
+        })
+    }
+
     /// Extracts a per-day instance following the paper's protocol:
     /// tasks come from venues active on that day (falling back to all
     /// venues when the day is quiet), published at the earliest visit
@@ -128,9 +214,8 @@ impl LoadedDataset {
         n_workers: usize,
         opts: InstanceOptions,
     ) -> DayInstance {
-        let mut rng = SmallRng::seed_from_u64(
-            self.seed ^ (day as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+        let mut rng =
+            SmallRng::seed_from_u64(self.seed ^ (day as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let now = TimeInstant::at(day, opts.now_hour);
 
         // Workers with any history, at their last check-in location.
@@ -285,5 +370,146 @@ mod tests {
         let a = loaded.instance_for_day(1, 30, 20, InstanceOptions::default());
         let b = loaded.instance_for_day(1, 30, 20, InstanceOptions::default());
         assert_eq!(a.instance, b.instance);
+    }
+
+    /// A tiny hand-built trace: workers 0..=2 check in on days 0 and 1,
+    /// worker 3 appears for the first time on day 1, and worker 4 exists
+    /// only as a social-graph node (no check-ins at all).
+    fn hand_trace() -> LoadedDataset {
+        let mut store = HistoryStore::default();
+        let mut push = |w: u32, v: u32, x: f64, day: i64, hour: i64| {
+            store.push(sc_types::CheckIn::at(
+                WorkerId::new(w),
+                VenueId::new(v),
+                Location::new(x, 0.0),
+                TimeInstant::at(day, hour),
+                vec![sc_types::CategoryId::new(v % 3)],
+            ));
+        };
+        for day in 0..2i64 {
+            push(0, 10, 0.0, day, 8);
+            push(1, 10, 0.0, day, 9);
+            push(2, 700, 7.0, day, 10); // sparse venue id far from the others
+        }
+        push(3, 10, 0.0, 1, 11); // mid-stream arrival
+        let edges = vec![(0, 1), (1, 2), (2, 3), (3, 4)];
+        LoadedDataset::from_parts(edges, store, 5).unwrap()
+    }
+
+    #[test]
+    fn instance_for_empty_day_falls_back_to_all_venues() {
+        let loaded = hand_trace();
+        // Day 9 has no check-ins, so no venue is active: the extractor
+        // falls back to the full venue set instead of panicking or
+        // returning an empty instance.
+        let day = loaded.instance_for_day(9, 2, 3, InstanceOptions::default());
+        assert_eq!(day.instance.n_tasks(), 2);
+        assert!(day.instance.n_workers() > 0);
+        for vid in &day.task_venues {
+            assert!(loaded.venues.iter().any(|v| v.id == *vid));
+        }
+    }
+
+    #[test]
+    fn sparse_venue_ids_and_historyless_workers_are_handled() {
+        let loaded = hand_trace();
+        // Venue 700 exists only through worker 2's check-ins; it is
+        // reconstructed with its observed location and the venue list
+        // stays sorted despite the id gap.
+        assert!(loaded.venues.iter().any(|v| v.id == VenueId::new(700)));
+        for w in loaded.venues.windows(2) {
+            assert!(w[0].id < w[1].id);
+        }
+        // Worker 4 exists only as a graph node: counted in the
+        // population, never sampled into an instance (no history).
+        assert_eq!(loaded.n_workers(), 5);
+        let day = loaded.instance_for_day(0, 3, 10, InstanceOptions::default());
+        assert!(day
+            .instance
+            .workers
+            .iter()
+            .all(|w| w.id != WorkerId::new(4)));
+    }
+
+    #[test]
+    fn training_slice_excludes_mid_stream_workers() {
+        let loaded = hand_trace();
+        let slice = loaded.training_slice(1).unwrap();
+        // Workers 0..=2 trained; 3 (first check-in on day 1) and 4 (no
+        // history) are unseen.
+        assert_eq!(
+            slice.from_dense,
+            vec![WorkerId::new(0), WorkerId::new(1), WorkerId::new(2)]
+        );
+        assert!(!slice.to_dense.contains_key(&WorkerId::new(3)));
+        assert_eq!(slice.social.n_workers(), 3);
+        // Only the 0-1 and 1-2 friendships survive (both endpoints seen).
+        assert_eq!(slice.social.n_edges(), 4);
+        // Histories hold exactly the day-0 records, under dense ids.
+        assert_eq!(slice.histories.n_workers(), 3);
+        assert_eq!(slice.histories.total_checkins(), 3);
+        for (w, h) in slice.histories.iter() {
+            assert_eq!(h.len(), 1, "one day-0 check-in each");
+            assert!(h
+                .records()
+                .iter()
+                .all(|r| r.arrived.day() < 1 && r.worker == w));
+        }
+    }
+
+    #[test]
+    fn training_slice_remaps_ids_consistently() {
+        let loaded = hand_trace();
+        let slice = loaded.training_slice(1).unwrap();
+        for (dense, &trace) in slice.from_dense.iter().enumerate() {
+            assert_eq!(slice.to_dense[&trace], WorkerId::from(dense));
+            // The dense worker's history is the trace worker's, re-keyed.
+            let orig: Vec<_> = loaded
+                .histories
+                .history(trace)
+                .records()
+                .iter()
+                .filter(|r| r.arrived.day() < 1)
+                .map(|r| (r.venue, r.arrived))
+                .collect();
+            let sliced: Vec<_> = slice
+                .histories
+                .history(WorkerId::from(dense))
+                .records()
+                .iter()
+                .map(|r| (r.venue, r.arrived))
+                .collect();
+            assert_eq!(orig, sliced);
+        }
+    }
+
+    #[test]
+    fn training_slice_with_no_prior_history_errors() {
+        let loaded = hand_trace();
+        let err = loaded.training_slice(0).unwrap_err();
+        assert!(err.to_string().contains("before day 0"), "{err}");
+    }
+
+    #[test]
+    fn pipeline_trains_on_a_training_slice() {
+        use sc_core::{DitaBuilder, DitaConfig};
+        let loaded = roundtrip();
+        let slice = loaded.training_slice(3).unwrap();
+        assert!(slice.social.n_workers() > 0);
+        let pipeline = DitaBuilder::new()
+            .config(DitaConfig {
+                n_topics: 4,
+                lda_sweeps: 5,
+                infer_sweeps: 3,
+                rpo: sc_influence::RpoParams {
+                    max_sets: 1_000,
+                    ..Default::default()
+                },
+                seed: 2,
+                ..Default::default()
+            })
+            .build(&slice.social, &slice.histories)
+            .unwrap();
+        assert_eq!(pipeline.model().n_workers(), slice.social.n_workers());
     }
 }

@@ -1,0 +1,426 @@
+//! Dataset-backed streaming replay.
+//!
+//! The paper evaluates one batch per day, but the underlying data *is*
+//! a stream: a check-in log is an ordered sequence of worker
+//! appearances at venues. [`ReplayStream`] turns one day of a
+//! [`LoadedDataset`] into an ordered, fully deterministic event
+//! timeline — worker check-ins (arrivals/position updates), task
+//! postings derived from venue activity, worker departures, and round
+//! ticks — that an online engine consumes round by round
+//! (`sc_sim::replay`). No randomness is involved anywhere: the stream
+//! is a pure function of the trace and [`ReplayOptions`], which is what
+//! makes replayed round reports byte-comparable across thread budgets
+//! and runs.
+//!
+//! Event derivation rules (all trace-driven):
+//!
+//! * every check-in of the replay day becomes a [`ReplayEvent::CheckIn`]
+//!   (the worker goes — or stays — online at that location);
+//! * every [`ReplayOptions::task_every`]-th check-in additionally posts
+//!   a task at the *canonical* venue location with the venue's category
+//!   union, published at the check-in instant and valid for
+//!   [`ReplayOptions::valid_hours`] — tasks appear exactly where and
+//!   when demand was observed;
+//! * a worker departs [`ReplayOptions::linger_hours`] after their last
+//!   check-in of the day (`0` disables departures);
+//! * round ticks run every [`ReplayOptions::round_hours`] from one
+//!   cadence after the day's first check-in hour until one cadence past
+//!   the last event, optionally capped by [`ReplayOptions::max_rounds`].
+
+use crate::loader::LoadedDataset;
+use sc_types::{Duration, Location, ScError, Task, TaskId, TimeInstant, VenueId, WorkerId};
+
+/// Knobs of the trace-to-stream translation. All derivations are
+/// deterministic; there is no seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayOptions {
+    /// Hours between assignment round ticks.
+    pub round_hours: i64,
+    /// Every `task_every`-th check-in posts a task at its venue
+    /// (`1` = every check-in, `0` = no tasks).
+    pub task_every: usize,
+    /// Task valid time `φ` in hours.
+    pub valid_hours: f64,
+    /// Reachable radius handed to replayed workers, km.
+    pub radius_km: f64,
+    /// Travel speed handed to replayed workers, km/h.
+    pub speed_kmh: f64,
+    /// Hours after a worker's last check-in of the day before a
+    /// departure event fires (`0` = workers never log off).
+    pub linger_hours: i64,
+    /// Maximum number of rounds (`0` = replay the whole day).
+    pub max_rounds: usize,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            round_hours: 1,
+            task_every: 2,
+            valid_hours: 3.0,
+            radius_km: 25.0,
+            speed_kmh: sc_types::worker::DEFAULT_SPEED_KMH,
+            linger_hours: 4,
+            max_rounds: 0,
+        }
+    }
+}
+
+/// One event of the replayed trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayEvent {
+    /// A worker checked in: online at `location` from `at` on. Ids are
+    /// **trace** ids — the replay driver maps them onto the trained
+    /// population (or folds unseen workers in).
+    CheckIn {
+        /// Trace id of the worker.
+        worker: WorkerId,
+        /// Venue the check-in happened at.
+        venue: VenueId,
+        /// Location of the check-in record.
+        location: Location,
+        /// Instant of the check-in.
+        at: TimeInstant,
+    },
+    /// A task was posted (ids are sequential in stream order).
+    TaskPosted {
+        /// The posted task, published at the triggering check-in.
+        task: Task,
+        /// Venue behind the task (EIA entropy is venue-keyed).
+        venue: VenueId,
+    },
+    /// A worker went offline (no check-in for `linger_hours`).
+    Departure {
+        /// Trace id of the departing worker.
+        worker: WorkerId,
+        /// Instant the departure fires.
+        at: TimeInstant,
+    },
+}
+
+impl ReplayEvent {
+    /// The instant the event fires at.
+    pub fn at(&self) -> TimeInstant {
+        match self {
+            ReplayEvent::CheckIn { at, .. } => *at,
+            ReplayEvent::TaskPosted { task, .. } => task.published,
+            ReplayEvent::Departure { at, .. } => *at,
+        }
+    }
+}
+
+/// The events feeding one assignment round, closed by a tick at `now`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayRoundEvents {
+    /// The round's tick instant: every event fired at or before it.
+    pub now: TimeInstant,
+    /// Events since the previous tick, in timeline order.
+    pub events: Vec<ReplayEvent>,
+}
+
+/// A deterministic event stream over one day of a loaded trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayStream {
+    day: i64,
+    rounds: Vec<ReplayRoundEvents>,
+    n_checkins: usize,
+    n_tasks: usize,
+    n_departures: usize,
+}
+
+impl ReplayStream {
+    /// Builds the stream for `day` of `data`. Errors when the day has
+    /// no check-ins (nothing to replay).
+    pub fn from_dataset(
+        data: &LoadedDataset,
+        day: i64,
+        opts: &ReplayOptions,
+    ) -> sc_types::Result<Self> {
+        // The day's check-ins in timeline order; ties broken by
+        // (worker, venue) so the order is canonical.
+        let mut checkins: Vec<(TimeInstant, WorkerId, VenueId, Location)> = Vec::new();
+        for (w, history) in data.histories.iter() {
+            for r in history.records() {
+                if r.arrived.day() == day {
+                    checkins.push((r.arrived, w, r.venue, r.location));
+                }
+            }
+        }
+        checkins.sort_by_key(|&(at, w, v, _)| (at, w, v));
+        if checkins.is_empty() {
+            return Err(ScError::data(format!(
+                "no check-ins on day {day}: nothing to replay"
+            )));
+        }
+
+        let mut events: Vec<(TimeInstant, u8, usize)> = Vec::new();
+        let mut checkin_events = Vec::new();
+        let mut task_events = Vec::new();
+
+        // Check-ins and the tasks they spawn.
+        let mut next_task = 0u32;
+        for (i, &(at, w, v, loc)) in checkins.iter().enumerate() {
+            events.push((at, 0, checkin_events.len()));
+            checkin_events.push(ReplayEvent::CheckIn {
+                worker: w,
+                venue: v,
+                location: loc,
+                at,
+            });
+            if opts.task_every > 0 && i % opts.task_every == 0 {
+                let venue = data
+                    .venues
+                    .binary_search_by_key(&v, |venue| venue.id)
+                    .map(|idx| &data.venues[idx])
+                    .expect("check-in venue is always reconstructed");
+                events.push((at, 1, task_events.len()));
+                task_events.push(ReplayEvent::TaskPosted {
+                    task: Task::with_categories(
+                        TaskId::new(next_task),
+                        venue.location,
+                        at,
+                        Duration::hours_f64(opts.valid_hours),
+                        venue.categories.clone(),
+                    ),
+                    venue: v,
+                });
+                next_task += 1;
+            }
+        }
+
+        // Departures: linger after each worker's last check-in.
+        let mut departure_events = Vec::new();
+        if opts.linger_hours > 0 {
+            let mut last: std::collections::BTreeMap<WorkerId, TimeInstant> =
+                std::collections::BTreeMap::new();
+            for &(at, w, _, _) in &checkins {
+                let e = last.entry(w).or_insert(at);
+                if *e < at {
+                    *e = at;
+                }
+            }
+            for (w, at) in last {
+                let fires = at + Duration::hours(opts.linger_hours);
+                events.push((fires, 2, departure_events.len()));
+                departure_events.push(ReplayEvent::Departure {
+                    worker: w,
+                    at: fires,
+                });
+            }
+        }
+
+        // Timeline order: instant, then kind (check-ins before the tasks
+        // they spawned? tasks carry the same instant — keep check-ins
+        // first so a worker is online before "their" task posts), then
+        // derivation order.
+        events.sort_by_key(|&(at, kind, idx)| (at, kind, idx));
+        let last_at = events.last().map(|&(at, _, _)| at).expect("non-empty");
+
+        // Round ticks: one cadence after the opening hour, until one
+        // cadence past the last event.
+        let first_hour = checkins[0].0.second_of_day() / sc_types::time::SECS_PER_HOUR;
+        let cadence = opts.round_hours.max(1);
+        let mut rounds = Vec::new();
+        let mut cursor = 0usize;
+        let mut h = first_hour + cadence;
+        loop {
+            let now = TimeInstant::at(day, h);
+            let mut batch = Vec::new();
+            while cursor < events.len() && events[cursor].0 <= now {
+                let (_, kind, idx) = events[cursor];
+                batch.push(match kind {
+                    0 => checkin_events[idx].clone(),
+                    1 => task_events[idx].clone(),
+                    _ => departure_events[idx].clone(),
+                });
+                cursor += 1;
+            }
+            rounds.push(ReplayRoundEvents { now, events: batch });
+            if opts.max_rounds > 0 && rounds.len() >= opts.max_rounds {
+                break;
+            }
+            if now > last_at {
+                break;
+            }
+            h += cadence;
+        }
+
+        Ok(ReplayStream {
+            day,
+            rounds,
+            n_checkins: checkin_events.len(),
+            n_tasks: task_events.len(),
+            n_departures: departure_events.len(),
+        })
+    }
+
+    /// The replayed day index.
+    pub fn day(&self) -> i64 {
+        self.day
+    }
+
+    /// The per-round event batches, in round order.
+    pub fn rounds(&self) -> &[ReplayRoundEvents] {
+        &self.rounds
+    }
+
+    /// Number of round ticks.
+    pub fn n_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Check-in events in the stream.
+    pub fn n_checkins(&self) -> usize {
+        self.n_checkins
+    }
+
+    /// Task postings in the stream.
+    pub fn n_tasks(&self) -> usize {
+        self.n_tasks
+    }
+
+    /// Departure events in the stream.
+    pub fn n_departures(&self) -> usize {
+        self.n_departures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_types::{CheckIn, HistoryStore};
+
+    /// A hand-built two-day trace: workers 0..3 active on day 0 and 1,
+    /// worker 3 appears only on day 1 (the fold-in candidate).
+    fn trace() -> LoadedDataset {
+        let mut store = HistoryStore::default();
+        let mut push = |w: u32, v: u32, x: f64, day: i64, hour: i64, cat: u32| {
+            store.push(CheckIn::at(
+                WorkerId::new(w),
+                VenueId::new(v),
+                Location::new(x, 0.0),
+                TimeInstant::at(day, hour),
+                vec![sc_types::CategoryId::new(cat)],
+            ));
+        };
+        for day in 0..2i64 {
+            push(0, 0, 0.0, day, 8, 0);
+            push(0, 1, 1.0, day, 12, 1);
+            push(1, 0, 0.0, day, 9, 0);
+            push(2, 2, 2.0, day, 10, 2);
+        }
+        push(3, 1, 1.0, 1, 11, 1);
+        let edges = vec![(0, 1), (1, 2), (2, 3)];
+        LoadedDataset::from_parts(edges, store, 7).unwrap()
+    }
+
+    #[test]
+    fn stream_orders_events_and_ticks() {
+        let data = trace();
+        let stream = ReplayStream::from_dataset(&data, 1, &ReplayOptions::default()).unwrap();
+        assert_eq!(stream.day(), 1);
+        assert_eq!(stream.n_checkins(), 5);
+        // task_every = 2 → check-ins 0, 2, 4 post tasks.
+        assert_eq!(stream.n_tasks(), 3);
+        assert_eq!(stream.n_departures(), 4);
+        // Events inside each round are chronological and never after
+        // the tick.
+        let mut prev = TimeInstant::EPOCH;
+        for round in stream.rounds() {
+            for e in &round.events {
+                assert!(e.at() >= prev, "timeline order");
+                assert!(e.at() <= round.now, "no event after its tick");
+                prev = e.at();
+            }
+        }
+        // Every event is delivered exactly once.
+        let delivered: usize = stream.rounds().iter().map(|r| r.events.len()).sum();
+        assert_eq!(delivered, 5 + 3 + 4);
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_trace_pure() {
+        let data = trace();
+        let a = ReplayStream::from_dataset(&data, 1, &ReplayOptions::default()).unwrap();
+        let b = ReplayStream::from_dataset(&data, 1, &ReplayOptions::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn task_posts_use_canonical_venue_and_sequential_ids() {
+        let data = trace();
+        let opts = ReplayOptions {
+            task_every: 1,
+            ..Default::default()
+        };
+        let stream = ReplayStream::from_dataset(&data, 0, &opts).unwrap();
+        let mut expect_id = 0u32;
+        for round in stream.rounds() {
+            for e in &round.events {
+                if let ReplayEvent::TaskPosted { task, venue } = e {
+                    assert_eq!(task.id, TaskId::new(expect_id));
+                    expect_id += 1;
+                    let v = data.venues.iter().find(|v| v.id == *venue).unwrap();
+                    assert_eq!(task.location, v.location);
+                    assert_eq!(task.categories, v.categories);
+                    assert_eq!(task.valid_for, Duration::hours(3));
+                }
+            }
+        }
+        assert_eq!(expect_id as usize, stream.n_tasks());
+    }
+
+    #[test]
+    fn empty_day_is_an_error() {
+        let data = trace();
+        let err = ReplayStream::from_dataset(&data, 9, &ReplayOptions::default());
+        assert!(err.is_err());
+        assert!(err.unwrap_err().to_string().contains("day 9"));
+    }
+
+    #[test]
+    fn zero_task_every_and_linger_disable_derivations() {
+        let data = trace();
+        let opts = ReplayOptions {
+            task_every: 0,
+            linger_hours: 0,
+            ..Default::default()
+        };
+        let stream = ReplayStream::from_dataset(&data, 0, &opts).unwrap();
+        assert_eq!(stream.n_tasks(), 0);
+        assert_eq!(stream.n_departures(), 0);
+        assert_eq!(stream.n_checkins(), 4);
+    }
+
+    #[test]
+    fn max_rounds_caps_the_stream() {
+        let data = trace();
+        let opts = ReplayOptions {
+            max_rounds: 2,
+            ..Default::default()
+        };
+        let stream = ReplayStream::from_dataset(&data, 0, &opts).unwrap();
+        assert_eq!(stream.n_rounds(), 2);
+        let uncapped = ReplayStream::from_dataset(&data, 0, &ReplayOptions::default()).unwrap();
+        assert!(uncapped.n_rounds() > 2);
+        // The capped stream is a prefix of the uncapped one.
+        assert_eq!(stream.rounds(), &uncapped.rounds()[..2]);
+    }
+
+    #[test]
+    fn round_cadence_follows_round_hours() {
+        let data = trace();
+        let opts = ReplayOptions {
+            round_hours: 3,
+            ..Default::default()
+        };
+        let stream = ReplayStream::from_dataset(&data, 0, &opts).unwrap();
+        let ticks: Vec<TimeInstant> = stream.rounds().iter().map(|r| r.now).collect();
+        for pair in ticks.windows(2) {
+            assert_eq!(pair[1] - pair[0], Duration::hours(3));
+        }
+        // Fewer, coarser rounds than the hourly default.
+        let hourly = ReplayStream::from_dataset(&data, 0, &ReplayOptions::default()).unwrap();
+        assert!(stream.n_rounds() < hourly.n_rounds());
+    }
+}

@@ -62,10 +62,8 @@ impl VenueMap {
             let cluster = rng.random_range(0..k);
             let center = cluster_centers[cluster];
             let loc = Location::new(
-                gaussian(rng, center.x, profile.cluster_sigma_km)
-                    .clamp(0.0, profile.world_km),
-                gaussian(rng, center.y, profile.cluster_sigma_km)
-                    .clamp(0.0, profile.world_km),
+                gaussian(rng, center.x, profile.cluster_sigma_km).clamp(0.0, profile.world_km),
+                gaussian(rng, center.y, profile.cluster_sigma_km).clamp(0.0, profile.world_km),
             );
             let n_cats = rng.random_range(1..=3usize);
             let mut categories = Vec::with_capacity(n_cats);

@@ -99,8 +99,7 @@ impl CsrGraph {
 
     /// Iterates over all `(src, dst)` edges in CSR order.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        (0..self.n_nodes() as u32)
-            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+        (0..self.n_nodes() as u32).flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
     }
 
     /// Sum of all out-degrees divided by n — the average degree.

@@ -225,7 +225,11 @@ impl MinCostMaxFlow {
 mod tests {
     use super::*;
 
-    fn run_both(build: impl Fn() -> MinCostMaxFlow, s: usize, t: usize) -> (FlowResult, FlowResult) {
+    fn run_both(
+        build: impl Fn() -> MinCostMaxFlow,
+        s: usize,
+        t: usize,
+    ) -> (FlowResult, FlowResult) {
         let mut a = build().with_engine(ShortestPathEngine::Spfa);
         let mut b = build().with_engine(ShortestPathEngine::BellmanFord);
         (a.run(s, t), b.run(s, t))
@@ -386,7 +390,12 @@ mod tests {
             let ra = build(ShortestPathEngine::Spfa).run(s, t);
             let rb = build(ShortestPathEngine::BellmanFord).run(s, t);
             assert_eq!(ra.flow, rb.flow, "case {case}");
-            assert!((ra.cost - rb.cost).abs() < 1e-6, "case {case}: {} vs {}", ra.cost, rb.cost);
+            assert!(
+                (ra.cost - rb.cost).abs() < 1e-6,
+                "case {case}: {} vs {}",
+                ra.cost,
+                rb.cost
+            );
         }
     }
 }

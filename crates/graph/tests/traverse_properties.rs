@@ -1,7 +1,9 @@
 //! Property tests for graph traversals.
 
 use proptest::prelude::*;
-use sc_graph::traverse::{bfs_distances, dfs_preorder, reachable_from, weakly_connected_components};
+use sc_graph::traverse::{
+    bfs_distances, dfs_preorder, reachable_from, weakly_connected_components,
+};
 use sc_graph::CsrGraph;
 
 fn arb_graph(n: u32) -> impl Strategy<Value = CsrGraph> {

@@ -39,9 +39,7 @@ impl<'a> IndependentCascade<'a> {
             next.clear();
             for &u in &frontier {
                 for &v in self.net.informs(u) {
-                    if !informed[v as usize]
-                        && rng.random_bool(self.net.inform_probability(v))
-                    {
+                    if !informed[v as usize] && rng.random_bool(self.net.inform_probability(v)) {
                         informed[v as usize] = true;
                         next.push(v);
                     }
@@ -57,11 +55,7 @@ impl<'a> IndependentCascade<'a> {
     pub fn estimate_spread<R: Rng + ?Sized>(&self, seed: u32, trials: usize, rng: &mut R) -> f64 {
         let mut total = 0usize;
         for _ in 0..trials {
-            total += self
-                .simulate(seed, rng)
-                .iter()
-                .filter(|&&b| b)
-                .count();
+            total += self.simulate(seed, rng).iter().filter(|&&b| b).count();
         }
         total as f64 / trials.max(1) as f64
     }
@@ -259,7 +253,10 @@ mod tests {
         let lt = LinearThreshold::new(&net);
         let mut rng = SmallRng::seed_from_u64(8);
         let p = lt.estimate_pair_probability(0, 2, 2_000, &mut rng);
-        assert!((p - 1.0).abs() < 1e-9, "LT should certainly inform 2, got {p}");
+        assert!(
+            (p - 1.0).abs() < 1e-9,
+            "LT should certainly inform 2, got {p}"
+        );
     }
 
     #[test]

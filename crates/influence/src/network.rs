@@ -99,6 +99,39 @@ impl SocialNetwork {
     pub fn contains(&self, w: WorkerId) -> bool {
         w.index() < self.n_workers()
     }
+
+    /// Returns the network with one extra worker appended (its id is the
+    /// old [`SocialNetwork::n_workers`]), connected by undirected
+    /// friendships to each of `friends`.
+    ///
+    /// This is the incremental population-growth hook of the online
+    /// engine: a worker arriving outside the trained population brings
+    /// their social edges, and the rebuilt network is exactly the
+    /// network that would have been constructed had the worker been
+    /// present from the start — in-degrees (and therefore the
+    /// weighted-cascade edge probabilities `1/indeg`) of the friends
+    /// are updated accordingly. The rebuild is `O(|W| + |E|)`; callers
+    /// folding in whole cohorts should batch them or accept the linear
+    /// cost per arrival (see `bench_replay` for the measured cost
+    /// against a full retrain).
+    ///
+    /// # Panics
+    /// When a friend id is out of range (friends must already be in the
+    /// network).
+    pub fn fold_in_worker(&self, friends: &[u32]) -> SocialNetwork {
+        let new_id = self.n_workers() as u32;
+        let mut edges: Vec<(u32, u32)> = self.forward.edges().collect();
+        edges.reserve(friends.len() * 2);
+        for &f in friends {
+            assert!(
+                f < new_id,
+                "fold-in friend {f} out of range (|W| = {new_id})"
+            );
+            edges.push((new_id, f));
+            edges.push((f, new_id));
+        }
+        Self::from_directed_edges(self.n_workers() + 1, &edges)
+    }
 }
 
 #[cfg(test)]
@@ -141,5 +174,40 @@ mod tests {
         let net = star();
         assert!(net.contains(WorkerId::new(3)));
         assert!(!net.contains(WorkerId::new(4)));
+    }
+
+    #[test]
+    fn fold_in_appends_worker_with_undirected_edges() {
+        let net = star();
+        let folded = net.fold_in_worker(&[1, 3]);
+        assert_eq!(folded.n_workers(), 5);
+        assert_eq!(folded.n_edges(), net.n_edges() + 4);
+        assert_eq!(folded.informs(4), &[1, 3]);
+        assert!(folded.informs(1).contains(&4));
+        assert!(folded.informed_by(4).contains(&3));
+        // Friend in-degrees grew by one, so their inform probability
+        // dropped accordingly: worker 1 had indeg 1, now 2.
+        assert!((folded.inform_probability(1) - 0.5).abs() < 1e-12);
+        assert!((folded.inform_probability(3) - 0.25).abs() < 1e-12);
+        // Untouched workers keep their probabilities.
+        assert_eq!(folded.inform_probability(2), net.inform_probability(2));
+        // The original network is unchanged.
+        assert_eq!(net.n_workers(), 4);
+    }
+
+    #[test]
+    fn fold_in_isolated_worker_has_no_edges() {
+        let net = star();
+        let folded = net.fold_in_worker(&[]);
+        assert_eq!(folded.n_workers(), 5);
+        assert_eq!(folded.n_edges(), net.n_edges());
+        assert!(folded.informs(4).is_empty());
+        assert_eq!(folded.inform_probability(4), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fold_in_rejects_unknown_friends() {
+        let _ = star().fold_in_worker(&[9]);
     }
 }

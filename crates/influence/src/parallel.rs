@@ -34,7 +34,10 @@ impl Parallelism {
     /// the bench/figure binaries so perf runs can pin thread counts
     /// without recompiling.
     pub fn from_env() -> Self {
-        match std::env::var("DITA_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        match std::env::var("DITA_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
             None | Some(0) => Parallelism::Auto,
             Some(n) => Parallelism::Fixed(n),
         }

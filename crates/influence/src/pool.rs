@@ -135,7 +135,11 @@ fn sample_shard(
         lens.push(buf.len() as u32);
         members.extend_from_slice(&buf);
     }
-    ShardOut { roots, lens, members }
+    ShardOut {
+        roots,
+        lens,
+        members,
+    }
 }
 
 impl RrrPool {
@@ -343,6 +347,110 @@ impl RrrPool {
         k
     }
 
+    /// Folds a new worker (id = old [`RrrPool::n_workers`]) into the
+    /// pool's live sets without resampling them.
+    ///
+    /// `net` must already contain the worker (see
+    /// [`SocialNetwork::fold_in_worker`]). For each live set containing
+    /// one of the worker's out-neighbours `v`, the worker joins with
+    /// probability `1/indeg(v)` — the weighted-cascade pull the reverse
+    /// walk of that set would have attempted had the worker existed
+    /// when the set was sampled. This is a **first-order
+    /// approximation**: the walk is not continued into the folded
+    /// worker's own in-neighbours (they were all sampled already), and
+    /// the pre-existing members of each set keep the membership they
+    /// were sampled with even though the friends' in-degrees changed.
+    /// Both second-order effects are `O(1/indeg)` and wash out as
+    /// rotation ([`RrrPool::evict_before_epoch`] +
+    /// [`RrrPool::extend_to`]) replaces approximated sets with sets
+    /// sampled exactly on the grown network — fold-in buys *immediate*
+    /// non-zero propagation for a late arrival at a tiny fraction of a
+    /// full retrain (`bench_replay` measures the ratio).
+    ///
+    /// The join coins are deterministic: set `j` draws from an RNG
+    /// seeded by `(master_seed, worker, stream_base + j)`, so folding
+    /// the same worker into the same live window joins the same sets no
+    /// matter the thread budget or call ordering. Returns the number of
+    /// sets joined.
+    ///
+    /// # Panics
+    /// When `net` has not been folded first (its size must be exactly
+    /// one more than the pool's).
+    pub fn fold_in_worker(&mut self, net: &SocialNetwork, worker: u32) -> usize {
+        assert_eq!(
+            worker as usize, self.n_workers,
+            "fold-in worker id must be the old population size"
+        );
+        assert_eq!(
+            net.n_workers(),
+            self.n_workers + 1,
+            "fold the network first: pool has {} workers, network {}",
+            self.n_workers,
+            net.n_workers()
+        );
+        self.n_workers += 1;
+
+        // Candidate sets: every live set containing an out-neighbour of
+        // the worker, with the neighbours that could pull the worker in.
+        // Sorted so the coin order per set is canonical (ascending
+        // neighbour id) regardless of membership-index layout.
+        let mut pulls: Vec<(u32, u32)> = Vec::new();
+        for &v in net.informs(worker) {
+            for &j in self.sets_containing(v) {
+                pulls.push((j, v));
+            }
+        }
+        pulls.sort_unstable();
+
+        let fold_seed = rand::mix_stream(self.master_seed, 0xF01D ^ worker as u64);
+        let mut joined: Vec<u32> = Vec::new();
+        let mut i = 0;
+        while i < pulls.len() {
+            let j = pulls[i].0;
+            let mut rng =
+                SmallRng::seed_from_stream(fold_seed, (self.stream_base + j as usize) as u64);
+            let mut hit = false;
+            while i < pulls.len() && pulls[i].0 == j {
+                let v = pulls[i].1;
+                if !hit && rng.random_bool(net.inform_probability(v)) {
+                    hit = true;
+                }
+                i += 1;
+            }
+            if hit {
+                joined.push(j);
+            }
+        }
+
+        // Membership index: the worker is the largest id, so its run is
+        // appended at the end (`joined` is ascending, runs stay sorted).
+        let last = *self.member_offsets.last().expect("offsets non-empty");
+        self.member_offsets.push(last + joined.len() as u32);
+        self.member_sets.extend_from_slice(&joined);
+
+        // Set arena: splice the worker onto the tail of each joined
+        // set's member slice in one flat pass.
+        if !joined.is_empty() {
+            let mut offsets = Vec::with_capacity(self.set_offsets.len());
+            let mut members = Vec::with_capacity(self.set_members.len() + joined.len());
+            offsets.push(0u32);
+            let mut ji = 0;
+            for j in 0..self.n_sets() {
+                let lo = self.set_offsets[j] as usize;
+                let hi = self.set_offsets[j + 1] as usize;
+                members.extend_from_slice(&self.set_members[lo..hi]);
+                if ji < joined.len() && joined[ji] == j as u32 {
+                    members.push(worker);
+                    ji += 1;
+                }
+                offsets.push(members.len() as u32);
+            }
+            self.set_offsets = offsets;
+            self.set_members = members;
+        }
+        joined.len()
+    }
+
     /// Folds sets `[first_new, n_sets)` into the worker→sets index.
     ///
     /// Existing per-worker runs are block-copied (never re-derived from
@@ -371,8 +479,7 @@ impl RrrPool {
             let src_lo = self.member_offsets[w] as usize;
             let src_hi = self.member_offsets[w + 1] as usize;
             let dst = offsets[w] as usize;
-            merged[dst..dst + (src_hi - src_lo)]
-                .copy_from_slice(&self.member_sets[src_lo..src_hi]);
+            merged[dst..dst + (src_hi - src_lo)].copy_from_slice(&self.member_sets[src_lo..src_hi]);
             cursor[w] = offsets[w] + (src_hi - src_lo) as u32;
         }
         for j in first_new..self.n_sets() {
@@ -805,12 +912,8 @@ mod tests {
         use crate::cascade::LinearThreshold;
         let net = diamond_net();
         let mut rng = SmallRng::seed_from_u64(14);
-        let pool = RrrPool::generate_with_model(
-            &net,
-            60_000,
-            PropagationModel::LinearThreshold,
-            &mut rng,
-        );
+        let pool =
+            RrrPool::generate_with_model(&net, 60_000, PropagationModel::LinearThreshold, &mut rng);
         let lt = LinearThreshold::new(&net);
         let mut rng2 = SmallRng::seed_from_u64(15);
         for seed in 0..4u32 {
@@ -830,12 +933,8 @@ mod tests {
         // (IC only reaches 3/4) — the models must measurably differ.
         let net = SocialNetwork::from_directed_edges(3, &[(0, 1), (0, 2), (1, 2)]);
         let mut rng = SmallRng::seed_from_u64(16);
-        let lt_pool = RrrPool::generate_with_model(
-            &net,
-            90_000,
-            PropagationModel::LinearThreshold,
-            &mut rng,
-        );
+        let lt_pool =
+            RrrPool::generate_with_model(&net, 90_000, PropagationModel::LinearThreshold, &mut rng);
         let ic_pool = RrrPool::generate(&net, 90_000, &mut rng);
         let lt = LinearThreshold::new(&net);
         let mut rng2 = SmallRng::seed_from_u64(17);

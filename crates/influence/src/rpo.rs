@@ -238,10 +238,7 @@ impl Rpo {
             sets_sampled += pool.n_sets() - before;
 
             let gamma = (1.0 + p.epsilon_star()) * k;
-            let n_opt = pool
-                .greedy_informed_worker()
-                .map(|(_, v)| v)
-                .unwrap_or(0.0);
+            let n_opt = pool.greedy_informed_worker().map(|(_, v)| v).unwrap_or(0.0);
             if n_opt >= gamma {
                 // Lemma 6: σ(wᵗ) ≥ kᵢ w.h.p.; refine to N_p^opt·kᵢ/γ.
                 break ((n_opt * k / gamma).max(1.0), true);

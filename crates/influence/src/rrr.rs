@@ -206,8 +206,7 @@ mod tests {
     #[test]
     fn sets_never_contain_duplicates() {
         // Dense graph with a cycle.
-        let net =
-            SocialNetwork::from_directed_edges(4, &[(0, 1), (1, 2), (2, 0), (3, 0), (2, 3)]);
+        let net = SocialNetwork::from_directed_edges(4, &[(0, 1), (1, 2), (2, 0), (3, 0), (2, 3)]);
         let mut rng = SmallRng::seed_from_u64(6);
         for _ in 0..200 {
             let set = sample_rrr_set_alloc(&net, 0, &mut rng);

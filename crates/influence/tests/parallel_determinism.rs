@@ -149,7 +149,10 @@ fn multi_shard_topup_equals_from_scratch() {
     let model = PropagationModel::LinearThreshold;
     let scratch = RrrPool::generate_sharded(&net, target, model, 0x5EED, 4);
     let mut grown = RrrPool::generate_sharded(&net, first, model, 0x5EED, 2);
-    assert!((target - first).div_ceil(floor) >= 4, "top-up must multi-shard");
+    assert!(
+        (target - first).div_ceil(floor) >= 4,
+        "top-up must multi-shard"
+    );
     grown.extend_to(&net, target, 4);
     assert_pools_identical(&scratch, &grown);
 }
@@ -157,8 +160,7 @@ fn multi_shard_topup_equals_from_scratch() {
 #[test]
 fn extend_to_is_noop_at_or_below_current_size() {
     let net = SocialNetwork::from_directed_edges(6, &[(0, 1), (1, 2), (2, 3), (4, 5)]);
-    let mut pool =
-        RrrPool::generate_sharded(&net, 100, PropagationModel::WeightedCascade, 7, 2);
+    let mut pool = RrrPool::generate_sharded(&net, 100, PropagationModel::WeightedCascade, 7, 2);
     let before = pool.fingerprint();
     pool.extend_to(&net, 50, 4);
     pool.extend_to(&net, 100, 4);
@@ -171,7 +173,16 @@ fn repeated_small_topups_equal_one_big_generation() {
     // The RPO access pattern: many staircase extensions.
     let net = SocialNetwork::from_directed_edges(
         10,
-        &[(0, 1), (1, 2), (2, 0), (3, 4), (5, 6), (6, 7), (8, 9), (2, 5)],
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (3, 4),
+            (5, 6),
+            (6, 7),
+            (8, 9),
+            (2, 5),
+        ],
     );
     let model = PropagationModel::WeightedCascade;
     let scratch = RrrPool::generate_sharded(&net, 777, model, 0xFEED, 1);

@@ -8,11 +8,10 @@ use sc_graph::traverse::bfs_distances;
 use sc_influence::{rrr::sample_rrr_set_alloc, IndependentCascade, SocialNetwork};
 
 fn arb_edges(n: u32) -> impl Strategy<Value = Vec<(u32, u32)>> {
-    prop::collection::vec((0..n, 0..n), 0..(n as usize * 3))
-        .prop_map(|mut e| {
-            e.retain(|(u, v)| u != v);
-            e
-        })
+    prop::collection::vec((0..n, 0..n), 0..(n as usize * 3)).prop_map(|mut e| {
+        e.retain(|(u, v)| u != v);
+        e
+    })
 }
 
 proptest! {

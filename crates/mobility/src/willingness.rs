@@ -82,6 +82,17 @@ impl WillingnessModel {
         self.workers.get(id.index())
     }
 
+    /// Appends one fitted worker to the population (id = old
+    /// [`WillingnessModel::n_workers`]) and returns its id — the
+    /// population-growth hook of the online engine's worker fold-in. A
+    /// worker folded in with an empty history has zero willingness
+    /// everywhere, exactly like an empty-history worker at fit time.
+    pub fn fold_in(&mut self, history: &History) -> WorkerId {
+        let id = WorkerId::from(self.workers.len());
+        self.workers.push(WorkerWillingness::fit(history));
+        id
+    }
+
     /// `P_wil(w, s)`; zero for unknown workers.
     pub fn willingness(&self, worker: WorkerId, target: &Location) -> f64 {
         self.workers
@@ -142,12 +153,8 @@ mod tests {
 
     #[test]
     fn willingness_at_home_venue_is_highest() {
-        let store = store_with_worker_at(&[
-            (0, 0.0, 0.0),
-            (0, 0.0, 0.0),
-            (1, 8.0, 0.0),
-            (0, 0.0, 0.0),
-        ]);
+        let store =
+            store_with_worker_at(&[(0, 0.0, 0.0), (0, 0.0, 0.0), (1, 8.0, 0.0), (0, 0.0, 0.0)]);
         let model = WillingnessModel::fit(&store);
         let at_home = model.willingness(WorkerId::new(0), &Location::new(0.0, 0.0));
         let at_other = model.willingness(WorkerId::new(0), &Location::new(8.0, 0.0));
@@ -182,7 +189,41 @@ mod tests {
         assert_eq!(buf.len(), 2);
         assert!(buf[0] > 0.0);
         assert!(buf[1] > 0.0);
-        assert_eq!(buf[0], model.willingness(WorkerId::new(0), &Location::ORIGIN));
+        assert_eq!(
+            buf[0],
+            model.willingness(WorkerId::new(0), &Location::ORIGIN)
+        );
+    }
+
+    #[test]
+    fn fold_in_appends_a_fitted_worker() {
+        let store = store_with_worker_at(&[(0, 0.0, 0.0), (1, 1.0, 0.0)]);
+        let mut model = WillingnessModel::fit(&store);
+        assert_eq!(model.n_workers(), 1);
+
+        // Fold in a worker whose evidence is one check-in at x = 5.
+        let mut hist = History::new();
+        hist.push(CheckIn::at(
+            WorkerId::new(1),
+            VenueId::new(9),
+            Location::new(5.0, 0.0),
+            TimeInstant::from_seconds(0),
+            vec![],
+        ));
+        let id = model.fold_in(&hist);
+        assert_eq!(id, WorkerId::new(1));
+        assert_eq!(model.n_workers(), 2);
+        let near = model.willingness(id, &Location::new(5.0, 0.0));
+        let far = model.willingness(id, &Location::new(40.0, 0.0));
+        assert!(near > far && far > 0.0);
+        // A history-less fold-in is inert, like at fit time.
+        let empty_id = model.fold_in(&History::new());
+        assert_eq!(model.willingness(empty_id, &Location::ORIGIN), 0.0);
+        // willingness_all covers the grown population.
+        let mut buf = Vec::new();
+        model.willingness_all(&Location::new(5.0, 0.0), &mut buf);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf[1], near);
     }
 
     #[test]

@@ -4,7 +4,9 @@
 use crate::metrics::{MetricsAccumulator, MetricsRow};
 use crate::sweep::{SweepAxis, SweepValues};
 use sc_assign::{run_with_matrix, AlgorithmKind, AssignInput, EligibilityMatrix};
-use sc_core::{DitaBuilder, DitaConfig, DitaPipeline, InfluenceScorer, InfluenceVariant, Parallelism};
+use sc_core::{
+    DitaBuilder, DitaConfig, DitaPipeline, InfluenceScorer, InfluenceVariant, Parallelism,
+};
 use sc_datagen::{DatasetProfile, SyntheticDataset};
 use sc_types::Assignment;
 use std::time::Instant;
@@ -130,11 +132,18 @@ impl ExperimentRunner {
     }
 
     /// One sweep point of the comparison experiment.
-    fn comparison_point(&self, x: f64, axis: &SweepAxis, defaults: &SweepValues) -> ComparisonPoint {
+    fn comparison_point(
+        &self,
+        x: f64,
+        axis: &SweepAxis,
+        defaults: &SweepValues,
+    ) -> ComparisonPoint {
         let algorithms = AlgorithmKind::COMPARISON;
         let values = axis.apply(x, defaults);
-        let mut accs: Vec<MetricsAccumulator> =
-            algorithms.iter().map(|_| MetricsAccumulator::new()).collect();
+        let mut accs: Vec<MetricsAccumulator> = algorithms
+            .iter()
+            .map(|_| MetricsAccumulator::new())
+            .collect();
 
         for day in 0..self.n_days {
             let day_inst = self.dataset.instance_for_day(
@@ -149,8 +158,7 @@ impl ExperimentRunner {
             let entropies = self.pipeline.model().task_entropies(&day_inst.task_venues);
 
             for (ai_idx, &kind) in algorithms.iter().enumerate() {
-                let input =
-                    AssignInput::new(&day_inst.instance, &scorer).with_entropy(&entropies);
+                let input = AssignInput::new(&day_inst.instance, &scorer).with_entropy(&entropies);
                 let start = Instant::now();
                 let assignment = run_with_matrix(kind, &input, &matrix);
                 let cpu_ms = start.elapsed().as_secs_f64() * 1e3;

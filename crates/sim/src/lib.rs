@@ -18,7 +18,11 @@
 //! the *online* deployment mode: streaming task/worker arrivals,
 //! per-round assignment, and bounded RRR-pool maintenance (rotation
 //! instead of retraining). [`platform::simulate_day`] is a
-//! day-in-the-life driver built on the engine.
+//! day-in-the-life driver built on the engine, and [`replay::replay_day`]
+//! drives it from a **real check-in trace** (`sc_datagen::ReplayStream`):
+//! train on the trace's past, replay one day round by round, and fold
+//! previously-unseen workers into the live influence network as they
+//! first appear.
 //!
 //! All parallelism — sweep points across instances *and* the scoring
 //! passes inside one instance — schedules through the workspace's
@@ -33,12 +37,14 @@ pub mod harness;
 pub mod metrics;
 pub mod online;
 pub mod platform;
+pub mod replay;
 pub mod sweep;
 pub mod table;
 
 pub use harness::{AblationPoint, ComparisonPoint, ExperimentRunner};
 pub use metrics::MetricsRow;
-pub use online::{scripted_arrival, OnlineEngine, OnlineSummary, RoundReport};
+pub use online::{scripted_arrival, ArrivalOutcome, OnlineEngine, OnlineSummary, RoundReport};
+pub use replay::{replay_day, ReplayReport, ReplayRoundOutcome, ReplayRun};
 pub use sc_core::{OnlineConfig, Parallelism};
 pub use sweep::{ExperimentScale, SweepAxis, SweepValues};
 pub use table::{render_table, to_csv};

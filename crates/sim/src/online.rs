@@ -11,6 +11,16 @@
 //!   [`OnlineEngine::worker_arrives`], [`OnlineEngine::worker_departs`]);
 //!   unassigned tasks persist until they expire, assigned workers
 //!   leave the pool;
+//! * **dynamic populations** — an [`OnlineEngine::adaptive`] engine
+//!   owns its social network and folds previously-unseen workers into
+//!   the live influence model on arrival
+//!   ([`OnlineEngine::worker_arrives_new`]): the graph grows, topic and
+//!   willingness entries are fitted from the arrival's evidence, and
+//!   the RRR pool splices the worker into live sets — so late arrivals
+//!   earn **non-zero influence without a retrain**. Engines that cannot
+//!   fold in (frozen or fixed-population) reject unknown workers
+//!   explicitly ([`ArrivalOutcome::Rejected`]) instead of silently
+//!   accepting a worker that would always score zero;
 //! * **one expiry pass per round** — arrivals are ingested *before*
 //!   the expiry check, so a task that is already stale when the round
 //!   opens is counted expired and never offered, exactly like a
@@ -46,7 +56,7 @@ use sc_assign::AlgorithmKind;
 use sc_core::{DitaPipeline, OnlineConfig};
 use sc_datagen::SyntheticDataset;
 use sc_influence::SocialNetwork;
-use sc_types::{Duration, Task, TaskId, TimeInstant, VenueId, Worker, WorkerId};
+use sc_types::{Duration, History, Task, TaskId, TimeInstant, VenueId, Worker, WorkerId};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -204,6 +214,57 @@ impl PipelineHandle<'_> {
     }
 }
 
+/// How the engine holds the social network: owned (growable — worker
+/// fold-in replaces it with the extended network) or borrowed
+/// (fixed-population drivers).
+#[derive(Debug)]
+enum NetworkHandle<'a> {
+    Owned(Box<SocialNetwork>),
+    Borrowed(&'a SocialNetwork),
+}
+
+impl NetworkHandle<'_> {
+    fn get(&self) -> &SocialNetwork {
+        match self {
+            NetworkHandle::Owned(n) => n,
+            NetworkHandle::Borrowed(n) => n,
+        }
+    }
+}
+
+/// What happened to an arriving worker — the explicit contract that
+/// replaces the old silent acceptance of workers the trained model
+/// cannot score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalOutcome {
+    /// Newly online; the trained influence network knows the worker.
+    Joined,
+    /// Was already online; state (location, radius) refreshed in place.
+    Refreshed,
+    /// Outside the trained population; folded into the live influence
+    /// network ([`OnlineEngine::worker_arrives_new`]) — the worker
+    /// scores non-zero influence from this round on.
+    FoldedIn,
+    /// Outside the trained population and this engine cannot fold in
+    /// (frozen/borrowed, or no social evidence was provided): the
+    /// worker is **not** admitted. Admitting them would only ever
+    /// produce zero-influence assignments — the silent-dead-worker trap
+    /// this variant closes.
+    Rejected,
+}
+
+impl ArrivalOutcome {
+    /// Whether the worker is online after the call.
+    pub fn is_online(self) -> bool {
+        !matches!(self, ArrivalOutcome::Rejected)
+    }
+
+    /// Whether the call added a worker that was not online before.
+    pub fn is_new(self) -> bool {
+        matches!(self, ArrivalOutcome::Joined | ArrivalOutcome::FoldedIn)
+    }
+}
+
 /// A stateful online assignment engine owning a live [`DitaPipeline`].
 ///
 /// Create it from a trained pipeline and the social network it was
@@ -214,7 +275,7 @@ impl PipelineHandle<'_> {
 #[derive(Debug)]
 pub struct OnlineEngine<'a> {
     pipeline: PipelineHandle<'a>,
-    net: &'a SocialNetwork,
+    net: NetworkHandle<'a>,
     config: OnlineConfig,
     /// Live-set target maintenance holds the pool at.
     target_sets: usize,
@@ -252,7 +313,29 @@ impl<'a> OnlineEngine<'a> {
         net: &'a SocialNetwork,
         config: OnlineConfig,
     ) -> Self {
-        Self::build(PipelineHandle::Owned(Box::new(pipeline)), net, config)
+        Self::build(
+            PipelineHandle::Owned(Box::new(pipeline)),
+            NetworkHandle::Borrowed(net),
+            config,
+        )
+    }
+
+    /// An engine that owns both its pipeline *and* its social network —
+    /// the dynamic-population mode. Only this construction can fold
+    /// previously-unseen workers into the live influence network
+    /// ([`OnlineEngine::worker_arrives_new`]); the replay driver
+    /// (`crate::replay`) uses it to serve real traces where workers
+    /// appear mid-stream.
+    pub fn adaptive(
+        pipeline: DitaPipeline,
+        net: SocialNetwork,
+        config: OnlineConfig,
+    ) -> OnlineEngine<'static> {
+        OnlineEngine::build(
+            PipelineHandle::Owned(Box::new(pipeline)),
+            NetworkHandle::Owned(Box::new(net)),
+            config,
+        )
     }
 
     /// A zero-copy engine borrowing a frozen pipeline: streaming state
@@ -264,14 +347,14 @@ impl<'a> OnlineEngine<'a> {
     pub fn frozen(pipeline: &'a DitaPipeline, net: &'a SocialNetwork) -> Self {
         Self::build(
             PipelineHandle::Borrowed(pipeline),
-            net,
+            NetworkHandle::Borrowed(net),
             OnlineConfig::default(),
         )
     }
 
-    fn build(pipeline: PipelineHandle<'a>, net: &'a SocialNetwork, config: OnlineConfig) -> Self {
+    fn build(pipeline: PipelineHandle<'a>, net: NetworkHandle<'a>, config: OnlineConfig) -> Self {
         debug_assert_eq!(
-            net.n_workers(),
+            net.get().n_workers(),
             pipeline.get().model().pool().n_workers(),
             "engine network must match the trained pool"
         );
@@ -328,20 +411,92 @@ impl<'a> OnlineEngine<'a> {
     }
 
     /// Queues a worker arrival (online from the next round on).
-    /// Returns `true` if the worker is newly online; re-arrival of an
-    /// already-online id refreshes that worker's state (location,
-    /// radius) in place instead of duplicating it — multi-day drivers
-    /// re-sample cohorts from one population, and a duplicated id
-    /// would let one worker be assigned twice in a round.
-    pub fn worker_arrives(&mut self, worker: Worker) -> bool {
+    ///
+    /// Re-arrival of an already-online id refreshes that worker's state
+    /// (location, radius) in place instead of duplicating it —
+    /// multi-day drivers re-sample cohorts from one population, and a
+    /// duplicated id would let one worker be assigned twice in a round.
+    ///
+    /// A worker **outside the trained population** is
+    /// [`ArrivalOutcome::Rejected`]: the model cannot score them, so
+    /// admitting them could only ever produce zero-influence
+    /// assignments (the silent trap this contract closes). Late
+    /// arrivals with social evidence go through
+    /// [`OnlineEngine::worker_arrives_new`] instead, which folds them
+    /// into the live network so they earn real influence.
+    pub fn worker_arrives(&mut self, worker: Worker) -> ArrivalOutcome {
+        if worker.id.index() >= self.pipeline.get().model().n_workers() {
+            return ArrivalOutcome::Rejected;
+        }
         if let Some(&idx) = self.online_index.get(&worker.id) {
             self.workers[idx] = worker;
-            return false;
+            return ArrivalOutcome::Refreshed;
         }
         self.online_index.insert(worker.id, self.workers.len());
         self.workers.push(worker);
         self.pending_workers += 1;
-        true
+        ArrivalOutcome::Joined
+    }
+
+    /// Arrival of a worker the trained model has **never seen**, with
+    /// their social evidence: `friends` are trained worker ids the
+    /// arrival is befriended with, `history` is whatever check-in
+    /// evidence exists so far (often a single record).
+    ///
+    /// On an [`OnlineEngine::adaptive`] engine the worker is folded
+    /// into the live influence network without a retrain — the social
+    /// graph grows ([`SocialNetwork::fold_in_worker`]), the model gains
+    /// topic/willingness entries, and the RRR pool splices the worker
+    /// into live sets (`sc_core::InfluenceModel::fold_in_worker`) — so
+    /// the arrival scores non-zero influence from the next round on.
+    /// The worker's id must be the next dense id
+    /// (`pipeline().model().n_workers()`); a known id degrades to the
+    /// plain [`OnlineEngine::worker_arrives`] path.
+    ///
+    /// Engines that borrow their pipeline or network (the frozen /
+    /// fixed-population constructions) return
+    /// [`ArrivalOutcome::Rejected`] — explicitly, instead of silently
+    /// accepting a worker that would always score zero. So does an
+    /// arrival with **no usable friendships** (none of `friends` is in
+    /// the current population): with zero social edges the fold-in
+    /// could never join an RRR set, and the worker would be exactly the
+    /// zero-influence admission this contract exists to prevent. Such a
+    /// worker can simply re-arrive later, once a friend of theirs has
+    /// been folded in.
+    pub fn worker_arrives_new(
+        &mut self,
+        worker: Worker,
+        friends: &[WorkerId],
+        history: &History,
+    ) -> ArrivalOutcome {
+        let population = self.pipeline.get().model().n_workers();
+        if worker.id.index() < population {
+            return self.worker_arrives(worker);
+        }
+        let (PipelineHandle::Owned(pipeline), NetworkHandle::Owned(net)) =
+            (&mut self.pipeline, &mut self.net)
+        else {
+            return ArrivalOutcome::Rejected;
+        };
+        if worker.id.index() != population {
+            // Fold-ins assign dense ids in arrival order; a gap means
+            // the caller skipped an arrival.
+            return ArrivalOutcome::Rejected;
+        }
+        let raw: Vec<u32> = friends
+            .iter()
+            .filter(|f| f.index() < population)
+            .map(|f| f.raw())
+            .collect();
+        if raw.is_empty() {
+            return ArrivalOutcome::Rejected;
+        }
+        **net = net.fold_in_worker(&raw);
+        pipeline.model_mut().fold_in_worker(net, history);
+        self.online_index.insert(worker.id, self.workers.len());
+        self.workers.push(worker);
+        self.pending_workers += 1;
+        ArrivalOutcome::FoldedIn
     }
 
     /// Removes an online worker (e.g. the worker logs off). Returns
@@ -438,6 +593,7 @@ impl<'a> OnlineEngine<'a> {
         let t0 = Instant::now();
         let quantum = self.config.growth_cap;
         let horizon = self.config.eviction_horizon;
+        let net = self.net.get();
         let (pool, threads) = match &mut self.pipeline {
             PipelineHandle::Owned(p) => {
                 // Resolved per round, not cached at construction, so a
@@ -461,7 +617,7 @@ impl<'a> OnlineEngine<'a> {
         let target = self.target_sets.min(live + quantum);
         let added = target.saturating_sub(live);
         if added > 0 {
-            pool.extend_to(self.net, target, threads);
+            pool.extend_to(net, target, threads);
         }
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         self.sets_evicted_total += evicted;
@@ -473,6 +629,13 @@ impl<'a> OnlineEngine<'a> {
     /// The live pipeline.
     pub fn pipeline(&self) -> &DitaPipeline {
         self.pipeline.get()
+    }
+
+    /// The social network the engine maintains the pool against. On an
+    /// [`OnlineEngine::adaptive`] engine this grows with every
+    /// fold-in; otherwise it is the trained network.
+    pub fn network(&self) -> &SocialNetwork {
+        self.net.get()
     }
 
     /// Mutable access to the live pipeline — used by the
@@ -579,8 +742,15 @@ mod tests {
         }
     }
 
-    fn hourly_task(dataset: &SyntheticDataset, id: u32, now: TimeInstant, phi: f64) -> (Task, VenueId) {
-        let venue = dataset.venues.venue(sc_types::VenueId::from((id as usize * 7) % dataset.venues.len()));
+    fn hourly_task(
+        dataset: &SyntheticDataset,
+        id: u32,
+        now: TimeInstant,
+        phi: f64,
+    ) -> (Task, VenueId) {
+        let venue = dataset.venues.venue(sc_types::VenueId::from(
+            (id as usize * 7) % dataset.venues.len(),
+        ));
         (
             Task::with_categories(
                 sc_types::TaskId::new(id),
@@ -634,7 +804,11 @@ mod tests {
             engine.task_arrives(t, v);
             let r = engine.run_round(now, AlgorithmKind::Ia);
             assert!(r.sets_added <= 256, "growth cap violated: {}", r.sets_added);
-            assert!(r.sets_evicted <= 256, "eviction cap violated: {}", r.sets_evicted);
+            assert!(
+                r.sets_evicted <= 256,
+                "eviction cap violated: {}",
+                r.sets_evicted
+            );
             assert!(r.pool_sets <= trained);
             evicted_any |= r.sets_evicted > 0;
         }
@@ -703,7 +877,11 @@ mod tests {
         // Day-2 cohort drawn from the same population overlaps day 1's.
         let day2 = dataset.instance_for_day(0, 0, 15, InstanceOptions::default());
         for w in day2.instance.workers {
-            assert!(!engine.worker_arrives(w), "same cohort: every id re-arrives");
+            assert_eq!(
+                engine.worker_arrives(w),
+                ArrivalOutcome::Refreshed,
+                "same cohort: every id re-arrives"
+            );
         }
         assert_eq!(engine.online_workers(), n, "no duplicates added");
         let now = TimeInstant::at(0, 9);
@@ -712,7 +890,10 @@ mod tests {
             engine.task_arrives(t, v);
         }
         let r = engine.run_round(now, AlgorithmKind::Mta);
-        assert!(r.assigned <= n, "each distinct worker serves at most one task");
+        assert!(
+            r.assigned <= n,
+            "each distinct worker serves at most one task"
+        );
     }
 
     #[test]
@@ -723,7 +904,10 @@ mod tests {
         let now = TimeInstant::at(0, 9);
         let (t, v) = hourly_task(&dataset, 7, now, 4.0);
         assert!(engine.task_arrives(t.clone(), v));
-        assert!(!engine.task_arrives(t, v), "same open id refreshes in place");
+        assert!(
+            !engine.task_arrives(t, v),
+            "same open id refreshes in place"
+        );
         assert_eq!(engine.open_tasks(), 1);
         let r = engine.run_round(now, AlgorithmKind::Ia);
         assert_eq!(r.task_arrivals, 1);
@@ -745,7 +929,11 @@ mod tests {
         }
         let r = engine.run_round(now, AlgorithmKind::Ia);
         assert!(r.assigned > 0);
-        assert_eq!(r.sets_added + r.sets_evicted, 0, "frozen engines never maintain");
+        assert_eq!(
+            r.sets_added + r.sets_evicted,
+            0,
+            "frozen engines never maintain"
+        );
         // The borrowed original is untouched and still usable.
         drop(engine);
         assert_eq!(pipeline.model().pool().fingerprint(), fp);
@@ -757,6 +945,171 @@ mod tests {
         let (dataset, pipeline) = setup(OnlineConfig::default());
         let mut engine = OnlineEngine::frozen(&pipeline, &dataset.social);
         let _ = engine.pipeline_mut();
+    }
+
+    #[test]
+    fn unknown_workers_are_rejected_not_silently_accepted() {
+        // The zero-influence trap: a worker outside the trained
+        // population can never score, so both the frozen and the
+        // fixed-population engines must refuse the arrival explicitly.
+        let (dataset, pipeline) = setup(OnlineConfig::default());
+        let ghost = Worker::new(WorkerId::new(10_000), sc_types::Location::ORIGIN, 25.0);
+
+        let mut frozen = OnlineEngine::frozen(&pipeline, &dataset.social);
+        assert_eq!(
+            frozen.worker_arrives(ghost.clone()),
+            ArrivalOutcome::Rejected
+        );
+        assert_eq!(
+            frozen.worker_arrives_new(ghost.clone(), &[WorkerId::new(0)], &History::new()),
+            ArrivalOutcome::Rejected,
+            "a frozen engine cannot fold in"
+        );
+        assert_eq!(frozen.online_workers(), 0);
+
+        let mut owned = OnlineEngine::new(pipeline, &dataset.social);
+        assert_eq!(owned.worker_arrives(ghost), ArrivalOutcome::Rejected);
+        assert_eq!(owned.online_workers(), 0);
+    }
+
+    #[test]
+    fn friendless_fold_in_is_rejected_on_adaptive_engines() {
+        // No usable friendships means the fold-in could never join an
+        // RRR set — admitting the worker would re-open the
+        // zero-influence trap. They can re-arrive once a friend exists.
+        let (dataset, pipeline) = setup(OnlineConfig::default());
+        let trained = pipeline.model().n_workers();
+        let mut engine =
+            OnlineEngine::adaptive(pipeline, dataset.social.clone(), OnlineConfig::default());
+        let late = Worker::new(WorkerId::from(trained), sc_types::Location::ORIGIN, 25.0);
+        assert_eq!(
+            engine.worker_arrives_new(late.clone(), &[], &History::new()),
+            ArrivalOutcome::Rejected,
+            "no friends at all"
+        );
+        assert_eq!(
+            engine.worker_arrives_new(
+                late.clone(),
+                &[WorkerId::from(trained + 3)],
+                &History::new()
+            ),
+            ArrivalOutcome::Rejected,
+            "friends outside the population are unusable"
+        );
+        assert_eq!(engine.online_workers(), 0);
+        assert_eq!(
+            engine.pipeline().model().n_workers(),
+            trained,
+            "nothing folded"
+        );
+        // With one real friend the same arrival folds in.
+        assert_eq!(
+            engine.worker_arrives_new(late, &[WorkerId::new(0)], &History::new()),
+            ArrivalOutcome::FoldedIn
+        );
+    }
+
+    #[test]
+    fn adaptive_engine_folds_in_late_arrival_with_nonzero_influence() {
+        let (dataset, pipeline) = setup(OnlineConfig::default());
+        let trained = pipeline.model().n_workers();
+        let trained_sets = pipeline.model().pool().n_sets();
+        let mut engine =
+            OnlineEngine::adaptive(pipeline, dataset.social.clone(), OnlineConfig::default());
+        feed_workers(&mut engine, &dataset, 30);
+
+        // The arrival: checked in once at venue 0, friends with two
+        // trained workers.
+        let venue = dataset.venues.venue(sc_types::VenueId::new(0));
+        let mut hist = History::new();
+        hist.push(sc_types::CheckIn::at(
+            WorkerId::from(trained),
+            venue.id,
+            venue.location,
+            TimeInstant::at(0, 8),
+            venue.categories.clone(),
+        ));
+        let late = Worker::new(WorkerId::from(trained), venue.location, 25.0);
+        let friends = [WorkerId::new(0), WorkerId::new(1), WorkerId::new(2)];
+        assert_eq!(
+            engine.worker_arrives_new(late, &friends, &hist),
+            ArrivalOutcome::FoldedIn
+        );
+        assert_eq!(engine.pipeline().model().n_workers(), trained + 1);
+        assert_eq!(engine.network().n_workers(), trained + 1);
+        assert_eq!(
+            engine.pipeline().model().pool().n_sets(),
+            trained_sets,
+            "fold-in never resamples"
+        );
+
+        // The folded worker scores non-zero influence on a task at its
+        // own venue — every factor of the product is live.
+        let (task, _) = hourly_task(&dataset, 0, TimeInstant::at(0, 9), 4.0);
+        let task = Task::with_categories(
+            task.id,
+            venue.location,
+            task.published,
+            task.valid_for,
+            venue.categories.clone(),
+        );
+        let score = engine
+            .pipeline()
+            .scorer()
+            .score(WorkerId::from(trained), &task);
+        assert!(
+            score > 0.0,
+            "a folded-in late arrival must earn non-zero influence, got {score}"
+        );
+
+        // And a second unseen id must arrive densely: skipping one is
+        // rejected.
+        let skipper = Worker::new(WorkerId::from(trained + 5), venue.location, 25.0);
+        assert_eq!(
+            engine.worker_arrives_new(skipper, &friends, &hist),
+            ArrivalOutcome::Rejected
+        );
+    }
+
+    #[test]
+    fn folded_worker_participates_in_rounds_and_maintenance() {
+        // Fold-in composes with bounded rotation: maintenance keeps
+        // extending the pool against the *grown* network.
+        let online = OnlineConfig {
+            round_hours: 1,
+            growth_cap: 256,
+            eviction_horizon: 2,
+            target_sets: 0,
+        };
+        let (dataset, pipeline) = setup(online);
+        let trained = pipeline.model().n_workers();
+        let mut engine = OnlineEngine::adaptive(pipeline, dataset.social.clone(), online);
+        feed_workers(&mut engine, &dataset, 20);
+        let venue = dataset.venues.venue(sc_types::VenueId::new(3));
+        let mut hist = History::new();
+        hist.push(sc_types::CheckIn::at(
+            WorkerId::from(trained),
+            venue.id,
+            venue.location,
+            TimeInstant::at(0, 8),
+            venue.categories.clone(),
+        ));
+        let late = Worker::new(WorkerId::from(trained), venue.location, 25.0);
+        assert!(engine
+            .worker_arrives_new(late, &[WorkerId::new(0)], &hist)
+            .is_online());
+        for hour in 9..14 {
+            let now = TimeInstant::at(0, hour);
+            for i in 0..6u32 {
+                let (t, v) = hourly_task(&dataset, hour as u32 * 10 + i, now, 4.0);
+                engine.task_arrives(t, v);
+            }
+            let r = engine.run_round(now, AlgorithmKind::Ia);
+            assert!(r.sets_added <= 256);
+        }
+        let s = engine.summary();
+        assert!(s.assigned > 0);
+        assert_eq!(s.published, s.assigned + s.expired + s.still_open);
     }
 
     #[test]

@@ -108,7 +108,10 @@ pub fn simulate_day(
     config: &DayConfig,
     algorithm: AlgorithmKind,
 ) -> DayReport {
-    assert!(config.start_hour < config.end_hour, "empty operating window");
+    assert!(
+        config.start_hour < config.end_hour,
+        "empty operating window"
+    );
     let mut rng = SmallRng::seed_from_u64(
         dataset.seed() ^ 0x00D_A11 ^ (day as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
     );

@@ -199,8 +199,14 @@ mod tests {
     #[test]
     fn paper_axes_match_figures() {
         let s = ExperimentScale::Paper;
-        assert_eq!(s.tasks_axis().values(), vec![500.0, 1000.0, 1500.0, 2000.0, 2500.0]);
-        assert_eq!(s.workers_axis().values(), vec![400.0, 800.0, 1200.0, 1600.0, 2000.0]);
+        assert_eq!(
+            s.tasks_axis().values(),
+            vec![500.0, 1000.0, 1500.0, 2000.0, 2500.0]
+        );
+        assert_eq!(
+            s.workers_axis().values(),
+            vec![400.0, 800.0, 1200.0, 1600.0, 2000.0]
+        );
         assert_eq!(s.valid_time_axis().values().len(), 6);
         assert_eq!(s.radius_axis().values(), vec![5.0, 10.0, 15.0, 20.0, 25.0]);
     }

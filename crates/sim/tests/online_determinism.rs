@@ -57,9 +57,9 @@ fn drive(
         for hour in 8..16 {
             let now = TimeInstant::at(day, hour);
             for i in 0..6u32 {
-                let venue = dataset
-                    .venues
-                    .venue(VenueId::from(((next_id as usize) * 31 + i as usize) % dataset.venues.len()));
+                let venue = dataset.venues.venue(VenueId::from(
+                    ((next_id as usize) * 31 + i as usize) % dataset.venues.len(),
+                ));
                 engine.task_arrives(
                     Task::with_categories(
                         TaskId::new(next_id),
@@ -150,7 +150,10 @@ fn maintenance_happens_and_is_bounded() {
     assert!(evicted > 0, "a 24-round run past horizon 3 must rotate");
     assert!(added > 0);
     for r in &reports {
-        assert!(r.sets_evicted <= 512 && r.sets_added <= 512, "quantum bound");
+        assert!(
+            r.sets_evicted <= 512 && r.sets_added <= 512,
+            "quantum bound"
+        );
     }
 }
 

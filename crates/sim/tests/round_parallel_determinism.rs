@@ -93,7 +93,10 @@ fn frozen_round_reports_identical_across_thread_budgets() {
     let single = run_script(&data, Parallelism::Single, OnlineConfig::default());
     let sharded = run_script(&data, Parallelism::Fixed(4), OnlineConfig::default());
     assert_eq!(single, sharded);
-    assert!(single.iter().map(|r| r.assigned).sum::<usize>() > 0, "non-trivial fixture");
+    assert!(
+        single.iter().map(|r| r.assigned).sum::<usize>() > 0,
+        "non-trivial fixture"
+    );
 }
 
 #[test]
@@ -122,7 +125,10 @@ fn maintained_pools_identical_across_thread_budgets() {
         }
         engine.into_pipeline().model().pool().fingerprint()
     };
-    assert_eq!(run_pool(Parallelism::Single), run_pool(Parallelism::Fixed(4)));
+    assert_eq!(
+        run_pool(Parallelism::Single),
+        run_pool(Parallelism::Fixed(4))
+    );
 }
 
 #[test]

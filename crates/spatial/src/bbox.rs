@@ -69,13 +69,19 @@ impl BoundingBox {
     /// Whether this box intersects the circle centred at `c` with radius `r`.
     /// Used to prune grid cells during range queries.
     pub fn intersects_circle(&self, c: &Location, r: f64) -> bool {
-        let nearest = Location::new(c.x.clamp(self.min.x, self.max.x), c.y.clamp(self.min.y, self.max.y));
+        let nearest = Location::new(
+            c.x.clamp(self.min.x, self.max.x),
+            c.y.clamp(self.min.y, self.max.y),
+        );
         nearest.distance_sq(c) <= r * r
     }
 
     /// Minimum distance from `p` to any point of the box (zero if inside).
     pub fn min_distance(&self, p: &Location) -> f64 {
-        let nearest = Location::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y));
+        let nearest = Location::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        );
         nearest.distance_km(p)
     }
 }

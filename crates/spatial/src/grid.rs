@@ -234,7 +234,10 @@ mod tests {
         let pts = grid_points();
         let idx = GridIndex::build(&pts, 1.5);
         let centre = Location::new(0.0, 0.0);
-        assert_eq!(idx.count_within(&centre, 1.0), idx.within_radius(&centre, 1.0).len());
+        assert_eq!(
+            idx.count_within(&centre, 1.0),
+            idx.within_radius(&centre, 1.0).len()
+        );
     }
 
     #[test]

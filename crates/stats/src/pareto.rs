@@ -118,10 +118,7 @@ impl Pareto {
     /// [`DEFAULT_SHAPE`] when the MLE is undefined (e.g. a worker who only
     /// ever revisits the same venue).
     pub fn fit_displacements(displacements_km: &[f64]) -> Pareto {
-        let shifted: Vec<f64> = displacements_km
-            .iter()
-            .map(|d| d.max(0.0) + 1.0)
-            .collect();
+        let shifted: Vec<f64> = displacements_km.iter().map(|d| d.max(0.0) + 1.0).collect();
         Pareto::mle_unit_scale(&shifted).unwrap_or(Pareto::unit_scale(DEFAULT_SHAPE))
     }
 }

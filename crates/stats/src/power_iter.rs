@@ -86,15 +86,11 @@ pub fn power_iteration(
             }
         }
         for j in 0..n {
-            next[j] = (1.0 - damping) * (next[j] + dangling_mass * restart[j])
-                + damping * restart[j];
+            next[j] =
+                (1.0 - damping) * (next[j] + dangling_mass * restart[j]) + damping * restart[j];
         }
 
-        residual = pi
-            .iter()
-            .zip(next.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        residual = pi.iter().zip(next.iter()).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut pi, &mut next);
 
         if residual < tol {

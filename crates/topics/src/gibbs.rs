@@ -236,8 +236,7 @@ impl LdaModel {
                 counts[z[i]] -= 1;
                 let mut total = 0.0;
                 for t in 0..k {
-                    let wgt =
-                        (counts[t] as f64 + self.alpha) * self.topic_word(t, w as usize);
+                    let wgt = (counts[t] as f64 + self.alpha) * self.topic_word(t, w as usize);
                     weights[t] = wgt;
                     total += wgt;
                 }
@@ -339,10 +338,12 @@ mod tests {
         // A fresh theme-A document should look like training theme-A docs.
         let theta = model.infer(&[0, 1, 2, 3, 4, 0, 1, 2, 3, 4], 50, &mut rng);
         let train_theta = model.doc_topics(0);
-        let dominant_train = (0..2).max_by(|&a, &b| {
-            train_theta[a].total_cmp(&train_theta[b])
-        }).unwrap();
-        let dominant_new = (0..2).max_by(|&a, &b| theta[a].total_cmp(&theta[b])).unwrap();
+        let dominant_train = (0..2)
+            .max_by(|&a, &b| train_theta[a].total_cmp(&train_theta[b]))
+            .unwrap();
+        let dominant_new = (0..2)
+            .max_by(|&a, &b| theta[a].total_cmp(&theta[b]))
+            .unwrap();
         assert_eq!(dominant_new, dominant_train);
     }
 

@@ -154,10 +154,11 @@ mod tests {
 
     #[test]
     fn try_from_pairs_validates() {
-        assert!(Assignment::try_from_pairs(vec![pair(0, 0, 1.0, 0.0), pair(1, 0, 1.0, 0.0)])
-            .is_none());
-        let a = Assignment::try_from_pairs(vec![pair(0, 0, 1.0, 0.0), pair(1, 1, 1.0, 0.0)])
-            .unwrap();
+        assert!(
+            Assignment::try_from_pairs(vec![pair(0, 0, 1.0, 0.0), pair(1, 0, 1.0, 0.0)]).is_none()
+        );
+        let a =
+            Assignment::try_from_pairs(vec![pair(0, 0, 1.0, 0.0), pair(1, 1, 1.0, 0.0)]).unwrap();
         assert_eq!(a.len(), 2);
     }
 
@@ -165,8 +166,7 @@ mod tests {
     fn running_example_influences() {
         // Paper Figure 1: greedy = {(s4,w3),(s5,w5)} → 1.67 + 0.85 = 2.52,
         // influence-aware = {(s4,w4),(s5,w5)} → 4.25 + 0.85 = 5.10.
-        let greedy =
-            Assignment::from_pairs(vec![pair(4, 3, 1.67, 0.5), pair(5, 5, 0.85, 0.5)]);
+        let greedy = Assignment::from_pairs(vec![pair(4, 3, 1.67, 0.5), pair(5, 5, 0.85, 0.5)]);
         let ita = Assignment::from_pairs(vec![pair(4, 4, 4.25, 0.7), pair(5, 5, 0.85, 0.5)]);
         assert!((greedy.total_influence() - 2.52).abs() < 1e-12);
         assert!((ita.total_influence() - 5.10).abs() < 1e-12);

@@ -113,7 +113,8 @@ impl History {
 
     /// Distinct venues visited, with visit counts.
     pub fn venue_visits(&self) -> Vec<(VenueId, u32)> {
-        let mut counts: std::collections::BTreeMap<VenueId, u32> = std::collections::BTreeMap::new();
+        let mut counts: std::collections::BTreeMap<VenueId, u32> =
+            std::collections::BTreeMap::new();
         for r in &self.records {
             *counts.entry(r.venue).or_insert(0) += 1;
         }

@@ -23,7 +23,11 @@ pub struct Instance {
 impl Instance {
     /// Creates an instance.
     pub fn new(now: TimeInstant, workers: Vec<Worker>, tasks: Vec<Task>) -> Self {
-        Instance { now, workers, tasks }
+        Instance {
+            now,
+            workers,
+            tasks,
+        }
     }
 
     /// Number of online workers `|W|`.

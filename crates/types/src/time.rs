@@ -198,7 +198,10 @@ mod tests {
     #[test]
     fn durations_clamp_negative() {
         assert_eq!(Duration::seconds(-5), Duration::ZERO);
-        assert_eq!(Duration::ZERO.saturating_sub(Duration::hours(1)), Duration::ZERO);
+        assert_eq!(
+            Duration::ZERO.saturating_sub(Duration::hours(1)),
+            Duration::ZERO
+        );
     }
 
     #[test]

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use sc_types::{
-    Assignment, AssignmentPair, CheckIn, Duration, History, Location, TaskId, TimeInstant,
-    VenueId, WorkerId,
+    Assignment, AssignmentPair, CheckIn, Duration, History, Location, TaskId, TimeInstant, VenueId,
+    WorkerId,
 };
 
 proptest! {

@@ -44,7 +44,14 @@ fn main() {
         defaults.options.valid_hours,
         defaults.options.radius_km
     );
-    let headers = ["algorithm", "cpu (ms)", "assigned", "AI", "AP", "travel (km)"];
+    let headers = [
+        "algorithm",
+        "cpu (ms)",
+        "assigned",
+        "AI",
+        "AP",
+        "travel (km)",
+    ];
     let rows: Vec<Vec<String>> = point
         .rows
         .iter()

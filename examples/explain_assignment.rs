@@ -36,9 +36,14 @@ fn main() {
     pairs.sort_by(|a, b| b.influence.total_cmp(&a.influence));
     let scorer = pipeline.scorer();
 
-    println!("why IA picked these workers (top 3 / bottom 3 of {} pairs):\n", pairs.len());
-    println!("{:<14} {:>9} {:>10} {:>10} {:>10} {:>9}",
-        "pair", "affinity", "wtd.audnc", "raw.audnc", "own P_wil", "if(w,s)");
+    println!(
+        "why IA picked these workers (top 3 / bottom 3 of {} pairs):\n",
+        pairs.len()
+    );
+    println!(
+        "{:<14} {:>9} {:>10} {:>10} {:>10} {:>9}",
+        "pair", "affinity", "wtd.audnc", "raw.audnc", "own P_wil", "if(w,s)"
+    );
     let explain_row = |p: &dita::types::AssignmentPair| {
         let task = day.instance.task(p.task).expect("task in instance");
         let b = scorer.explain(p.worker, task);

@@ -35,7 +35,10 @@ fn main() {
         seed: 7,
         ..Default::default()
     };
-    println!("training DITA ({} topics, ε = {})…", config.n_topics, config.rpo.epsilon);
+    println!(
+        "training DITA ({} topics, ε = {})…",
+        config.n_topics, config.rpo.epsilon
+    );
     let pipeline = DitaBuilder::new()
         .config(config)
         .build(&data.social, &data.histories)
@@ -60,9 +63,18 @@ fn main() {
         pipeline.assign_with_venues(&day.instance, &day.task_venues, AlgorithmKind::Ia);
     println!("\nIA assignment:");
     println!("  assigned tasks      : {}", assignment.len());
-    println!("  average influence   : {:.4}", assignment.average_influence());
-    println!("  average propagation : {:.4}", pipeline.average_propagation(&assignment));
-    println!("  average travel (km) : {:.3}", assignment.average_travel_km());
+    println!(
+        "  average influence   : {:.4}",
+        assignment.average_influence()
+    );
+    println!(
+        "  average propagation : {:.4}",
+        pipeline.average_propagation(&assignment)
+    );
+    println!(
+        "  average travel (km) : {:.3}",
+        assignment.average_travel_km()
+    );
 
     // 5. The top-3 most influential pairs of the round.
     let mut pairs: Vec<_> = assignment.pairs().to_vec();

@@ -83,7 +83,10 @@ fn main() {
     let greedy_reach = spread(&greedy, &mut rng);
     let ia_reach = spread(&ia, &mut rng);
 
-    println!("\nforward-simulated promotion reach ({} cascades/worker):", trials);
+    println!(
+        "\nforward-simulated promotion reach ({} cascades/worker):",
+        trials
+    );
     println!("  greedy workers inform {greedy_reach:.1} residents in expectation");
     println!("  IA workers inform     {ia_reach:.1} residents in expectation");
     if ia_reach > greedy_reach {

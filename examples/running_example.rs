@@ -78,7 +78,10 @@ fn main() {
         for p in a.pairs() {
             println!("  ({}, {})  if = {:.2}", p.task, p.worker, p.influence);
         }
-        println!("  total worker-task influence = {:.2}\n", a.total_influence());
+        println!(
+            "  total worker-task influence = {:.2}\n",
+            a.total_influence()
+        );
     };
 
     describe("greedy task assignment (nearest worker)", &greedy);

@@ -17,11 +17,14 @@
 //! Argument parsing is deliberately dependency-free.
 
 use dita::core::{AlgorithmKind, DitaBuilder, DitaConfig, DitaPipeline, OnlineConfig};
-use dita::datagen::{io as dio, DatasetProfile, InstanceOptions, SyntheticDataset};
+use dita::datagen::{
+    io as dio, DatasetProfile, InstanceOptions, LoadedDataset, ReplayOptions, SyntheticDataset,
+};
 use dita::influence::{Parallelism, RpoParams};
 use dita::sim::platform::{simulate_day, DayConfig};
 use dita::sim::{
-    render_table, scripted_arrival, ExperimentRunner, OnlineEngine, SweepAxis, SweepValues,
+    render_table, replay_day, scripted_arrival, ExperimentRunner, OnlineEngine, SweepAxis,
+    SweepValues,
 };
 use dita::types::TimeInstant;
 use std::collections::HashMap;
@@ -41,6 +44,7 @@ fn main() -> ExitCode {
         "ablation" => cmd_sweep(&flags, true),
         "simulate" => cmd_simulate(&flags),
         "online" => cmd_online(&flags),
+        "replay" => cmd_replay(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -68,6 +72,9 @@ MODES
   ablation     sweep one axis over the IA variants (IA / IA-WP / IA-AP / IA-AW)
   simulate     one day of hourly rounds on a frozen pipeline
   online       multi-day streaming rounds with bounded RRR-pool rotation
+  replay       train on a trace's past, stream one day of its check-ins
+               through the online engine (workers first seen mid-day are
+               folded into the live influence network)
   help         print this text
 
 FLAGS                 applies to            meaning (default)
@@ -101,6 +108,22 @@ FLAGS                 applies to            meaning (default)
   --horizon R         online                rounds before a set becomes
                                             eviction-eligible (24; 0 = never)
   --target-sets N     online                live-set target (0 = trained size)
+  --edges PATH        replay                social edge TSV (src\\tdst per line)
+  --checkins PATH     replay                check-in TSV (the dita generate /
+                                            io::write_checkins_tsv format)
+  --day D             replay                trace day to replay; training uses
+                                            every check-in before it (1)
+  --rounds N          replay                cap on replayed rounds (0 = all)
+  --task-every K      replay                every K-th check-in posts a task at
+                                            its venue (2; 0 = no tasks)
+  --linger H          replay                hours after a worker's last
+                                            check-in before departure (4;
+                                            0 = never)
+  --phi H             replay                task valid time in hours (3)
+  --radius KM         replay                worker reachable radius (25)
+  --round-hours H     replay                hours between replay rounds (1)
+  --growth-cap G      replay                as in online (1024)
+  --horizon R         replay                as in online (24)
 
 ENVIRONMENT
   DITA_SCALE=paper|small   sweep scale for the sc-bench figure binaries
@@ -139,7 +162,11 @@ fn verbose_of(flags: &HashMap<String, String>) -> bool {
 }
 
 fn profile_of(flags: &HashMap<String, String>) -> Result<DatasetProfile, String> {
-    match flags.get("profile").map(String::as_str).unwrap_or("bk-small") {
+    match flags
+        .get("profile")
+        .map(String::as_str)
+        .unwrap_or("bk-small")
+    {
         "bk" => Ok(DatasetProfile::brightkite()),
         "fs" => Ok(DatasetProfile::foursquare()),
         "bk-small" => Ok(DatasetProfile::brightkite_small()),
@@ -176,10 +203,10 @@ fn algorithm_of(flags: &HashMap<String, String>) -> Result<AlgorithmKind, String
     }
 }
 
-fn cli_config(profile: &DatasetProfile, seed: u64, threads: Parallelism) -> DitaConfig {
+fn cli_config(n_workers: usize, seed: u64, threads: Parallelism) -> DitaConfig {
     // Scale the model budget with the dataset so `bk`/`fs` stay usable
     // from the command line.
-    let small = profile.n_workers <= 1_000;
+    let small = n_workers <= 1_000;
     DitaConfig {
         n_topics: if small { 12 } else { 50 },
         lda_sweeps: if small { 25 } else { 60 },
@@ -206,7 +233,7 @@ fn train(
     );
     let data = SyntheticDataset::generate(profile, seed);
     let pipeline = DitaBuilder::new()
-        .config(cli_config(profile, seed, threads))
+        .config(cli_config(profile.n_workers, seed, threads))
         .build(&data.social, &data.histories)
         .expect("training");
     if verbose {
@@ -241,12 +268,10 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
     let out = PathBuf::from(flags.get("out").cloned().unwrap_or_else(|| "data".into()));
     std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
     let data = SyntheticDataset::generate(&profile, seed);
-    dio::write_edges_tsv(&out.join("edges.tsv"), &data.social_edges)
-        .map_err(|e| e.to_string())?;
+    dio::write_edges_tsv(&out.join("edges.tsv"), &data.social_edges).map_err(|e| e.to_string())?;
     dio::write_checkins_tsv(&out.join("checkins.tsv"), &data.histories)
         .map_err(|e| e.to_string())?;
-    let profile_json =
-        serde_json::to_string_pretty(&data.profile).map_err(|e| e.to_string())?;
+    let profile_json = serde_json::to_string_pretty(&data.profile).map_err(|e| e.to_string())?;
     std::fs::write(out.join("profile.json"), profile_json).map_err(|e| e.to_string())?;
     println!(
         "wrote {} edges and {} check-ins to {}",
@@ -323,7 +348,7 @@ fn cmd_sweep(flags: &HashMap<String, String>, ablation: bool) -> Result<(), Stri
         SweepValues::paper_defaults()
     };
     let threads = threads_of(flags)?;
-    let config = cli_config(&profile, seed, threads);
+    let config = cli_config(profile.n_workers, seed, threads);
     // One knob for the whole run: `threads` governs RRR sampling during
     // training (inside `config.rpo`) *and* sweep-point evaluation below.
     let runner = ExperimentRunner::with_threads(&profile, seed, config, threads).days(4);
@@ -403,7 +428,7 @@ fn cmd_online(flags: &HashMap<String, String>) -> Result<(), String> {
     );
     let data = SyntheticDataset::generate(&profile, seed);
     let pipeline = DitaBuilder::new()
-        .config(cli_config(&profile, seed, threads))
+        .config(cli_config(profile.n_workers, seed, threads))
         .online(online)
         .build(&data.social, &data.histories)
         .expect("training");
@@ -417,9 +442,7 @@ fn cmd_online(flags: &HashMap<String, String>) -> Result<(), String> {
         valid_hours: phi,
         ..Default::default()
     };
-    println!(
-        "round  time    open  online  assigned      AI    pool  +new  -old  maint ms"
-    );
+    println!("round  time    open  online  assigned      AI    pool  +new  -old  maint ms");
     let mut next_task_id = 0u32;
     for day in 0..days {
         let cohort = data.instance_for_day(day, 0, n_workers, opts);
@@ -471,6 +494,128 @@ fn cmd_online(flags: &HashMap<String, String>) -> Result<(), String> {
         s.sets_added,
         s.sets_evicted,
         s.maintenance_ms,
+        s.rounds
+    );
+    Ok(())
+}
+
+/// `dita replay` — dataset-backed streaming replay: train the pipeline
+/// on every check-in *before* `--day`, then stream that day's check-ins
+/// through an adaptive online engine round by round. Workers first seen
+/// mid-day are folded into the live influence network (non-zero
+/// influence, no retrain); per-round reports and a fold-in summary are
+/// printed.
+fn cmd_replay(flags: &HashMap<String, String>) -> Result<(), String> {
+    let edges = flags
+        .get("edges")
+        .ok_or("replay needs --edges <path> (TSV: src\\tdst per line)")?;
+    let checkins = flags
+        .get("checkins")
+        .ok_or("replay needs --checkins <path> (the io::write_checkins_tsv format)")?;
+    let day: i64 = num(flags, "day", 1)?;
+    let seed: u64 = num(flags, "seed", 42)?;
+    let threads = threads_of(flags)?;
+    let algorithm = algorithm_of(flags)?;
+    let round_hours: i64 = num(flags, "round-hours", 1)?;
+    if round_hours < 1 {
+        return Err("--round-hours must be at least 1".into());
+    }
+    let opts = ReplayOptions {
+        round_hours,
+        task_every: num(flags, "task-every", 2)?,
+        valid_hours: num(flags, "phi", 3.0)?,
+        radius_km: num(flags, "radius", 25.0)?,
+        linger_hours: num(flags, "linger", 4)?,
+        max_rounds: num(flags, "rounds", 0)?,
+        ..Default::default()
+    };
+    let online = OnlineConfig {
+        round_hours,
+        growth_cap: num(flags, "growth-cap", 1_024)?,
+        eviction_horizon: num(flags, "horizon", 24)?,
+        target_sets: num(flags, "target-sets", 0)?,
+    };
+
+    let data = LoadedDataset::from_tsv(
+        std::path::Path::new(edges),
+        std::path::Path::new(checkins),
+        seed,
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "loaded trace: {} workers, {} venues, {} check-ins; training on days < {day} \
+         ({} sampling thread(s))…",
+        data.n_workers(),
+        data.venues.len(),
+        data.histories.total_checkins(),
+        threads
+    );
+    // Size the model budget from the trained-population count without
+    // building the full training slice twice (replay_day builds it):
+    // one scan for "has any pre-day check-in" is enough here.
+    let slice_size = data
+        .histories
+        .iter()
+        .filter(|(_, h)| h.records().iter().any(|r| r.arrived.day() < day))
+        .count();
+    let mut config = cli_config(slice_size, seed, threads);
+    config.online = online;
+    let run = replay_day(&data, day, config, &opts, algorithm).map_err(|e| e.to_string())?;
+    let report = &run.report;
+    if verbose_of(flags) {
+        print_rpo_stats(run.engine.pipeline());
+    }
+
+    println!("round  time    in  +fold  open  online  assigned      AI    pool  +new  -old");
+    for r in &report.rounds {
+        println!(
+            "{:>5}  {}  {:>4}  {:>5}  {:>4}  {:>6}  {:>8}  {:>6.4}  {:>6}  {:>4}  {:>4}",
+            r.report.round,
+            r.report.now,
+            r.checkins,
+            r.fold_ins,
+            r.report.available_tasks,
+            r.report.online_workers,
+            r.report.assigned,
+            r.report.ai,
+            r.report.pool_sets,
+            r.report.sets_added,
+            r.report.sets_evicted,
+        );
+    }
+    let s = &report.summary;
+    println!(
+        "replayed day {day}: {} rounds, {} check-ins, {} tasks posted",
+        report.rounds.len(),
+        report.checkins,
+        s.published
+    );
+    println!(
+        "population: trained {}, folded in {} late arrival(s) \
+         ({} rejected), final {}",
+        report.trained_workers,
+        report.fold_ins(),
+        report.rounds.iter().map(|r| r.rejected).sum::<usize>(),
+        run.engine.pipeline().model().n_workers()
+    );
+    println!(
+        "published {}, assigned {} ({:.0}%), expired {}, open {}; AI {:.4}",
+        s.published,
+        s.assigned,
+        s.assignment_rate() * 100.0,
+        s.expired,
+        s.still_open,
+        s.average_influence
+    );
+    let pool = run.engine.pipeline().model().pool();
+    println!(
+        "pool: {} live sets, stream window [{}, {}); maintenance sampled {} / evicted {} \
+         sets over {} rounds (zero full retrains)",
+        pool.n_sets(),
+        pool.stream_base(),
+        pool.stream_base() + pool.n_sets(),
+        s.sets_added,
+        s.sets_evicted,
         s.rounds
     );
     Ok(())

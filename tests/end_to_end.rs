@@ -146,7 +146,12 @@ fn flow_cardinality_matches_hopcroft_karp_oracle() {
     }
     let (max_matching, _) = hk.solve();
 
-    for kind in [AlgorithmKind::Mta, AlgorithmKind::Ia, AlgorithmKind::Eia, AlgorithmKind::Dia] {
+    for kind in [
+        AlgorithmKind::Mta,
+        AlgorithmKind::Ia,
+        AlgorithmKind::Eia,
+        AlgorithmKind::Dia,
+    ] {
         let a = pipeline.assign_with_venues(&day.instance, &day.task_venues, kind);
         assert_eq!(
             a.len(),

@@ -50,7 +50,9 @@ fn rpo_pool_estimates_pairwise_propagation() {
     // Spot-check pairs against forward simulation.
     let ic = IndependentCascade::new(&net);
     let mut rng2 = SmallRng::seed_from_u64(4);
-    let hub = (0..n as u32).max_by_key(|&v| net.graph().out_degree(v)).unwrap();
+    let hub = (0..n as u32)
+        .max_by_key(|&v| net.graph().out_degree(v))
+        .unwrap();
     let neighbour = net.informs(hub)[0];
     let truth = ic.estimate_pair_probability(hub, neighbour, 20_000, &mut rng2);
     let est = pool.propagation_probability(hub, neighbour);

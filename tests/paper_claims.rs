@@ -3,8 +3,8 @@
 //! *shapes* the reproduction must preserve — who wins on which metric
 //! and how metrics move along the Table II sweeps.
 
-use dita::datagen::DatasetProfile;
 use dita::core::DitaConfig;
+use dita::datagen::DatasetProfile;
 use dita::influence::RpoParams;
 use dita::sim::{ExperimentRunner, MetricsRow, SweepAxis, SweepValues};
 
@@ -137,7 +137,10 @@ fn more_workers_mean_more_assignments() {
     for name in ["MTA", "IA", "EIA", "DIA"] {
         let lo = row(&points[0].rows, name).assigned;
         let hi = row(&points[1].rows, name).assigned;
-        assert!(hi > lo, "{name}: assigned should grow with |W| ({lo} -> {hi})");
+        assert!(
+            hi > lo,
+            "{name}: assigned should grow with |W| ({lo} -> {hi})"
+        );
     }
 }
 
@@ -156,7 +159,10 @@ fn longer_valid_time_means_more_assignments() {
     // Travel cost also grows with φ (paper Figures 13–14(e)).
     let t_lo = row(&points[0].rows, "IA").travel_km;
     let t_hi = row(&points[1].rows, "IA").travel_km;
-    assert!(t_hi > t_lo, "longer φ admits longer trips ({t_lo} -> {t_hi})");
+    assert!(
+        t_hi > t_lo,
+        "longer φ admits longer trips ({t_lo} -> {t_hi})"
+    );
 }
 
 #[test]
@@ -168,10 +174,7 @@ fn larger_radius_means_more_assignments_and_travel() {
     for name in ["MTA", "IA"] {
         let lo = row(&points[0].rows, name);
         let hi = row(&points[1].rows, name);
-        assert!(
-            hi.assigned >= lo.assigned,
-            "{name}: assigned grows with r"
-        );
+        assert!(hi.assigned >= lo.assigned, "{name}: assigned grows with r");
         assert!(hi.travel_km > lo.travel_km, "{name}: travel grows with r");
     }
 }
@@ -205,7 +208,10 @@ fn claims_hold_on_the_foursquare_profile_too() {
     let mi = row(rows, "MI");
     assert!(ia.ai > mta.ai, "FS: IA must beat MTA on AI");
     for name in ["MTA", "IA", "EIA", "MI"] {
-        assert!(dia.travel_km <= row(rows, name).travel_km + 1e-9, "FS: DIA travel");
+        assert!(
+            dia.travel_km <= row(rows, name).travel_km + 1e-9,
+            "FS: DIA travel"
+        );
     }
     assert!(mi.assigned <= ia.assigned, "FS: MI assigns no more than IA");
 }

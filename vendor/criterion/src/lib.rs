@@ -178,8 +178,8 @@ impl Bencher {
         black_box(routine());
         let once = start.elapsed();
         // Aim for ~10ms of work per batch, bounded to keep benches quick.
-        let reps = (Duration::from_millis(10).as_nanos() / once.as_nanos().max(1))
-            .clamp(1, 10_000) as u64;
+        let reps =
+            (Duration::from_millis(10).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u64;
         let start = Instant::now();
         for _ in 0..reps {
             black_box(routine());
@@ -208,7 +208,10 @@ fn run_benchmark(
         }
     }
     per_iter.sort_by(f64::total_cmp);
-    let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or(f64::NAN);
+    let median = per_iter
+        .get(per_iter.len() / 2)
+        .copied()
+        .unwrap_or(f64::NAN);
     println!("{label:<60} median {:>12} /iter", format_nanos(median));
 }
 
@@ -269,7 +272,9 @@ mod tests {
     fn group_api_chains() {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("g");
-        group.sample_size(2).measurement_time(Duration::from_millis(1));
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(1));
         group.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &n| {
             b.iter(|| black_box(n * 2))
         });

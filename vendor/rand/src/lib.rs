@@ -261,7 +261,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = SmallRng::seed_from_u64(1);
         let mut b = SmallRng::seed_from_u64(2);
-        let same = (0..32).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        let same = (0..32)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 
@@ -368,7 +370,9 @@ mod tests {
     fn masters_separate_streams() {
         let mut a = SmallRng::seed_from_stream(1, 3);
         let mut b = SmallRng::seed_from_stream(2, 3);
-        let same = (0..32).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        let same = (0..32)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 

@@ -341,7 +341,11 @@ mod tests {
         assert_eq!(obj[0].0, "a");
         assert_eq!(
             obj[0].1,
-            Value::Array(vec![Value::Int(1), Value::Float(2.5), Value::Str("x".into())])
+            Value::Array(vec![
+                Value::Int(1),
+                Value::Float(2.5),
+                Value::Str("x".into())
+            ])
         );
     }
 
