@@ -31,6 +31,7 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+#![forbid(unsafe_code)]
 
 pub mod algorithms;
 pub mod eligibility;

@@ -19,6 +19,8 @@
 //! DITA_BENCH_DAYS=4 DITA_BENCH_TASKS=30 cargo run --release -p sc-bench --bin bench_online
 //! ```
 
+#![forbid(unsafe_code)]
+
 use sc_core::{AlgorithmKind, DitaBuilder, OnlineConfig};
 use sc_datagen::{DatasetProfile, InstanceOptions, SyntheticDataset};
 use sc_influence::Rpo;

@@ -14,6 +14,8 @@
 //! Speedups are only meaningful on a multi-core host; the JSON records
 //! `host_threads` so a 1-core CI run is not misread as a regression.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sc_datagen::generate_social_edges;

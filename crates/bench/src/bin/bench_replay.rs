@@ -23,6 +23,8 @@
 //! DITA_BENCH_WORKERS=300 cargo run --release -p sc-bench --bin bench_replay
 //! ```
 
+#![forbid(unsafe_code)]
+
 use sc_core::{AlgorithmKind, DitaBuilder, DitaConfig, OnlineConfig};
 use sc_datagen::{DatasetProfile, LoadedDataset, ReplayOptions, SyntheticDataset};
 use sc_influence::{Parallelism, RpoParams};

@@ -24,6 +24,8 @@
 //! `host_threads` (and whether the floor was enforced) so a 1-core CI
 //! run is not misread as a regression.
 
+#![forbid(unsafe_code)]
+
 use sc_core::{AlgorithmKind, DitaBuilder, DitaConfig, DitaPipeline, OnlineConfig, Parallelism};
 use sc_datagen::{DatasetProfile, InstanceOptions, SyntheticDataset};
 use sc_influence::RpoParams;

@@ -1,5 +1,7 @@
 //! Figure 5: effect of |S| on the AI of the IA ablation variants
 //! (IA, IA-WP, IA-AP, IA-AW), on both dataset profiles.
+
+#![forbid(unsafe_code)]
 fn main() {
     sc_bench::ablation_figure(
         "fig05",

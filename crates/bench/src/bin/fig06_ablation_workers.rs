@@ -1,4 +1,6 @@
 //! Figure 6: effect of |W| on the AI of the IA ablation variants.
+
+#![forbid(unsafe_code)]
 fn main() {
     sc_bench::ablation_figure(
         "fig06",

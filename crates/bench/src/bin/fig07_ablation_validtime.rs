@@ -1,4 +1,6 @@
 //! Figure 7: effect of the valid time φ on the AI of the IA variants.
+
+#![forbid(unsafe_code)]
 fn main() {
     sc_bench::ablation_figure(
         "fig07",

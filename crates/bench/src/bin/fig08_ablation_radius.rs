@@ -1,4 +1,6 @@
 //! Figure 8: effect of the reachable radius r on the AI of the IA variants.
+
+#![forbid(unsafe_code)]
 fn main() {
     sc_bench::ablation_figure(
         "fig08",

@@ -1,5 +1,7 @@
 //! Figure 9: effect of |S| on BK — CPU time, assigned tasks, AI, AP,
 //! travel cost for MTA / IA / EIA / DIA / MI.
+
+#![forbid(unsafe_code)]
 fn main() {
     sc_bench::comparison_figure(
         "fig09",

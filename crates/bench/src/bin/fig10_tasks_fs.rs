@@ -1,4 +1,6 @@
 //! Figure 10: effect of |S| on FS.
+
+#![forbid(unsafe_code)]
 fn main() {
     sc_bench::comparison_figure(
         "fig10",

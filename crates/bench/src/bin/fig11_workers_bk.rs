@@ -1,4 +1,6 @@
 //! Figure 11: effect of |W| on BK.
+
+#![forbid(unsafe_code)]
 fn main() {
     sc_bench::comparison_figure(
         "fig11",

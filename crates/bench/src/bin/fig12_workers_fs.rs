@@ -1,4 +1,6 @@
 //! Figure 12: effect of |W| on FS.
+
+#![forbid(unsafe_code)]
 fn main() {
     sc_bench::comparison_figure(
         "fig12",

@@ -1,4 +1,6 @@
 //! Figure 13: effect of φ on BK.
+
+#![forbid(unsafe_code)]
 fn main() {
     sc_bench::comparison_figure(
         "fig13",

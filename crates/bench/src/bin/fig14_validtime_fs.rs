@@ -1,4 +1,6 @@
 //! Figure 14: effect of φ on FS.
+
+#![forbid(unsafe_code)]
 fn main() {
     sc_bench::comparison_figure(
         "fig14",

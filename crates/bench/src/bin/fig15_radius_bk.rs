@@ -1,4 +1,6 @@
 //! Figure 15: effect of r on BK.
+
+#![forbid(unsafe_code)]
 fn main() {
     sc_bench::comparison_figure(
         "fig15",

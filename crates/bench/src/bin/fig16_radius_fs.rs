@@ -1,4 +1,6 @@
 //! Figure 16: effect of r on FS.
+
+#![forbid(unsafe_code)]
 fn main() {
     sc_bench::comparison_figure(
         "fig16",

@@ -1,4 +1,6 @@
 //! Table II: the default parameter settings every experiment starts from.
+
+#![forbid(unsafe_code)]
 use sc_sim::{ExperimentScale, SweepValues};
 fn main() {
     let scale = ExperimentScale::from_env();

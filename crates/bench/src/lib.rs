@@ -15,6 +15,10 @@
 //! willingness, end-to-end assignment, plus the ablation benches listed
 //! in `DESIGN.md`).
 
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+#![forbid(unsafe_code)]
+
 use sc_core::DitaConfig;
 use sc_influence::RpoParams;
 use sc_sim::{

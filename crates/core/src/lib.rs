@@ -18,8 +18,9 @@
 //! expressed as [`InfluenceVariant`]s that drop one factor of the
 //! influence product.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
+#![forbid(unsafe_code)]
 
 pub mod config;
 pub mod model;

@@ -185,7 +185,7 @@ mod tests {
                 continue;
             }
             counted += 1;
-            let mut by_cluster = std::collections::HashMap::new();
+            let mut by_cluster = std::collections::BTreeMap::new();
             for r in history.records() {
                 *by_cluster
                     .entry(venues.venue(r.venue).cluster)

@@ -21,8 +21,9 @@
 //! mapping from paper-scale to generated scale is documented on each
 //! constructor and in `DESIGN.md`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
+#![forbid(unsafe_code)]
 
 pub mod checkins;
 pub mod dataset;

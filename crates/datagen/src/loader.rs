@@ -18,7 +18,7 @@ use sc_types::{
     Duration, HistoryStore, Instance, Location, ScError, Task, TaskId, TimeInstant, VenueId,
     Worker, WorkerId,
 };
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 
 /// A venue reconstructed from check-in records.
@@ -94,8 +94,10 @@ impl LoadedDataset {
         let social = SocialNetwork::from_undirected_edges(n_workers, &edges);
 
         // Reconstruct venues: first-seen location, category union,
-        // active-day set.
-        let mut by_venue: HashMap<VenueId, LoadedVenue> = HashMap::new();
+        // active-day set. Keyed by a BTreeMap so `into_values` below
+        // yields venues in ascending id order with no explicit sort
+        // (D001: iteration order must not depend on a hasher).
+        let mut by_venue: BTreeMap<VenueId, LoadedVenue> = BTreeMap::new();
         for (_, history) in histories.iter() {
             for r in history.records() {
                 let v = by_venue.entry(r.venue).or_insert_with(|| LoadedVenue {
@@ -115,8 +117,7 @@ impl LoadedDataset {
                 }
             }
         }
-        let mut venues: Vec<LoadedVenue> = by_venue.into_values().collect();
-        venues.sort_by_key(|v| v.id);
+        let venues: Vec<LoadedVenue> = by_venue.into_values().collect();
         if venues.is_empty() {
             return Err(ScError::data("check-in log contains no venues"));
         }

@@ -16,8 +16,9 @@
 //! * [`HopcroftKarp`] — maximum bipartite matching, used as an
 //!   independent cross-check of the flow-based cardinality.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
+#![forbid(unsafe_code)]
 
 pub mod csr;
 pub mod matching;

@@ -38,6 +38,7 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+#![forbid(unsafe_code)]
 
 pub mod cascade;
 pub mod network;

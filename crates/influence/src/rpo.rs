@@ -128,9 +128,9 @@ pub struct RpoStats {
     /// are identical either way.
     pub threads: usize,
     /// Wall time of the halving/search phase (Algorithm 1 steps 1–2), ms.
-    pub search_ms: f64,
+    pub search_ms: f64, // lint: timing
     /// Wall time of the final top-up phase (Algorithm 1 step 3), ms.
-    pub topup_ms: f64,
+    pub topup_ms: f64, // lint: timing
 }
 
 impl PartialEq for RpoStats {

@@ -1,0 +1,352 @@
+//! Cross-file context: the struct registry D003 matches against.
+//!
+//! A single pass over every lexed file records, for each named struct:
+//!
+//! * whether its values are compared by `PartialEq` — either through
+//!   `#[derive(.., PartialEq, ..)]` or a manual `impl PartialEq for X`
+//!   anywhere in the walked set (the workspace's
+//!   "`PartialEq`-ignores-timings" structs use manual impls);
+//! * its named fields, each with the declaration line and whether a
+//!   `// lint: timing` annotation marks it as excluded from comparison.
+//!
+//! The registry is keyed by bare struct name. That is deliberately
+//! coarse (no module paths), matching the lexer-level altitude of the
+//! whole tool: a same-named struct in two crates merges conservatively
+//! (`PartialEq` if any definition has it), which can only produce
+//! findings a `// lint: timing` annotation or `lint:allow` resolves.
+
+use crate::engine::LexedFile;
+use crate::lexer::{Token, TokenKind};
+use std::collections::BTreeMap;
+
+/// One named field of a registered struct.
+#[derive(Debug, Clone)]
+pub struct FieldInfo {
+    /// Line of the field's declaration.
+    pub line: u32,
+    /// True when `// lint: timing` annotates the declaration (same
+    /// line or the line above), i.e. the field is a documented timing
+    /// channel excluded from `PartialEq`.
+    pub timing_ok: bool,
+}
+
+/// Everything D003 needs to know about one struct.
+#[derive(Debug, Default, Clone)]
+pub struct StructInfo {
+    /// Compared by `PartialEq` (derived or manually implemented).
+    pub partial_eq: bool,
+    /// Named fields by name.
+    pub fields: BTreeMap<String, FieldInfo>,
+}
+
+/// The cross-file struct registry.
+#[derive(Debug, Default)]
+pub struct Registry {
+    /// Struct name → shape.
+    pub structs: BTreeMap<String, StructInfo>,
+}
+
+impl Registry {
+    /// Builds the registry from every walked file.
+    pub fn build(files: &[LexedFile]) -> Registry {
+        let mut reg = Registry::default();
+        for file in files {
+            scan_file(file, &mut reg);
+        }
+        reg
+    }
+
+    /// Does any `PartialEq` struct declare an un-annotated field with
+    /// this name? Used for `x.field = <timing>` assignments, where the
+    /// struct name is not syntactically visible.
+    pub fn compared_field_lacks_timing(&self, field: &str) -> bool {
+        self.structs
+            .values()
+            .any(|s| s.partial_eq && s.fields.get(field).is_some_and(|f| !f.timing_ok))
+    }
+}
+
+/// Skips a balanced bracket group starting at `code[i]` (which must be
+/// the opening token) and returns the index just past the matching
+/// close. Tracks all three bracket kinds plus `<>` when asked.
+pub fn skip_balanced(code: &[Token], i: usize) -> usize {
+    let open = code[i].text.as_str();
+    let close = match open {
+        "(" => ")",
+        "[" => "]",
+        "{" => "}",
+        "<" => ">",
+        _ => return i + 1,
+    };
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < code.len() {
+        if code[j].is_punct(open) {
+            depth += 1;
+        } else if code[j].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    code.len()
+}
+
+fn scan_file(file: &LexedFile, reg: &mut Registry) {
+    let code = &file.code;
+    let mut i = 0;
+    while i < code.len() {
+        let t = &code[i];
+        if t.is_ident("struct") {
+            i = scan_struct(file, i, reg);
+            continue;
+        }
+        if t.is_ident("impl") {
+            // `impl PartialEq for X`, possibly `impl<..> PartialEq<..> for X`.
+            let mut j = i + 1;
+            if j < code.len() && code[j].is_punct("<") {
+                j = skip_balanced(code, j);
+            }
+            if j < code.len() && code[j].is_ident("PartialEq") {
+                let mut k = j + 1;
+                if k < code.len() && code[k].is_punct("<") {
+                    k = skip_balanced(code, k);
+                }
+                if k + 1 < code.len()
+                    && code[k].is_ident("for")
+                    && code[k + 1].kind == TokenKind::Ident
+                {
+                    reg.structs
+                        .entry(code[k + 1].text.clone())
+                        .or_default()
+                        .partial_eq = true;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Parses `struct Name …` at `code[i]` (the `struct` token): records
+/// derives found in the attributes directly above, then the named
+/// fields if the body is brace-delimited. Returns the index to resume
+/// scanning from.
+fn scan_struct(file: &LexedFile, i: usize, reg: &mut Registry) -> usize {
+    let code = &file.code;
+    let Some(name_tok) = code.get(i + 1) else {
+        return i + 1;
+    };
+    if name_tok.kind != TokenKind::Ident {
+        return i + 1;
+    }
+    let name = name_tok.text.clone();
+
+    // Walk backwards over `pub` / `pub(..)` / `#[...]` groups looking
+    // for a derive list naming PartialEq.
+    let mut derives_partial_eq = false;
+    let mut b = i;
+    while b > 0 {
+        let prev = &code[b - 1];
+        if prev.is_ident("pub") {
+            b -= 1;
+        } else if prev.is_punct(")") || prev.is_punct("]") {
+            // Rewind over the balanced group plus its introducer.
+            let close = prev.text.as_str();
+            let open = if close == ")" { "(" } else { "[" };
+            let mut depth = 0usize;
+            let mut j = b - 1;
+            loop {
+                if code[j].is_punct(close) {
+                    depth += 1;
+                } else if code[j].is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+            }
+            if close == "]" {
+                // `#[ ... ]`: check for `derive(...PartialEq...)`.
+                let group = &code[j..b];
+                let is_derive = group.iter().any(|t| t.is_ident("derive"));
+                if is_derive && group.iter().any(|t| t.is_ident("PartialEq")) {
+                    derives_partial_eq = true;
+                }
+                // Step over the `#` (and `!` for inner attrs).
+                b = j;
+                while b > 0 && (code[b - 1].is_punct("#") || code[b - 1].is_punct("!")) {
+                    b -= 1;
+                }
+            } else {
+                b = j;
+            }
+        } else {
+            break;
+        }
+    }
+
+    let entry = reg.structs.entry(name).or_default();
+    if derives_partial_eq {
+        entry.partial_eq = true;
+    }
+
+    // Skip generics, then find the body. `;` → unit, `(` → tuple
+    // (no named fields to record).
+    let mut j = i + 2;
+    if j < code.len() && code[j].is_punct("<") {
+        j = skip_balanced(code, j);
+    }
+    // `struct X where ...;` — scan forward to the first of `{`, `(`, `;`.
+    while j < code.len()
+        && !code[j].is_punct("{")
+        && !code[j].is_punct("(")
+        && !code[j].is_punct(";")
+    {
+        j += 1;
+    }
+    if j >= code.len() || !code[j].is_punct("{") {
+        return j;
+    }
+
+    // Named fields: entries at depth 1 of the body, separated by `,`.
+    let body_end = skip_balanced(code, j);
+    let mut k = j + 1;
+    while k < body_end - 1 {
+        // Skip field attributes and visibility.
+        while k < body_end - 1 && code[k].is_punct("#") {
+            k += 1; // `#`
+            if k < body_end - 1 && code[k].is_punct("[") {
+                k = skip_balanced(code, k);
+            }
+        }
+        if k < body_end - 1 && code[k].is_ident("pub") {
+            k += 1;
+            if k < body_end - 1 && code[k].is_punct("(") {
+                k = skip_balanced(code, k);
+            }
+        }
+        // Field name + `:`.
+        if k + 1 < body_end - 1 && code[k].kind == TokenKind::Ident && code[k + 1].is_punct(":") {
+            let fline = code[k].line;
+            let timing_ok = file.comment_on_line_contains(fline, "lint: timing")
+                || (fline > 1 && file.comment_on_line_contains(fline - 1, "lint: timing"));
+            entry.fields.insert(
+                code[k].text.clone(),
+                FieldInfo {
+                    line: fline,
+                    timing_ok,
+                },
+            );
+            k += 2;
+        }
+        // Advance to the `,` that ends this field (skipping nested
+        // groups — generic types carry commas of their own).
+        while k < body_end - 1 {
+            if code[k].is_punct("(")
+                || code[k].is_punct("[")
+                || code[k].is_punct("{")
+                || code[k].is_punct("<")
+            {
+                k = skip_balanced(code, k);
+            } else if code[k].is_punct(",") {
+                k += 1;
+                break;
+            } else {
+                k += 1;
+            }
+        }
+    }
+    body_end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SourceFile;
+
+    fn lexed(path: &str, text: &str) -> LexedFile {
+        let sf = SourceFile {
+            path: path.to_string(),
+            text: text.to_string(),
+        };
+        // Reuse the engine's constructor via analyze-time path: build
+        // directly here to keep the test self-contained.
+        let tokens = crate::lexer::lex(&sf.text);
+        let (comments, code): (Vec<Token>, Vec<Token>) = tokens
+            .into_iter()
+            .partition(|t| t.kind == TokenKind::Comment);
+        LexedFile {
+            path: sf.path,
+            code,
+            comments,
+        }
+    }
+
+    #[test]
+    fn derived_partial_eq_and_fields_are_registered() {
+        let f = lexed(
+            "crates/x/src/lib.rs",
+            "#[derive(Debug, Clone, PartialEq)]\n\
+             pub struct Report {\n\
+                 pub round: u64,\n\
+                 pub wall_ms: f64, // lint: timing\n\
+                 pub map: std::collections::BTreeMap<u32, Vec<u64>>,\n\
+             }\n",
+        );
+        let reg = Registry::build(std::slice::from_ref(&f));
+        let info = &reg.structs["Report"];
+        assert!(info.partial_eq);
+        assert_eq!(info.fields.len(), 3, "{:?}", info.fields);
+        assert!(!info.fields["round"].timing_ok);
+        assert!(info.fields["wall_ms"].timing_ok);
+        assert!(reg.compared_field_lacks_timing("round"));
+        assert!(!reg.compared_field_lacks_timing("wall_ms"));
+    }
+
+    #[test]
+    fn manual_impl_marks_partial_eq_across_files() {
+        let def = lexed(
+            "crates/x/src/a.rs",
+            "pub struct Stats { pub n: usize, pub ms: f64 }\n",
+        );
+        let imp = lexed(
+            "crates/x/src/b.rs",
+            "impl PartialEq for Stats { fn eq(&self, o: &Self) -> bool { self.n == o.n } }\n",
+        );
+        let reg = Registry::build(&[def, imp]);
+        assert!(reg.structs["Stats"].partial_eq);
+        assert!(reg.compared_field_lacks_timing("ms"));
+    }
+
+    #[test]
+    fn annotation_on_previous_line_counts() {
+        let f = lexed(
+            "crates/x/src/lib.rs",
+            "#[derive(PartialEq)]\n\
+             struct T {\n\
+                 // lint: timing\n\
+                 elapsed_ms: f64,\n\
+             }\n",
+        );
+        let reg = Registry::build(std::slice::from_ref(&f));
+        assert!(reg.structs["T"].fields["elapsed_ms"].timing_ok);
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_do_not_confuse_the_parser() {
+        let f = lexed(
+            "crates/x/src/lib.rs",
+            "struct Unit;\nstruct Tup(u32, f64);\n#[derive(PartialEq)]\nstruct N { x: u8 }\n",
+        );
+        let reg = Registry::build(std::slice::from_ref(&f));
+        assert!(reg.structs["Tup"].fields.is_empty());
+        assert!(reg.structs["N"].partial_eq);
+        assert_eq!(reg.structs["N"].fields.len(), 1);
+    }
+}

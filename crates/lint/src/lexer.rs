@@ -1,0 +1,463 @@
+//! A hand-rolled Rust lexer: just enough tokenization for lint rules.
+//!
+//! The lexer turns a source file into a flat token stream with line
+//! numbers. It understands exactly the constructs that would otherwise
+//! make naive text matching lie to a lint rule:
+//!
+//! * line comments, (nested) block comments — kept as tokens so rules
+//!   can read `// SAFETY:` and `// lint:` annotations;
+//! * string / raw-string / byte-string / char literals — so `"thread_rng"`
+//!   inside a message never triggers D002;
+//! * lifetimes vs. char literals (`'a` vs `'a'`);
+//! * multi-char operators the rules care about (`::`, `..`, `->`, `=>`,
+//!   `==`) — everything else is single-char punctuation.
+//!
+//! It does **not** build a syntax tree. Rules do their own lightweight
+//! scope tracking over the token stream (brace depth, `let` bindings,
+//! struct bodies), which is the right cost/benefit point for a
+//! vendoring-free workspace tool: no external parser, no build-time
+//! impact, and failure modes that are easy to reason about (a missed
+//! construct is a false negative, never a crash).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`let`, `HashMap`, `unsafe`, …).
+    Ident,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// Numeric literal (`42`, `0x1f`, `1e3`, `1_000.5f64`).
+    Number,
+    /// String, raw-string, byte-string or char literal (text excluded
+    /// from all code matching).
+    Literal,
+    /// `//` line comment or `/* */` block comment, including doc
+    /// comments; text starts at the comment opener.
+    Comment,
+    /// Punctuation; multi-char for `::`, `..`, `..=`, `->`, `=>`, `==`.
+    Punct,
+}
+
+/// One lexed token: kind, verbatim text, and 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// The token's text as it appears in the source. For multi-line
+    /// block comments this spans lines; `line` is where it starts.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True for identifier tokens with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True for punctuation tokens with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+/// Lexes `src` into tokens. Never fails: unrecognized bytes become
+/// single-char punctuation, unterminated literals run to end of file.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string_literal(line),
+                'r' | 'b' if self.raw_or_byte_prefix() => self.prefixed_literal(line),
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_alphabetic() || c == '_' => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                _ => self.punct(line),
+            }
+        }
+        self.out
+    }
+
+    /// Is the `r`/`b` at the cursor a literal prefix (`r"`, `r#"`, `b"`,
+    /// `br"`, `b'`, …) rather than the start of an identifier?
+    fn raw_or_byte_prefix(&self) -> bool {
+        let mut i = 1;
+        // Consume the full prefix: r, b, rb, br (any one or two of them).
+        if matches!(self.peek(0), Some('b')) && matches!(self.peek(1), Some('r')) {
+            i = 2;
+        }
+        // Then any number of `#` (raw-string guards), then a quote.
+        let mut j = i;
+        while self.peek(j) == Some('#') {
+            j += 1;
+        }
+        matches!(self.peek(j), Some('"')) || (i == 1 && j == i && self.peek(j) == Some('\''))
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Comment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::Comment, text, line);
+    }
+
+    fn string_literal(&mut self, line: u32) {
+        let mut text = String::new();
+        text.push(self.bump().expect("opening quote")); // leading `"`
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal, text, line);
+    }
+
+    /// `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `b'…'`.
+    fn prefixed_literal(&mut self, line: u32) {
+        let mut text = String::new();
+        while matches!(self.peek(0), Some('r') | Some('b')) {
+            text.push(self.bump().expect("prefix char"));
+        }
+        let mut guards = 0usize;
+        while self.peek(0) == Some('#') {
+            guards += 1;
+            text.push(self.bump().expect("guard"));
+        }
+        match self.peek(0) {
+            Some('\'') => {
+                // Byte char `b'x'` (possibly escaped).
+                text.push(self.bump().expect("quote"));
+                if self.peek(0) == Some('\\') {
+                    text.push(self.bump().expect("escape"));
+                }
+                if let Some(c) = self.bump() {
+                    text.push(c);
+                }
+                if self.peek(0) == Some('\'') {
+                    text.push(self.bump().expect("close quote"));
+                }
+            }
+            Some('"') if guards == 0 && !text.contains('r') => {
+                // Plain byte string: escapes apply.
+                text.push(self.bump().expect("quote"));
+                while let Some(c) = self.bump() {
+                    text.push(c);
+                    match c {
+                        '\\' => {
+                            if let Some(esc) = self.bump() {
+                                text.push(esc);
+                            }
+                        }
+                        '"' => break,
+                        _ => {}
+                    }
+                }
+            }
+            Some('"') => {
+                // Raw string: ends at `"` followed by `guards` hashes.
+                text.push(self.bump().expect("quote"));
+                'scan: while let Some(c) = self.bump() {
+                    text.push(c);
+                    if c == '"' {
+                        for k in 0..guards {
+                            if self.peek(k) != Some('#') {
+                                continue 'scan;
+                            }
+                        }
+                        for _ in 0..guards {
+                            text.push(self.bump().expect("closing guard"));
+                        }
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+        self.push(TokenKind::Literal, text, line);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // `'a` (lifetime) vs `'a'` (char). A lifetime is `'` + ident
+        // char(s) NOT followed by a closing `'`.
+        let is_lifetime = match self.peek(1) {
+            Some(c) if c.is_alphabetic() || c == '_' => self.peek(2) != Some('\''),
+            _ => false,
+        };
+        let mut text = String::new();
+        text.push(self.bump().expect("quote")); // `'`
+        if is_lifetime {
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime, text, line);
+            return;
+        }
+        // Char literal: one (possibly escaped) char then `'`.
+        if self.peek(0) == Some('\\') {
+            text.push(self.bump().expect("escape lead"));
+            if let Some(esc) = self.bump() {
+                text.push(esc);
+            }
+            // `\u{…}` escapes.
+            if text.ends_with('u') && self.peek(0) == Some('{') {
+                while let Some(c) = self.bump() {
+                    text.push(c);
+                    if c == '}' {
+                        break;
+                    }
+                }
+            }
+        } else if let Some(c) = self.bump() {
+            text.push(c);
+        }
+        if self.peek(0) == Some('\'') {
+            text.push(self.bump().expect("close quote"));
+        }
+        self.push(TokenKind::Literal, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            let take = c.is_ascii_alphanumeric()
+                || c == '_'
+                // A `.` continues the number only when not part of `..`
+                // (range syntax) and followed by a digit: `1.5` yes,
+                // `0..n` and `x.1.f()` no.
+                || (c == '.'
+                    && !text.contains('.')
+                    && matches!(self.peek(1), Some(d) if d.is_ascii_digit()));
+            if take {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, text, line);
+    }
+
+    fn punct(&mut self, line: u32) {
+        let c = self.bump().expect("punct char");
+        let mut text = String::from(c);
+        // Only the multi-char operators rules actually match on.
+        let joined = match (c, self.peek(0)) {
+            (':', Some(':')) => Some("::"),
+            ('.', Some('.')) => Some(".."),
+            ('-', Some('>')) => Some("->"),
+            ('=', Some('>')) => Some("=>"),
+            ('=', Some('=')) => Some("=="),
+            _ => None,
+        };
+        if let Some(j) = joined {
+            self.bump();
+            text = j.to_string();
+            if j == ".." && self.peek(0) == Some('=') {
+                self.bump();
+                text.push('=');
+            }
+        }
+        self.push(TokenKind::Punct, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_strings_and_comments_are_distinguished() {
+        let toks = kinds("let x = \"thread_rng\"; // thread_rng\nthread_rng()");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        // The string and the comment must NOT contribute ident tokens.
+        assert_eq!(idents, vec!["let", "x", "thread_rng"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars = toks
+            .iter()
+            .filter(|(k, t)| *k == TokenKind::Literal && t.starts_with('\''))
+            .count();
+        assert_eq!(chars, 2, "'x' and '\\n'");
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let toks = kinds(r##"let s = r#"says "hi" // not a comment"#; done"##);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "s", "done"]);
+        assert!(toks.iter().all(|(k, _)| *k != TokenKind::Comment));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = kinds("/* outer /* inner */ still outer */ code");
+        assert_eq!(toks[0].0, TokenKind::Comment);
+        assert!(toks[0].1.contains("inner"));
+        assert_eq!(toks[1], (TokenKind::Ident, "code".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let toks = lex("a\n\"two\nlines\"\nb");
+        assert_eq!(toks[0].line, 1); // a
+        assert_eq!(toks[1].line, 2); // the string starts on line 2
+        assert_eq!(toks[2].line, 4); // b is after the embedded newline
+    }
+
+    #[test]
+    fn multi_char_puncts_are_joined() {
+        let toks = kinds("std::thread 0..n a..=b x -> y m => n a == b");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["::", "..", "..=", "->", "=>", "=="]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let toks = kinds("for i in 0..10 { let f = 1.5e3; }");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e3"]);
+    }
+
+    #[test]
+    fn byte_and_raw_prefixes_are_literals_not_idents() {
+        let toks = kinds("b\"bytes\" br#\"raw\"# b'x' r\"raw2\" rust");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["rust"]);
+        let lits = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Literal)
+            .count();
+        assert_eq!(lits, 4);
+    }
+}

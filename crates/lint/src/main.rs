@@ -1,0 +1,106 @@
+//! `sc-lint` CLI: `check` (analyze the workspace) and `rules` (table).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+#![forbid(unsafe_code)]
+
+use sc_lint::{analyze, load_workspace, render_json, render_text, Rule};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+sc-lint — workspace determinism & safety static analysis
+
+USAGE:
+    sc-lint check [--root DIR] [--json]
+    sc-lint rules
+
+COMMANDS:
+    check    Walk <root>/src and <root>/crates/*/src, run rules
+             D001-D004 and S001, print findings as
+             `file:line RULE message` (exit 1 when any survive)
+    rules    Print the rule table
+
+OPTIONS:
+    --root DIR    Workspace root to analyze (default: .)
+    --json        Emit findings as a JSON array instead of text
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            for rule in Rule::ALL {
+                println!("{}  {}", rule.id(), rule.summary());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("sc-lint: unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("sc-lint: --root needs a directory\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("sc-lint: unknown option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let files = match load_workspace(&root) {
+        Ok(files) => files,
+        Err(err) => {
+            eprintln!("sc-lint: cannot walk {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if files.is_empty() {
+        eprintln!(
+            "sc-lint: no Rust sources under {} (expected src/ or crates/*/src/)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let findings = analyze(&files);
+    if json {
+        print!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_text(&findings));
+        if findings.is_empty() {
+            println!("sc-lint: {} files clean", files.len());
+        } else {
+            println!(
+                "sc-lint: {} finding(s) in {} files",
+                findings.len(),
+                files.len()
+            );
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,54 @@
+//! D002 — no ambient entropy.
+//!
+//! Every random draw in the workspace must flow from the master seed
+//! through `seed_from_stream` (the per-work-item stream split that
+//! makes parallel sampling bit-identical to sequential). Constructors
+//! that pull entropy from the environment — `thread_rng()`,
+//! `rand::random()`, `SeedableRng::from_entropy()` — would silently
+//! break replayability, so they are banned everywhere the walker looks
+//! (the vendored `rand` shim itself lives under `vendor/` and is not
+//! walked).
+
+use crate::engine::{Finding, LexedFile, Rule};
+use crate::lexer::TokenKind;
+
+/// Runs D002 over one file.
+pub fn check(file: &LexedFile, findings: &mut Vec<Finding>) {
+    let code = &file.code;
+    let mut i = 0;
+    while i < code.len() {
+        // The violation is the *draw*, not the import: skip `use` items
+        // so `use rand::thread_rng;` doesn't double-report the call site.
+        if code[i].is_ident("use") {
+            while i < code.len() && !code[i].is_punct(";") {
+                i += 1;
+            }
+            continue;
+        }
+        let t = &code[i];
+        if t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let banned = match t.text.as_str() {
+            "thread_rng" | "from_entropy" => true,
+            // Bare `random` is a common identifier; only the
+            // `rand::random` path form is ambient entropy.
+            "random" => i >= 2 && code[i - 1].is_punct("::") && code[i - 2].is_ident("rand"),
+            _ => false,
+        };
+        if banned {
+            findings.push(Finding {
+                file: file.path.clone(),
+                line: t.line,
+                rule: Rule::D002,
+                message: format!(
+                    "`{}` draws ambient entropy; derive RNG state from the \
+                     master seed via `seed_from_stream` instead",
+                    t.text
+                ),
+            });
+        }
+        i += 1;
+    }
+}

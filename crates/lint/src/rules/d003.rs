@@ -1,0 +1,290 @@
+//! D003 — wall-clock timing must not feed `PartialEq`-compared fields.
+//!
+//! The determinism suites assert *report equality* across thread
+//! budgets; a wall-time measurement stored in a compared field would
+//! make bit-identical runs compare unequal. The workspace's pattern is
+//! to keep timing fields (e.g. `RpoStats::search_ms`,
+//! `RoundReport::maintenance_ms`) **out** of the manual `PartialEq`
+//! impl and mark the field declaration with `// lint: timing`; this
+//! rule mechanizes the remaining direction — a timing value flowing
+//! into any compared, un-annotated field is an error.
+//!
+//! Taint tracking is intra-function and lexical: locals bound (directly
+//! or through tuple destructuring) to expressions containing
+//! `Instant::now()`, `SystemTime::now()`, `.elapsed()`, or an already
+//! tainted local are tainted; a tainted expression assigned into a
+//! struct-literal field or a `x.field = …` store of a registered
+//! `PartialEq` struct triggers the rule. Cross-function flows (a
+//! helper *returning* elapsed time) are out of lexical reach — the
+//! annotation requirement on the field plus the runtime suites cover
+//! that residue, and the annotation documents the channel either way.
+
+use crate::context::{skip_balanced, Registry};
+use crate::engine::{Finding, LexedFile, Rule};
+use crate::lexer::{Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// Runs D003 over one file.
+pub fn check(file: &LexedFile, registry: &Registry, findings: &mut Vec<Finding>) {
+    let code = &file.code;
+    let mut tainted: BTreeSet<String> = BTreeSet::new();
+
+    let mut i = 0;
+    while i < code.len() {
+        let t = &code[i];
+
+        // New function body: locals (and their taint) go out of scope.
+        if t.is_ident("fn") {
+            tainted.clear();
+        }
+
+        // `let [mut] NAME = expr;` and `let (A, B, C) = expr;`. The
+        // initializer is NOT skipped: struct literals inside it (e.g.
+        // `let stats = RpoStats { search_ms, … }`) must still be
+        // scanned by the main loop below.
+        if t.is_ident("let") {
+            if let Some((names, init_lo, init_hi)) = let_binding(code, i) {
+                if expr_tainted(code, init_lo, init_hi, &tainted) {
+                    tainted.extend(names);
+                }
+                i = init_lo;
+                continue;
+            }
+        }
+
+        // Struct literal of a registered struct: `Name { field: expr, … }`.
+        if t.kind == TokenKind::Ident
+            && code.get(i + 1).is_some_and(|n| n.is_punct("{"))
+            && registry.structs.contains_key(&t.text)
+            && !literal_position_excluded(code, i)
+        {
+            let info = &registry.structs[&t.text];
+            let end = skip_balanced(code, i + 1);
+            if info.partial_eq {
+                scan_literal_body(file, registry, &t.text, i + 2, end - 1, &tainted, findings);
+            }
+            // Fall through — nested literals inside the body are
+            // reached by the outer linear scan.
+        }
+
+        // Field store: `recv.field = expr;` (also `+=` etc., which lex
+        // as `op` `=`).
+        if t.is_punct(".") && code.get(i + 1).is_some_and(|f| f.kind == TokenKind::Ident) {
+            let mut j = i + 2;
+            if code
+                .get(j)
+                .is_some_and(|o| matches!(o.text.as_str(), "+" | "-" | "*" | "/"))
+            {
+                j += 1;
+            }
+            if code.get(j).is_some_and(|e| e.is_punct("=")) {
+                let field = &code[i + 1];
+                let (lo, hi) = stmt_extent(code, j + 1);
+                if expr_tainted(code, lo, hi, &tainted)
+                    && registry.compared_field_lacks_timing(&field.text)
+                {
+                    findings.push(Finding {
+                        file: file.path.clone(),
+                        line: field.line,
+                        rule: Rule::D003,
+                        message: format!(
+                            "wall-clock timing flows into compared field \
+                             `{}`; exclude it from PartialEq and annotate \
+                             the declaration with `// lint: timing`",
+                            field.text
+                        ),
+                    });
+                }
+                i = hi;
+                continue;
+            }
+        }
+
+        i += 1;
+    }
+}
+
+/// Parses a `let` statement at `code[i]`: returns the bound names
+/// (simple ident or tuple of idents) plus the `[lo, hi)` token range
+/// of the initializer expression. `None` for patterns the rule does
+/// not model (struct patterns, `if let`, bindings without `=`).
+fn let_binding(code: &[Token], i: usize) -> Option<(Vec<String>, usize, usize)> {
+    let mut names = Vec::new();
+    let mut j = i + 1;
+    if code.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    if code.get(j).is_some_and(|t| t.kind == TokenKind::Ident) {
+        names.push(code[j].text.clone());
+        j += 1;
+    } else if code.get(j).is_some_and(|t| t.is_punct("(")) {
+        let end = skip_balanced(code, j);
+        for t in &code[j..end] {
+            if t.kind == TokenKind::Ident && t.text != "mut" && t.text != "_" {
+                names.push(t.text.clone());
+            }
+        }
+        j = end;
+    } else {
+        return None;
+    }
+    // Optional type annotation: skip to the `=` at depth 0.
+    let mut depth = 0i32;
+    while j < code.len() {
+        let t = &code[j];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct(">") {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct("=") {
+            let (lo, hi) = stmt_extent(code, j + 1);
+            return Some((names, lo, hi));
+        } else if depth == 0 && (t.is_punct(";") || t.is_punct("{")) {
+            return None; // `let x;` or something unmodeled
+        }
+        j += 1;
+    }
+    None
+}
+
+/// The token range from `start` up to the `;` that ends the statement
+/// (at bracket depth 0 relative to `start`).
+fn stmt_extent(code: &[Token], start: usize) -> (usize, usize) {
+    let mut depth = 0i32;
+    let mut j = start;
+    while j < code.len() {
+        let t = &code[j];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+            if depth < 0 {
+                break;
+            }
+        } else if depth == 0 && t.is_punct(";") {
+            break;
+        }
+        j += 1;
+    }
+    (start, j)
+}
+
+/// Does `code[lo..hi]` contain a timing source or a tainted local?
+fn expr_tainted(code: &[Token], lo: usize, hi: usize, tainted: &BTreeSet<String>) -> bool {
+    let hi = hi.min(code.len());
+    for k in lo..hi {
+        let t = &code[k];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "Instant" | "SystemTime"
+                if code.get(k + 1).is_some_and(|p| p.is_punct("::"))
+                    && code.get(k + 2).is_some_and(|n| n.is_ident("now")) =>
+            {
+                return true;
+            }
+            "elapsed" if k > lo && code[k - 1].is_punct(".") => return true,
+            name if tainted.contains(name) => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Identifier-followed-by-`{` positions that are *not* struct literals.
+fn literal_position_excluded(code: &[Token], i: usize) -> bool {
+    if i == 0 {
+        return false;
+    }
+    matches!(
+        code[i - 1].text.as_str(),
+        "struct" | "fn" | "impl" | "enum" | "trait" | "union" | "mod" | "match" | "for" | "let"
+    )
+}
+
+/// Scans a struct-literal body (`code[lo..hi]`, inside the braces) for
+/// `field: tainted-expr` and shorthand `tainted_name` entries.
+#[allow(clippy::too_many_arguments)]
+fn scan_literal_body(
+    file: &LexedFile,
+    registry: &Registry,
+    struct_name: &str,
+    lo: usize,
+    hi: usize,
+    tainted: &BTreeSet<String>,
+    findings: &mut Vec<Finding>,
+) {
+    let code = &file.code;
+    let info = &registry.structs[struct_name];
+    let mut k = lo;
+    while k < hi {
+        let t = &code[k];
+        // `..base` functional-update tail: nothing after it is a field.
+        if t.is_punct("..") {
+            break;
+        }
+        if t.kind == TokenKind::Ident && info.fields.contains_key(&t.text) {
+            let field = &info.fields[&t.text];
+            if code.get(k + 1).is_some_and(|c| c.is_punct(":")) {
+                // `field: expr` — expr runs to the `,` at this depth.
+                let (elo, ehi) = entry_extent(code, k + 2, hi);
+                if expr_tainted(code, elo, ehi, tainted) && !field.timing_ok {
+                    findings.push(literal_finding(
+                        file,
+                        code[k].line,
+                        struct_name,
+                        &code[k].text,
+                    ));
+                }
+                k = ehi + 1;
+                continue;
+            }
+            let ends_entry = code
+                .get(k + 1)
+                .is_none_or(|c| c.is_punct(",") || c.is_punct("}"));
+            if ends_entry && tainted.contains(&t.text) && !field.timing_ok {
+                // Shorthand `field,` with a tainted local of that name.
+                findings.push(literal_finding(file, t.line, struct_name, &t.text));
+            }
+        }
+        // Skip nested groups so inner commas don't desynchronize us.
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            k = skip_balanced(code, k);
+        } else {
+            k += 1;
+        }
+    }
+}
+
+/// The extent of one `field: expr` entry: up to the `,` at entry depth
+/// or the end of the body.
+fn entry_extent(code: &[Token], start: usize, body_hi: usize) -> (usize, usize) {
+    let mut depth = 0i32;
+    let mut j = start;
+    while j < body_hi {
+        let t = &code[j];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(",") {
+            break;
+        }
+        j += 1;
+    }
+    (start, j)
+}
+
+fn literal_finding(file: &LexedFile, line: u32, struct_name: &str, field: &str) -> Finding {
+    Finding {
+        file: file.path.clone(),
+        line,
+        rule: Rule::D003,
+        message: format!(
+            "wall-clock timing flows into `{struct_name}.{field}`, which \
+             PartialEq compares; exclude it from the impl and annotate the \
+             field with `// lint: timing`"
+        ),
+    }
+}

@@ -1,0 +1,36 @@
+//! D004 — parallel work must route through `sc_stats::par`.
+//!
+//! The workspace has exactly one parallelism primitive:
+//! `sc_stats::par::{map_shards, map_chunked}` — budgeted, contiguous,
+//! deterministic-merge fork-join. Ad-hoc `std::thread::scope`
+//! accumulation was the historical source of oversubscription (one
+//! thread per item) and of float reductions whose result depended on
+//! join order; both classes are structurally impossible through the
+//! shared scheduler. The scheduler's own `thread::scope` call site is
+//! the single sanctioned exception, suppressed inline with a
+//! `lint:allow` whose reason names it.
+
+use crate::engine::{Finding, LexedFile, Rule};
+
+/// Runs D004 over one file.
+pub fn check(file: &LexedFile, findings: &mut Vec<Finding>) {
+    let code = &file.code;
+    for (i, t) in code.iter().enumerate() {
+        if t.is_ident("scope")
+            && i >= 2
+            && code[i - 1].is_punct("::")
+            && code[i - 2].is_ident("thread")
+        {
+            findings.push(Finding {
+                file: file.path.clone(),
+                line: t.line,
+                rule: Rule::D004,
+                message: "ad-hoc `thread::scope` parallelism; route the phase \
+                          through `sc_stats::par::{map_shards, map_chunked}` \
+                          so it honors the thread budget and merges \
+                          deterministically"
+                    .to_string(),
+            });
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! The determinism & safety rules.
+//!
+//! Each rule is a function over one lexed file (plus the cross-file
+//! [`Registry`](crate::context::Registry) where needed) that appends
+//! [`Finding`](crate::engine::Finding)s. Rules work at token altitude:
+//! they track just enough structure (brace depth, `let` bindings,
+//! struct-literal bodies) to avoid lying, and prefer a false negative
+//! over a false positive — the determinism suites remain the runtime
+//! backstop; the lint is the cheap front line.
+
+pub mod d001;
+pub mod d002;
+pub mod d003;
+pub mod d004;
+pub mod s001;
+
+/// True when the file lives in a crate whose output feeds assignment
+/// reports — the blast radius of order-nondeterminism (D001).
+pub fn is_report_affecting(path: &str) -> bool {
+    ["assign", "influence", "sim", "datagen"]
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/src/")))
+}

@@ -1,0 +1,124 @@
+//! S001 — `unsafe` hygiene.
+//!
+//! Two complementary obligations:
+//!
+//! 1. every `unsafe` occurrence carries a `// SAFETY:` comment on the
+//!    same line or within the three lines above it, and
+//! 2. every crate whose sources contain **zero** `unsafe` declares
+//!    `#![forbid(unsafe_code)]` in its root file, so the property is
+//!    compiler-enforced from then on rather than merely observed.
+//!
+//! Crate roots are derived from the walked layout: `crates/<name>/src/`
+//! groups to `lib.rs` (falling back to `main.rs`), the workspace root
+//! `src/` likewise, and each `src/bin/<bin>.rs` is its own single-file
+//! target that must carry the attribute itself (a lib root's attribute
+//! does not cover its sibling binaries).
+
+use crate::engine::{Finding, LexedFile, Rule};
+use std::collections::BTreeMap;
+
+/// Per-file check: `unsafe` without a nearby `// SAFETY:` comment.
+pub fn check_unsafe_comments(file: &LexedFile, findings: &mut Vec<Finding>) {
+    for t in &file.code {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let lo = t.line.saturating_sub(3);
+        let documented = (lo..=t.line).any(|l| file.comment_on_line_contains(l, "SAFETY:"));
+        if !documented {
+            findings.push(Finding {
+                file: file.path.clone(),
+                line: t.line,
+                rule: Rule::S001,
+                message: "`unsafe` without a `// SAFETY:` comment justifying \
+                          the invariants (same line or up to 3 lines above)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Workspace-level check: unsafe-free targets must `#![forbid(unsafe_code)]`.
+pub fn check_forbid(files: &[LexedFile], findings: &mut Vec<Finding>) {
+    let mut lib_members: BTreeMap<String, Vec<&LexedFile>> = BTreeMap::new();
+    for file in files {
+        if is_bin_target(&file.path) {
+            // Single-file binary target: the file is its own root.
+            check_target(&[file], file, findings);
+            continue;
+        }
+        if let Some(dir) = crate_dir(&file.path) {
+            lib_members.entry(dir).or_default().push(file);
+        }
+    }
+    for (dir, members) in &lib_members {
+        let root = ["lib.rs", "main.rs"].iter().find_map(|r| {
+            let want = format!("{dir}/{r}");
+            members.iter().copied().find(|f| f.path == want)
+        });
+        if let Some(root) = root {
+            check_target(members, root, findings);
+        }
+    }
+}
+
+/// `crates/<name>/src` or `src` for non-bin files; `None` for paths
+/// outside a recognized layout.
+fn crate_dir(path: &str) -> Option<String> {
+    if path.contains("/bin/") {
+        return None;
+    }
+    if let Some(rest) = path.strip_prefix("crates/") {
+        let name = rest.split('/').next()?;
+        if rest.starts_with(&format!("{name}/src/")) {
+            return Some(format!("crates/{name}/src"));
+        }
+        return None;
+    }
+    path.strip_prefix("src/").map(|_| "src".to_string())
+}
+
+/// Is this file a stand-alone binary target (`…/src/bin/<name>.rs`)?
+fn is_bin_target(path: &str) -> bool {
+    path.rsplit_once('/')
+        .is_some_and(|(dir, _)| dir.ends_with("src/bin"))
+}
+
+fn check_target(members: &[&LexedFile], root: &LexedFile, findings: &mut Vec<Finding>) {
+    let any_unsafe = members
+        .iter()
+        .any(|f| f.code.iter().any(|t| t.is_ident("unsafe")));
+    if any_unsafe {
+        return; // forbid would not compile; SAFETY comments are checked per-file.
+    }
+    if !has_forbid_unsafe(root) {
+        findings.push(Finding {
+            file: root.path.clone(),
+            line: 1,
+            rule: Rule::S001,
+            message: "target has no `unsafe` code but does not declare \
+                      `#![forbid(unsafe_code)]`; add the attribute so the \
+                      property is compiler-enforced"
+                .to_string(),
+        });
+    }
+}
+
+/// Looks for the inner attribute token sequence
+/// `# ! [ forbid ( … unsafe_code … ) ]`.
+fn has_forbid_unsafe(file: &LexedFile) -> bool {
+    let code = &file.code;
+    for i in 0..code.len() {
+        if code[i].is_punct("#")
+            && code.get(i + 1).is_some_and(|t| t.is_punct("!"))
+            && code.get(i + 2).is_some_and(|t| t.is_punct("["))
+            && code.get(i + 3).is_some_and(|t| t.is_ident("forbid"))
+        {
+            let end = crate::context::skip_balanced(code, i + 2);
+            if code[i..end].iter().any(|t| t.is_ident("unsafe_code")) {
+                return true;
+            }
+        }
+    }
+    false
+}

@@ -1,0 +1,77 @@
+//! Workspace file discovery.
+//!
+//! `sc-lint check` walks exactly the surfaces the determinism contract
+//! covers: the umbrella crate's `src/` and every `crates/*/src/`.
+//! Vendored shims (`vendor/`), integration tests, examples, benches
+//! and fixture snippets are deliberately out of scope — the contract
+//! binds the library code that produces reports, and fixtures *must*
+//! be able to contain violations.
+//!
+//! The walk is fully deterministic: directory entries are visited in
+//! sorted order and paths are normalized to forward slashes, so the
+//! findings report is byte-stable across machines (the tool holds
+//! itself to the contract it enforces).
+
+use crate::engine::SourceFile;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Loads every `.rs` file under `<root>/src` and `<root>/crates/*/src`,
+/// returning workspace-relative [`SourceFile`]s in sorted path order.
+pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let src = root.join("src");
+    if src.is_dir() {
+        dirs.push(src);
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut names: Vec<PathBuf> = fs::read_dir(&crates)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        names.sort();
+        for dir in names {
+            let src = dir.join("src");
+            if src.is_dir() {
+                dirs.push(src);
+            }
+        }
+    }
+
+    let mut files = Vec::new();
+    for dir in dirs {
+        collect_rs(root, &dir, &mut files)?;
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+fn collect_rs(root: &Path, dir: &Path, files: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(root, &path, files)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            files.push(SourceFile {
+                path: rel,
+                text: fs::read_to_string(&path)?,
+            });
+        }
+    }
+    Ok(())
+}

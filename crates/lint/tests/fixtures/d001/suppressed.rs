@@ -1,0 +1,14 @@
+// D001 suppression fixture: the same iteration shape as trigger.rs,
+// excused with a documented reason (the result is sorted immediately).
+use std::collections::HashMap;
+
+fn sorted_totals(pairs: &[(u32, f64)]) -> Vec<(u32, f64)> {
+    let mut by_venue: HashMap<u32, f64> = HashMap::new();
+    for (v, x) in pairs {
+        *by_venue.entry(*v).or_insert(0.0) += *x;
+    }
+    // lint:allow(D001, reason = "collected then sorted by key on the next line")
+    let mut rows: Vec<(u32, f64)> = by_venue.into_iter().collect();
+    rows.sort_by_key(|(k, _)| *k);
+    rows
+}

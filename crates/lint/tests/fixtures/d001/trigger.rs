@@ -1,0 +1,44 @@
+// D001 positive fixture: four distinct iteration shapes over hash
+// containers. Loaded under a report-affecting path by the test driver;
+// never compiled.
+use std::collections::{HashMap, HashSet};
+
+struct Index {
+    by_worker: HashMap<u32, usize>,
+}
+
+fn venue_totals(pairs: &[(u32, f64)]) -> Vec<(u32, f64)> {
+    let mut by_venue: HashMap<u32, f64> = HashMap::new();
+    for (v, x) in pairs {
+        *by_venue.entry(*v).or_insert(0.0) += *x;
+    }
+    by_venue.into_iter().collect() // line 15: .into_iter()
+}
+
+fn max_count(seen: &[u32]) -> usize {
+    let mut counts = HashMap::new();
+    for s in seen {
+        *counts.entry(*s).or_insert(0usize) += 1;
+    }
+    counts.values().copied().max().unwrap_or(0) // line 23: .values()
+}
+
+fn drain_all(mut live: HashSet<u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for id in &live {
+        // line 28: for … in &set
+        out.push(*id);
+    }
+    live.drain().collect() // line 32: .drain()
+}
+
+impl Index {
+    fn report(&self) -> Vec<(u32, usize)> {
+        let mut rows = Vec::new();
+        for (w, i) in &self.by_worker {
+            // line 38: for … in &self.field
+            rows.push((*w, *i));
+        }
+        rows
+    }
+}

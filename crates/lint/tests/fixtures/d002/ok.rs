@@ -1,0 +1,15 @@
+// D002 negative fixture: seeded streams, an unrelated `random`
+// identifier, and banned names appearing only in strings/comments.
+use rand::{Rng, SeedableRng, StdRng};
+
+fn seeded_draw(master_seed: u64, stream: u64) -> f64 {
+    // Deterministic per-work-item stream split — the sanctioned path.
+    let mut rng = StdRng::seed_from_stream(master_seed, stream);
+    rng.random_range(0.0..1.0)
+}
+
+fn unrelated_names(random: f64) -> f64 {
+    // `thread_rng` in a comment and a string must not trigger.
+    let label = "do not call thread_rng here";
+    random + label.len() as f64
+}

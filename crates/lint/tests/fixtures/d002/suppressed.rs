@@ -1,0 +1,7 @@
+// D002 suppression fixture.
+use rand::thread_rng;
+
+fn excused() -> u64 {
+    let mut rng = thread_rng(); // lint:allow(D002, reason = "fixture demonstrating suppression")
+    rng.next_u64()
+}

@@ -1,0 +1,10 @@
+// D002 positive fixture: the three ambient-entropy constructs.
+use rand::{thread_rng, Rng, SeedableRng, StdRng};
+
+fn ambient_draws() -> (f64, f64, u64) {
+    let mut rng = thread_rng(); // line 5: thread_rng
+    let a: f64 = rng.random_range(0.0..1.0);
+    let b: f64 = rand::random(); // line 7: rand::random
+    let mut seeded = StdRng::from_entropy(); // line 8: from_entropy
+    (a, b, seeded.next_u64())
+}

@@ -1,0 +1,38 @@
+// D003 negative fixture: timing is fine when the receiving field is a
+// documented `// lint: timing` channel excluded from PartialEq, or
+// when the struct is not compared at all.
+use std::time::Instant;
+
+pub struct AnnotatedReport {
+    pub items: usize,
+    /// Wall time, excluded from the manual PartialEq below.
+    pub wall_ms: f64, // lint: timing
+}
+
+impl PartialEq for AnnotatedReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.items == other.items
+        // wall_ms is a run condition, not a result.
+    }
+}
+
+pub struct BenchRow {
+    pub name: &'static str,
+    pub wall_secs: f64,
+}
+
+fn annotated_timing(items: usize) -> AnnotatedReport {
+    let t0 = Instant::now();
+    AnnotatedReport {
+        items,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn uncompared_struct(name: &'static str) -> BenchRow {
+    let t0 = Instant::now();
+    BenchRow {
+        name,
+        wall_secs: t0.elapsed().as_secs_f64(),
+    }
+}

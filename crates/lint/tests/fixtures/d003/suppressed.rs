@@ -1,0 +1,17 @@
+// D003 suppression fixture.
+use std::time::Instant;
+
+#[derive(PartialEq)]
+pub struct Snapshot {
+    pub count: usize,
+    pub at_ms: f64,
+}
+
+fn excused(count: usize) -> Snapshot {
+    let t0 = Instant::now();
+    Snapshot {
+        count,
+        // lint:allow(D003, reason = "fixture demonstrating suppression")
+        at_ms: t0.elapsed().as_secs_f64() * 1e3,
+    }
+}

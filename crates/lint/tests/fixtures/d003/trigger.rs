@@ -1,0 +1,32 @@
+// D003 positive fixture: wall-clock timing flowing into fields of a
+// PartialEq-compared report through three shapes — direct literal
+// entry, shorthand via a tainted local, and a field store.
+use std::time::Instant;
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseReport {
+    pub items: usize,
+    pub wall_ms: f64,
+    pub spent_ms: f64,
+}
+
+fn direct_literal(items: usize) -> PhaseReport {
+    let t0 = Instant::now();
+    PhaseReport {
+        items,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3, // line 17: literal entry
+        spent_ms: 0.0,
+    }
+}
+
+fn shorthand_and_store(items: usize) -> PhaseReport {
+    let t0 = Instant::now();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut report = PhaseReport {
+        items,
+        wall_ms, // line 27: shorthand of a tainted local
+        spent_ms: 0.0,
+    };
+    report.spent_ms = t0.elapsed().as_secs_f64() * 1e3; // line 30: field store
+    report
+}

@@ -1,0 +1,14 @@
+// D004 negative fixture: the sanctioned path — budgeted, contiguous,
+// deterministic-merge fork-join through the shared scheduler.
+fn scheduled_parallel_sum(xs: &[f64], threads: usize) -> f64 {
+    sc_stats::par::map_shards(xs.len(), threads, |lo, hi| {
+        xs[lo..hi].iter().sum::<f64>()
+    })
+    .into_iter()
+    .sum()
+}
+
+fn chunked(xs: &[f64], threads: usize) -> Vec<f64> {
+    // `thread::scope` in this comment must not trigger.
+    sc_stats::par::map_chunked(xs.len(), threads, |i| xs[i] * 2.0)
+}

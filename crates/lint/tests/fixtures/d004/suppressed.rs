@@ -1,0 +1,15 @@
+// D004 suppression fixture: mirrors the one sanctioned call site in
+// `sc_stats::par` itself.
+pub fn scheduler_core<R: Send, F: Fn(usize, usize) -> R + Sync>(
+    bounds: &[(usize, usize)],
+    f: F,
+) -> Vec<R> {
+    // lint:allow(D004, reason = "this is the scheduler primitive itself")
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(lo, hi)| scope.spawn(|| f(lo, hi)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}

@@ -1,0 +1,26 @@
+// D004 positive fixture: ad-hoc scoped-thread accumulation — one
+// thread per item, join-order float summation.
+fn adhoc_parallel_sum(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    std::thread::scope(|scope| {
+        // line 5: std::thread::scope
+        let handles: Vec<_> = xs.iter().map(|x| scope.spawn(move || *x * 2.0)).collect();
+        for h in handles {
+            total += h.join().unwrap();
+        }
+    });
+    total
+}
+
+fn imported_form(xs: &[f64]) -> f64 {
+    use std::thread;
+    let mut total = 0.0;
+    thread::scope(|s| {
+        // line 18: thread::scope (imported)
+        for x in xs {
+            let h = s.spawn(move || *x);
+            total += h.join().unwrap();
+        }
+    });
+    total
+}

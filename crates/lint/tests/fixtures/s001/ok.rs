@@ -1,0 +1,9 @@
+//! S001 negative fixture: a crate root that declares the forbid (its
+//! sources are unsafe-free), shown with a well-documented unsafe block
+//! in a *separate* sibling fixture.
+
+#![forbid(unsafe_code)]
+
+pub fn safe_and_declared(x: u64) -> u64 {
+    x ^ 0x9e37_79b9_7f4a_7c15
+}

@@ -1,0 +1,13 @@
+// S001 negative fixture (comment half): every unsafe block carries a
+// SAFETY justification within reach.
+fn read_first(xs: &[u64]) -> u64 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees at least one element, so the
+    // pointer read is in bounds.
+    unsafe { *xs.as_ptr() }
+}
+
+fn trailing_form(xs: &[u64]) -> u64 {
+    assert!(!xs.is_empty());
+    unsafe { *xs.as_ptr() } // SAFETY: non-empty asserted above
+}

@@ -1,0 +1,6 @@
+//! S001 positive fixture (forbid half): a crate root with zero unsafe
+//! anywhere and no `#![forbid(unsafe_code)]` declaration.
+
+pub fn entirely_safe(x: u64) -> u64 {
+    x.wrapping_mul(31).rotate_left(7)
+}

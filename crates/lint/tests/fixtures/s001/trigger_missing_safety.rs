@@ -1,0 +1,5 @@
+// S001 positive fixture (comment half): an unsafe block with no
+// SAFETY justification anywhere near it.
+fn read_first(xs: &[u64]) -> u64 {
+    unsafe { *xs.as_ptr() } // line 4: undocumented unsafe
+}

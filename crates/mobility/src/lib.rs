@@ -17,8 +17,9 @@
 //! that the EIA algorithm uses to prioritize tasks whose visitors are
 //! concentrated in few workers.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
+#![forbid(unsafe_code)]
 
 pub mod entropy;
 pub mod movement;

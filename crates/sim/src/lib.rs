@@ -32,6 +32,7 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+#![forbid(unsafe_code)]
 
 pub mod harness;
 pub mod metrics;

@@ -120,7 +120,7 @@ pub struct RoundReport {
     pub sets_added: usize,
     /// Wall time of pool maintenance, milliseconds (excluded from
     /// `PartialEq`).
-    pub maintenance_ms: f64,
+    pub maintenance_ms: f64, // lint: timing
 }
 
 impl PartialEq for RoundReport {

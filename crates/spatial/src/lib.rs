@@ -12,8 +12,9 @@
 //! equirectangular [`Projector`] that maps lat/lon onto the planar world
 //! used by the rest of the workspace.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
+#![forbid(unsafe_code)]
 
 pub mod bbox;
 pub mod grid;

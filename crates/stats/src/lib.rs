@@ -21,8 +21,9 @@
 //!   `threads` scoped threads and merges outputs in index order, so
 //!   parallel results are bit-identical to sequential ones.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
+#![forbid(unsafe_code)]
 
 pub mod alias;
 pub mod entropy;

@@ -62,6 +62,7 @@ where
         return bounds.into_iter().map(|(lo, hi)| f(lo, hi)).collect();
     }
     let f = &f;
+    // lint:allow(D004, reason = "this IS sc_stats::par — the one sanctioned scope call every other phase routes through")
     std::thread::scope(|scope| {
         let handles: Vec<_> = bounds
             .iter()

@@ -17,8 +17,9 @@
 //! documents ([`LdaModel::infer`]) so that tasks appearing at assignment
 //! time can be scored online.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
+#![forbid(unsafe_code)]
 
 pub mod affinity;
 pub mod corpus;

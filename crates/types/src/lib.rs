@@ -16,8 +16,9 @@
 //! * [`Instance`] — the snapshot of available workers and tasks at one time
 //!   instance, which is what the assignment algorithms consume.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
+#![forbid(unsafe_code)]
 
 pub mod assignment;
 pub mod checkin;

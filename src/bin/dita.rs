@@ -16,6 +16,8 @@
 //! online pool maintenance — with bit-identical results at any count.
 //! Argument parsing is deliberately dependency-free.
 
+#![forbid(unsafe_code)]
+
 use dita::core::{AlgorithmKind, DitaBuilder, DitaConfig, DitaPipeline, OnlineConfig};
 use dita::datagen::{
     io as dio, DatasetProfile, InstanceOptions, LoadedDataset, ReplayOptions, SyntheticDataset,

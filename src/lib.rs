@@ -34,8 +34,9 @@
 //! println!("assigned {} tasks", assignment.len());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
+#![forbid(unsafe_code)]
 
 pub use sc_assign as assign;
 pub use sc_core as core;
