@@ -114,18 +114,34 @@ pub fn run(kind: AlgorithmKind, input: &AssignInput<'_>) -> Assignment {
 
 /// Runs `kind` reusing a precomputed eligibility matrix (the harness
 /// computes it once per instance and runs every algorithm on it).
+/// Equivalent to [`score_pairs`] followed by [`run_scored`].
 pub fn run_with_matrix(
     kind: AlgorithmKind,
     input: &AssignInput<'_>,
     matrix: &EligibilityMatrix,
 ) -> Assignment {
+    let influences = score_pairs(input, matrix);
+    run_scored(kind, input, matrix, &influences)
+}
+
+/// Runs `kind` on pre-scored pairs: `influences[i]` must be the oracle
+/// value of `matrix.pairs()[i]` (what [`score_pairs`] returns). The
+/// solve phase of [`run_with_matrix`] — split out so round drivers can
+/// time the scoring scan and the solve separately.
+pub fn run_scored(
+    kind: AlgorithmKind,
+    input: &AssignInput<'_>,
+    matrix: &EligibilityMatrix,
+    influences: &[f64],
+) -> Assignment {
+    debug_assert_eq!(influences.len(), matrix.n_pairs());
     match kind {
-        AlgorithmKind::Mta => mta(input, matrix),
-        AlgorithmKind::Ia => mcmf_assign(input, matrix, CostModel::Influence),
-        AlgorithmKind::Eia => mcmf_assign(input, matrix, CostModel::EntropyInfluence),
-        AlgorithmKind::Dia => mcmf_assign(input, matrix, CostModel::DistanceInfluence),
-        AlgorithmKind::Mi => mi(input, matrix),
-        AlgorithmKind::GreedyNearest => greedy_nearest(input, matrix),
+        AlgorithmKind::Mta => mta(input, matrix, influences),
+        AlgorithmKind::Ia => mcmf_assign(input, matrix, influences, CostModel::Influence),
+        AlgorithmKind::Eia => mcmf_assign(input, matrix, influences, CostModel::EntropyInfluence),
+        AlgorithmKind::Dia => mcmf_assign(input, matrix, influences, CostModel::DistanceInfluence),
+        AlgorithmKind::Mi => mi(input, matrix, influences),
+        AlgorithmKind::GreedyNearest => greedy_nearest(input, matrix, influences),
     }
 }
 
@@ -139,8 +155,10 @@ enum CostModel {
 /// over [`AssignInput::threads`] when the pair count warrants it.
 /// Shards are contiguous pair ranges merged in index order, and every
 /// score is a pure read of the (already warm or content-deterministic)
-/// oracle, so the vector is identical at any thread count.
-fn pair_influences(input: &AssignInput<'_>, matrix: &EligibilityMatrix) -> Vec<f64> {
+/// oracle, so the vector is identical at any thread count. Feed the
+/// result to [`run_scored`] (or several `run_scored` calls — scores
+/// are algorithm-independent).
+pub fn score_pairs(input: &AssignInput<'_>, matrix: &EligibilityMatrix) -> Vec<f64> {
     let score = |p: &crate::EligiblePair| {
         let worker = &input.instance.workers[p.worker_idx as usize];
         let task = &input.instance.tasks[p.task_idx as usize];
@@ -190,9 +208,9 @@ fn to_assignment(
 fn mcmf_assign(
     input: &AssignInput<'_>,
     matrix: &EligibilityMatrix,
+    influences: &[f64],
     model: CostModel,
 ) -> Assignment {
-    let influences = pair_influences(input, matrix);
     let zeros;
     let entropy: &[f64] = match (&model, input.task_entropy) {
         (CostModel::EntropyInfluence, Some(e)) => e,
@@ -217,13 +235,13 @@ fn mcmf_assign(
         }
     });
     let (_result, chosen) = graph.solve();
-    to_assignment(input, matrix, &influences, &chosen)
+    to_assignment(input, matrix, influences, &chosen)
 }
 
 /// MTA: pure max-flow (Dinic), ignoring influence for the choice but still
 /// reporting the influence of whatever it picked (the evaluation metrics
 /// need it).
-fn mta(input: &AssignInput<'_>, matrix: &EligibilityMatrix) -> Assignment {
+fn mta(input: &AssignInput<'_>, matrix: &EligibilityMatrix, influences: &[f64]) -> Assignment {
     let n_workers = matrix.n_workers();
     let n_tasks = matrix.n_tasks();
     let source = 0usize;
@@ -248,7 +266,6 @@ fn mta(input: &AssignInput<'_>, matrix: &EligibilityMatrix) -> Assignment {
         .collect();
     dinic.max_flow(source, sink);
 
-    let influences = pair_influences(input, matrix);
     let chosen: Vec<(u32, u32)> = matrix
         .pairs()
         .iter()
@@ -256,15 +273,14 @@ fn mta(input: &AssignInput<'_>, matrix: &EligibilityMatrix) -> Assignment {
         .filter(|(_, &id)| dinic.flow_on(id) > 0)
         .map(|(p, _)| (p.worker_idx, p.task_idx))
         .collect();
-    to_assignment(input, matrix, &influences, &chosen)
+    to_assignment(input, matrix, influences, &chosen)
 }
 
 /// MI: step 1 collects the candidate workers of every task (the
 /// eligibility matrix); step 2 walks candidate pairs in descending
 /// influence, assigning greedily — maximizing total influence with no
 /// regard for cardinality.
-fn mi(input: &AssignInput<'_>, matrix: &EligibilityMatrix) -> Assignment {
-    let influences = pair_influences(input, matrix);
+fn mi(input: &AssignInput<'_>, matrix: &EligibilityMatrix, influences: &[f64]) -> Assignment {
     let mut order: Vec<usize> = (0..matrix.n_pairs()).collect();
     order.sort_by(|&a, &b| influences[b].total_cmp(&influences[a]));
 
@@ -285,13 +301,16 @@ fn mi(input: &AssignInput<'_>, matrix: &EligibilityMatrix) -> Assignment {
         task_used[p.task_idx as usize] = true;
         chosen.push((p.worker_idx, p.task_idx));
     }
-    to_assignment(input, matrix, &influences, &chosen)
+    to_assignment(input, matrix, influences, &chosen)
 }
 
 /// Nearest-worker greedy from the running example: tasks in id order,
 /// each grabs its closest free eligible worker.
-fn greedy_nearest(input: &AssignInput<'_>, matrix: &EligibilityMatrix) -> Assignment {
-    let influences = pair_influences(input, matrix);
+fn greedy_nearest(
+    input: &AssignInput<'_>,
+    matrix: &EligibilityMatrix,
+    influences: &[f64],
+) -> Assignment {
     // Group pairs per task.
     let mut per_task: Vec<Vec<usize>> = vec![Vec::new(); matrix.n_tasks()];
     for (pi, p) in matrix.pairs().iter().enumerate() {
@@ -314,7 +333,7 @@ fn greedy_nearest(input: &AssignInput<'_>, matrix: &EligibilityMatrix) -> Assign
             chosen.push((p.worker_idx, p.task_idx));
         }
     }
-    to_assignment(input, matrix, &influences, &chosen)
+    to_assignment(input, matrix, influences, &chosen)
 }
 
 #[cfg(test)]

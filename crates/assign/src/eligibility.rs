@@ -28,13 +28,13 @@ use sc_types::{Duration, Instance, Worker};
 
 /// Instances below this |W|·|S| threshold use the direct double loop;
 /// the grid only pays off once the quadratic scan dominates.
-const GRID_THRESHOLD: usize = 64 * 64;
+pub(crate) const GRID_THRESHOLD: usize = 64 * 64;
 
 /// Instances below this |W|·|S| threshold build sequentially even when
 /// a multi-thread budget is offered: thread-spawn overhead beats the
 /// pair-test work. Results are unaffected (the sharded merge equals
 /// the sequential build by construction) — only the parallel width is.
-const SHARD_THRESHOLD: usize = 48 * 48;
+pub(crate) const SHARD_THRESHOLD: usize = 48 * 48;
 
 /// One available worker-task pair with its geometry precomputed.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,12 +56,30 @@ pub struct EligibilityMatrix {
     n_tasks: usize,
 }
 
+/// Builds the shared task grid when the instance is big enough to make
+/// it pay (the one grid policy, shared with the delta path in
+/// [`crate::delta`] so both evaluate rows over identical candidate
+/// machinery — though outputs are grid-independent either way: the
+/// grid only prunes, the predicate decides).
+pub(crate) fn task_grid(instance: &Instance) -> Option<GridIndex> {
+    let n_workers = instance.workers.len();
+    let n_tasks = instance.tasks.len();
+    let use_grid = n_workers * n_tasks >= GRID_THRESHOLD && n_tasks > 0;
+    use_grid.then(|| {
+        let locations: Vec<_> = instance.tasks.iter().map(|t| t.location).collect();
+        // Cell size near the median radius keeps cells busy but small.
+        let mean_r =
+            instance.workers.iter().map(|w| w.radius_km).sum::<f64>() / n_workers.max(1) as f64;
+        GridIndex::build(&locations, (mean_r / 2.0).max(0.25))
+    })
+}
+
 /// Appends worker `wi`'s eligible pairs to `out` in ascending task
 /// order — the one row body shared by the sequential and sharded
-/// builds, so their outputs can only be identical. `candidates` is a
-/// caller-owned scratch buffer (cleared here) to avoid re-allocating
-/// per worker.
-fn worker_row(
+/// builds (and the delta path's row rebuilds), so their outputs can
+/// only be identical. `candidates` is a caller-owned scratch buffer
+/// (cleared here) to avoid re-allocating per worker.
+pub(crate) fn worker_row(
     instance: &Instance,
     grid: Option<&GridIndex>,
     wi: usize,
@@ -118,14 +136,7 @@ impl EligibilityMatrix {
         let n_workers = instance.workers.len();
         let n_tasks = instance.tasks.len();
 
-        let use_grid = n_workers * n_tasks >= GRID_THRESHOLD && n_tasks > 0;
-        let grid = use_grid.then(|| {
-            let locations: Vec<_> = instance.tasks.iter().map(|t| t.location).collect();
-            // Cell size near the median radius keeps cells busy but small.
-            let mean_r =
-                instance.workers.iter().map(|w| w.radius_km).sum::<f64>() / n_workers.max(1) as f64;
-            GridIndex::build(&locations, (mean_r / 2.0).max(0.25))
-        });
+        let grid = task_grid(instance);
         let grid = grid.as_ref();
 
         if threads <= 1 || n_workers * n_tasks < SHARD_THRESHOLD {
@@ -182,6 +193,19 @@ impl EligibilityMatrix {
             pairs.extend_from_slice(&shard_pairs);
         }
 
+        EligibilityMatrix {
+            pairs,
+            offsets,
+            n_tasks,
+        }
+    }
+
+    /// Assembles a matrix from already-built CSR parts (the delta
+    /// path's constructor; `offsets.len()` must be `n_workers + 1` and
+    /// rows must be in ascending task order).
+    pub(crate) fn from_raw(pairs: Vec<EligiblePair>, offsets: Vec<u32>, n_tasks: usize) -> Self {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0);
+        debug_assert_eq!(*offsets.last().unwrap() as usize, pairs.len());
         EligibilityMatrix {
             pairs,
             offsets,

@@ -28,17 +28,30 @@
 //! the same contract as `sc-influence`'s sharded RRR sampling. The
 //! combinatorial solve (max-flow / MCMF / greedy) stays sequential;
 //! only the embarrassingly parallel scoring work fans out.
+//!
+//! ## Incremental rounds
+//!
+//! Online round drivers hold an [`EligibilityState`] and call
+//! [`EligibilityState::advance`] per round: the matrix is advanced by
+//! a delta from the previous round (carried rows filtered and
+//! extended, changed rows rebuilt) instead of rebuilt from scratch,
+//! with byte-for-byte identical results — see [`delta`] for the
+//! reconciliation and determinism story. [`score_pairs`] /
+//! [`run_scored`] split the scoring scan from the solve so those
+//! drivers can time the phases separately.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 #![forbid(unsafe_code)]
 
 pub mod algorithms;
+pub mod delta;
 pub mod eligibility;
 pub mod graph;
 pub mod oracle;
 
-pub use algorithms::{run, run_with_matrix, AlgorithmKind, AssignInput};
+pub use algorithms::{run, run_scored, run_with_matrix, score_pairs, AlgorithmKind, AssignInput};
+pub use delta::{DeltaStats, EligibilityState};
 pub use eligibility::{EligibilityMatrix, EligiblePair};
 pub use graph::AssignmentGraph;
 pub use oracle::{InfluenceFn, InfluenceOracle, ZeroInfluence};

@@ -102,6 +102,7 @@ fn main() {
         growth_cap,
         eviction_horizon: horizon,
         target_sets: 0,
+        incremental: true,
     };
     let config = sc_bench::config_for(sc_sim::ExperimentScale::Small);
     let build = |cfg| {

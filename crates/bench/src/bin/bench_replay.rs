@@ -75,6 +75,7 @@ fn config(threads: usize) -> DitaConfig {
             growth_cap: 1_024,
             eviction_horizon: 6,
             target_sets: 0,
+            incremental: true,
         },
         seed: 0xD17A_0005,
     }

@@ -30,6 +30,13 @@ pub struct OnlineConfig {
     /// Live-set target the maintenance path holds the pool at.
     /// `0` means "the trained pool size".
     pub target_sets: usize,
+    /// Serve rounds incrementally: advance the eligibility matrix by a
+    /// delta from the previous round and score through the engine
+    /// pipeline's persistent scorer cache, instead of rebuilding both
+    /// from scratch every round. Reports are bit-identical either way
+    /// (the determinism suites pin this); the flag trades wall time
+    /// only. `false` is the A/B baseline (`--no-incremental`).
+    pub incremental: bool,
 }
 
 impl Default for OnlineConfig {
@@ -39,19 +46,22 @@ impl Default for OnlineConfig {
             growth_cap: 0,
             eviction_horizon: 0,
             target_sets: 0,
+            incremental: true,
         }
     }
 }
 
 impl OnlineConfig {
     /// A streaming preset: hourly rounds, rotation quantum of 2048
-    /// sets, 24-round eviction horizon, trained pool size as target.
+    /// sets, 24-round eviction horizon, trained pool size as target,
+    /// incremental serving.
     pub fn streaming() -> Self {
         OnlineConfig {
             round_hours: 1,
             growth_cap: 2_048,
             eviction_horizon: 24,
             target_sets: 0,
+            incremental: true,
         }
     }
 

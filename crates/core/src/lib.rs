@@ -29,11 +29,15 @@ pub mod scorer;
 
 pub use config::{DitaConfig, OnlineConfig};
 pub use model::InfluenceModel;
-pub use pipeline::{DitaBuilder, DitaPipeline};
-pub use scorer::{InfluenceBreakdown, InfluenceScorer, InfluenceVariant};
+pub use pipeline::{DitaBuilder, DitaPipeline, RoundPerf};
+pub use scorer::{InfluenceBreakdown, InfluenceScorer, InfluenceVariant, ScorerCache, WarmStats};
 
 // The assignment algorithms are part of the public API of the framework.
 pub use sc_assign::AlgorithmKind;
+
+// The incremental-eligibility types ride along so round drivers
+// (sim engines, benches) can hold state without importing sc-assign.
+pub use sc_assign::{DeltaStats, EligibilityState};
 
 // The sampling thread budget travels with the config; re-exported so
 // downstream crates (sim harness, CLI) need not depend on sc-influence

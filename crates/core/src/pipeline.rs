@@ -2,10 +2,14 @@
 
 use crate::config::DitaConfig;
 use crate::model::InfluenceModel;
-use crate::scorer::{InfluenceScorer, InfluenceVariant};
-use sc_assign::{run_with_matrix, AlgorithmKind, AssignInput, EligibilityMatrix};
+use crate::scorer::{InfluenceScorer, InfluenceVariant, ScorerCache};
+use sc_assign::{
+    run_scored, run_with_matrix, score_pairs, AlgorithmKind, AssignInput, DeltaStats,
+    EligibilityMatrix, EligibilityState,
+};
 use sc_influence::SocialNetwork;
 use sc_types::{Assignment, HistoryStore, Instance, VenueId};
+use std::time::Instant;
 
 /// Builder for [`DitaPipeline`].
 #[derive(Debug, Clone, Default)]
@@ -130,18 +134,65 @@ impl DitaBuilder {
             return Err(sc_types::ScError::invalid("n_topics must be positive"));
         }
         let model = InfluenceModel::train(&self.config, social, histories);
-        Ok(DitaPipeline { model })
+        Ok(DitaPipeline {
+            model,
+            cache: ScorerCache::new(),
+        })
     }
+}
+
+/// Wall-time and cache telemetry of one [`DitaPipeline::assign_round`]
+/// call, split by phase. The `*_ms` fields are measurements (they vary
+/// run to run); the cache and delta counters are deterministic facts of
+/// the round and the serving mode. Deliberately **not** `PartialEq`:
+/// round-report equality is asserted over assignment outcomes, never
+/// over perf telemetry (incremental and rebuild rounds legitimately
+/// differ here while producing identical assignments).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundPerf {
+    /// Eligibility phase (delta apply or from-scratch build).
+    pub eligibility_ms: f64, // lint: timing
+    /// Scorer-cache warming over the eligible tasks.
+    pub warm_ms: f64, // lint: timing
+    /// The sharded pair scan (influence scoring).
+    pub score_ms: f64, // lint: timing
+    /// The assignment solve (MCMF / greedy).
+    pub solve_ms: f64, // lint: timing
+    /// Distinct task-content keys already resident at warm time.
+    pub cache_hits: usize,
+    /// Distinct task-content keys computed this round.
+    pub cache_misses: usize,
+    /// Cache entries resident after warming.
+    pub cache_entries: usize,
+    /// Eligibility-delta shape (zeroed on the rebuild path).
+    pub delta: DeltaStats,
 }
 
 /// A trained DITA pipeline: influence modeling plus task assignment.
 ///
 /// `Clone` lets an [`sc_types`]-level caller hand a live copy to an
 /// online engine (which mutates its pool between rounds) while keeping
-/// the original frozen for batch sweeps.
-#[derive(Debug, Clone)]
+/// the original frozen for batch sweeps. The clone starts with an
+/// *empty* scorer cache — cached values are derived data, and a fresh
+/// copy must not share interior-mutable state with the original.
+#[derive(Debug)]
 pub struct DitaPipeline {
     model: InfluenceModel,
+    /// The persistent per-task scorer cache (see [`ScorerCache`]):
+    /// survives across rounds and across the pool maintenance that
+    /// mutably borrows `model` between them. Population-tagged —
+    /// worker fold-in invalidates it wholesale at the next scorer
+    /// bind; rotation/eviction leave it valid.
+    cache: ScorerCache,
+}
+
+impl Clone for DitaPipeline {
+    fn clone(&self) -> Self {
+        DitaPipeline {
+            model: self.model.clone(),
+            cache: ScorerCache::new(),
+        }
+    }
 }
 
 impl DitaPipeline {
@@ -162,9 +213,10 @@ impl DitaPipeline {
     /// The shared prelude of every `assign*` path: resolve the thread
     /// budget, build the (sharded) eligibility matrix, and pre-fill
     /// `scorer`'s per-task cache for every task with at least one
-    /// eligible pair ([`InfluenceScorer::warm_eligible`]). With a
-    /// budget of 1 warming is skipped — the lazy fill inside the
-    /// scoring pass does the same work with the same results.
+    /// eligible pair ([`InfluenceScorer::warm_eligible`]). Warming runs
+    /// at every budget (at 1 thread it is the same work the lazy fill
+    /// would do, with the same results) so the pipeline's persistent
+    /// cache sees an identical key set no matter how a round executes.
     fn prepare(
         &self,
         scorer: &InfluenceScorer<'_>,
@@ -172,9 +224,7 @@ impl DitaPipeline {
     ) -> (usize, EligibilityMatrix) {
         let threads = self.scoring_threads();
         let matrix = EligibilityMatrix::build_with_threads(instance, threads);
-        if threads > 1 {
-            scorer.warm_eligible(instance, &matrix, threads);
-        }
+        scorer.warm_eligible(instance, &matrix, threads);
         (threads, matrix)
     }
 
@@ -205,14 +255,27 @@ impl DitaPipeline {
         self.model.fold_in_worker(net, history)
     }
 
-    /// Creates an influence oracle (full product).
+    /// Creates an influence oracle (full product) bound to the
+    /// pipeline's persistent [`ScorerCache`] — per-task quantities
+    /// computed by one scorer are re-hit by the next, across rounds
+    /// and across pool maintenance. Values are bit-identical to a
+    /// fresh-cache scorer (entries are pure functions of task content
+    /// and the frozen models).
     pub fn scorer(&self) -> InfluenceScorer<'_> {
-        InfluenceScorer::new(&self.model)
+        InfluenceScorer::shared(&self.model, &self.cache)
     }
 
-    /// Creates an ablation oracle.
+    /// Creates an ablation oracle, sharing the same persistent cache
+    /// (entries hold raw per-task quantities, not scores, so one cache
+    /// serves every variant).
     pub fn scorer_variant(&self, variant: InfluenceVariant) -> InfluenceScorer<'_> {
-        InfluenceScorer::with_variant(&self.model, variant)
+        InfluenceScorer::shared_variant(&self.model, &self.cache, variant)
+    }
+
+    /// The pipeline's persistent per-task scorer cache (telemetry /
+    /// test hook; scorers manage it automatically).
+    pub fn scorer_cache(&self) -> &ScorerCache {
+        &self.cache
     }
 
     /// Runs an assignment algorithm on an instance (no entropy data;
@@ -243,6 +306,81 @@ impl DitaPipeline {
             .with_entropy(&entropies)
             .with_threads(threads);
         run_with_matrix(kind, &input, &matrix)
+    }
+
+    /// Runs one online round with a per-phase telemetry split — the
+    /// serving-loop entry point ([`sc_sim`-level] engines call this
+    /// every round).
+    ///
+    /// With `elig: Some(state)` the round is **incremental**: the
+    /// eligibility matrix is advanced from `state` by a delta (only
+    /// changed workers/tasks are re-evaluated) and scoring runs through
+    /// the pipeline's persistent [`ScorerCache`]. With `None` the round
+    /// is the **from-scratch baseline**: `EligibilityMatrix::build`
+    /// plus a fresh private scorer cache. Both paths produce the same
+    /// `Assignment` bit for bit, at any thread budget — the returned
+    /// [`RoundPerf`] is the only thing that differs.
+    ///
+    /// [`sc_sim`-level]: DitaPipeline::scorer
+    pub fn assign_round(
+        &self,
+        instance: &Instance,
+        task_venues: &[VenueId],
+        kind: AlgorithmKind,
+        elig: Option<&mut EligibilityState>,
+    ) -> (Assignment, RoundPerf) {
+        let threads = self.scoring_threads();
+        let mut perf = RoundPerf::default();
+        let incremental = elig.is_some();
+
+        let t = Instant::now();
+        let matrix = match elig {
+            Some(state) => {
+                let (matrix, delta) = state.advance(instance, threads);
+                perf.delta = delta;
+                matrix
+            }
+            None => {
+                // Report the from-scratch build honestly in the delta
+                // counters so round telemetry reads the same either way.
+                perf.delta.full_rebuild = true;
+                perf.delta.rows_rebuilt = instance.workers.len();
+                perf.delta.tasks_added = instance.tasks.len();
+                EligibilityMatrix::build_with_threads(instance, threads)
+            }
+        };
+        perf.eligibility_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        // Incremental rounds score through the persistent cache; the
+        // rebuild path pays for a fresh one — the honest from-scratch
+        // baseline for A/B timing.
+        let scorer = if incremental {
+            InfluenceScorer::shared(&self.model, &self.cache)
+        } else {
+            InfluenceScorer::new(&self.model)
+        };
+
+        let t = Instant::now();
+        let warm = scorer.warm_eligible(instance, &matrix, threads);
+        perf.cache_hits = warm.hits;
+        perf.cache_misses = warm.misses;
+        perf.cache_entries = warm.entries;
+        perf.warm_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let entropies = self.model.task_entropies(task_venues);
+        let input = AssignInput::new(instance, &scorer)
+            .with_entropy(&entropies)
+            .with_threads(threads);
+
+        let t = Instant::now();
+        let influences = score_pairs(&input, &matrix);
+        perf.score_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let assignment = run_scored(kind, &input, &matrix, &influences);
+        perf.solve_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        (assignment, perf)
     }
 
     /// Runs an ablation variant of IA on an instance. Scoring
@@ -440,6 +578,45 @@ mod tests {
         let a = p.assign(&instance(), AlgorithmKind::Ia);
         assert_eq!(a.len(), 3);
         assert!(a.pairs().iter().all(|pair| pair.influence >= 0.0));
+    }
+
+    #[test]
+    fn assign_round_incremental_matches_rebuild() {
+        let p = tiny_pipeline();
+        let inst = instance();
+        let venues = vec![
+            sc_types::VenueId::new(0),
+            sc_types::VenueId::new(10),
+            sc_types::VenueId::new(20),
+        ];
+        let mut state = EligibilityState::new();
+        for kind in [AlgorithmKind::Ia, AlgorithmKind::Eia, AlgorithmKind::Mta] {
+            let (inc, perf) = p.assign_round(&inst, &venues, kind, Some(&mut state));
+            let (scratch, _) = p.assign_round(&inst, &venues, kind, None);
+            assert_eq!(inc, scratch, "{kind}: incremental != rebuild");
+            assert_eq!(inc.len(), 3);
+            // Telemetry counters are deterministic facts of the round.
+            assert_eq!(perf.cache_hits + perf.cache_misses, 3);
+        }
+        // Same instance re-advanced: every pair carries, cache all-hits.
+        let (_, perf) = p.assign_round(&inst, &venues, AlgorithmKind::Ia, Some(&mut state));
+        assert!(!perf.delta.full_rebuild);
+        assert_eq!(perf.delta.rows_rebuilt, 0);
+        assert_eq!(perf.cache_misses, 0);
+        assert_eq!(perf.cache_hits, 3);
+    }
+
+    #[test]
+    fn cloned_pipeline_starts_with_empty_cache() {
+        let p = tiny_pipeline();
+        p.assign(&instance(), AlgorithmKind::Ia);
+        assert!(!p.scorer_cache().is_empty());
+        let q = p.clone();
+        assert!(q.scorer_cache().is_empty());
+        assert_eq!(
+            q.assign(&instance(), AlgorithmKind::Ia),
+            p.assign(&instance(), AlgorithmKind::Ia)
+        );
     }
 
     #[test]

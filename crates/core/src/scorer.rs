@@ -9,19 +9,43 @@
 //! population willingness vector — are cached on first use, because every
 //! algorithm queries many workers against the same task.
 //!
-//! The cache sits behind a reader-writer lock so the sharded scoring
+//! The cache is an owned [`ScorerCache`] the scorer either creates for
+//! itself ([`InfluenceScorer::new`]) or borrows from a long-lived holder
+//! ([`InfluenceScorer::shared`] — [`crate::DitaPipeline`] keeps one
+//! across rounds). Extracting it from the scorer's lifetime-borrowed
+//! internals is what lets entries survive between rounds: the scorer
+//! borrows the model only for the duration of one scoring pass, while
+//! the cache outlives both the scorer *and* any pool maintenance that
+//! mutably borrows the model in between.
+//!
+//! Entries are keyed by **task content** (exact location bits plus a
+//! digest of the category list), not task id: recurring venues re-hit
+//! the cache across rounds even though every posting gets a fresh id.
+//! Each entry is a pure function of `(task content, frozen LDA +
+//! willingness models, population size)` — see
+//! [`InfluenceModel::task_topics`] / [`InfluenceModel::willingness_all`]
+//! — so the one model mutation that stales entries is population growth
+//! (worker fold-in); pool rotation and eviction never touch cached
+//! quantities because propagation is always read live off the pool.
+//! The cache tags itself with the population it was filled for and
+//! self-clears when a scorer binds it to a grown model.
+//!
+//! The map sits behind a reader-writer lock so the sharded scoring
 //! pass (`sc-assign`'s parallel pair scan) reads it concurrently;
 //! [`InfluenceScorer::warm_tasks`] fills it up front over the thread
 //! budget — per-task work items evaluated in parallel, merged in index
 //! order — after which every `score` call is a pure shared read. Cache
 //! entries derive deterministically from task content, so lazy, warmed,
-//! sequential, and sharded paths all see identical values.
+//! sequential, and sharded paths all see identical values; the hit and
+//! miss counts ([`WarmStats`]) are computed in the sequential todo
+//! filter, so they too are identical at any thread count.
 
 use crate::model::InfluenceModel;
 use parking_lot::RwLock;
 use sc_assign::{EligibilityMatrix, InfluenceOracle};
 use sc_types::{Instance, Task, WorkerId};
 use std::collections::HashMap;
+use std::fmt;
 
 /// Which factors of the influence product are active — the evaluation's
 /// ablation variants (Section V-B1).
@@ -61,9 +85,149 @@ impl InfluenceVariant {
 }
 
 /// Per-task cached quantities.
-struct TaskCache {
+struct TaskEntry {
     topics: Vec<f64>,
     willingness: Vec<f64>,
+}
+
+/// Content identity of a task's cached quantities: exact location bits
+/// plus the length and two independent FNV-1a digests of the category
+/// sequence. Topics depend only on the category document and
+/// willingness only on the location (module docs), so two tasks with
+/// equal content share one entry. The digests make the key compact
+/// enough for an allocation-free lookup per score; a false share would
+/// need two *different* category sequences of equal length at the
+/// *same exact coordinates* to collide in 128 independent bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TaskKey {
+    x: u64,
+    y: u64,
+    cats_a: u64,
+    cats_b: u64,
+    n_cats: u32,
+}
+
+fn task_key(task: &Task) -> TaskKey {
+    let mut a = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    let mut b = 0x9e37_79b9_7f4a_7c15u64; // independent second stream
+    for c in &task.categories {
+        let w = c.raw() as u64 + 1;
+        a = (a ^ w).wrapping_mul(0x100_0000_01b3);
+        b = (b ^ w.rotate_left(17)).wrapping_mul(0x100_0000_01b3);
+    }
+    TaskKey {
+        x: task.location.x.to_bits(),
+        y: task.location.y.to_bits(),
+        cats_a: a,
+        cats_b: b,
+        n_cats: task.categories.len() as u32,
+    }
+}
+
+/// Outcome of one cache-warming pass ([`InfluenceScorer::warm_tasks`] /
+/// [`InfluenceScorer::warm_eligible`]), counted over **distinct content
+/// keys** in the warmed batch. Computed in the sequential todo filter
+/// before any parallel work fans out, so the counts are identical at
+/// any thread count — [`sc_sim`-level] round reports can carry them
+/// without weakening the determinism contract.
+///
+/// [`sc_sim`-level]: crate::DitaPipeline::assign_round
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmStats {
+    /// Distinct content keys that were already resident.
+    pub hits: usize,
+    /// Distinct content keys this pass had to compute.
+    pub misses: usize,
+    /// Entries resident after the pass.
+    pub entries: usize,
+}
+
+/// An owned, shareable store of per-task scoring quantities — the
+/// extraction of the scorer's former internal cache into a value a
+/// [`crate::DitaPipeline`] can hold *across* rounds (and across the
+/// pool maintenance that mutably borrows the model between them).
+///
+/// Interior-mutable behind a reader-writer lock: concurrent scorers
+/// share reads; misses compute outside any lock and first insert wins
+/// (both compute identical bytes). The cache records the population it
+/// was filled for and [`InfluenceScorer::shared`] clears it when the
+/// model has since grown (worker fold-in changes every willingness
+/// vector's length) — the one invalidation event; rotation and
+/// eviction leave entries valid (module docs).
+#[derive(Default)]
+pub struct ScorerCache {
+    inner: RwLock<CacheInner>,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    /// Population the resident entries were computed for.
+    population: usize,
+    map: HashMap<TaskKey, TaskEntry>,
+}
+
+impl ScorerCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.read().map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (the population tag is kept).
+    pub fn clear(&self) {
+        self.inner.write().map.clear();
+    }
+
+    /// Re-tags the cache for `population`, dropping every entry if the
+    /// resident ones were computed for a different population (their
+    /// willingness vectors would have the wrong length). Called by
+    /// every scorer that binds this cache to a model.
+    fn sync_population(&self, population: usize) {
+        if self.inner.read().population == population {
+            return;
+        }
+        let mut inner = self.inner.write();
+        if inner.population != population {
+            inner.map.clear();
+            inner.population = population;
+        }
+    }
+}
+
+impl fmt::Debug for ScorerCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("ScorerCache")
+            .field("entries", &inner.map.len())
+            .field("population", &inner.population)
+            .finish()
+    }
+}
+
+/// How a scorer holds its cache: owned (fresh per scorer — the batch
+/// one-shot paths) or borrowed from a long-lived holder (the pipeline's
+/// persistent cache).
+enum CacheRef<'a> {
+    Owned(ScorerCache),
+    Shared(&'a ScorerCache),
+}
+
+impl CacheRef<'_> {
+    fn get(&self) -> &ScorerCache {
+        match self {
+            CacheRef::Owned(c) => c,
+            CacheRef::Shared(c) => c,
+        }
+    }
 }
 
 /// A factor-by-factor breakdown of one worker-task influence value —
@@ -89,21 +253,50 @@ pub struct InfluenceBreakdown {
 pub struct InfluenceScorer<'a> {
     model: &'a InfluenceModel,
     variant: InfluenceVariant,
-    cache: RwLock<HashMap<u32, TaskCache>>,
+    cache: CacheRef<'a>,
 }
 
 impl<'a> InfluenceScorer<'a> {
-    /// Creates a scorer for the full influence product.
+    /// Creates a scorer for the full influence product with a fresh
+    /// private cache (the batch one-shot construction).
     pub fn new(model: &'a InfluenceModel) -> Self {
         Self::with_variant(model, InfluenceVariant::Full)
     }
 
-    /// Creates a scorer for an ablation variant.
+    /// Creates a scorer for an ablation variant with a fresh private
+    /// cache.
     pub fn with_variant(model: &'a InfluenceModel, variant: InfluenceVariant) -> Self {
+        let cache = ScorerCache::new();
+        cache.sync_population(model.n_workers());
         InfluenceScorer {
             model,
             variant,
-            cache: RwLock::new(HashMap::new()),
+            cache: CacheRef::Owned(cache),
+        }
+    }
+
+    /// Creates a scorer borrowing a long-lived [`ScorerCache`] — entries
+    /// computed by this scorer survive it and are re-hit by the next one
+    /// bound to the same cache. If the model's population has grown
+    /// since the cache was filled (worker fold-in), the stale entries
+    /// are dropped here. Entries are variant-independent (they hold the
+    /// raw per-task quantities, not scores), so one cache serves every
+    /// ablation variant.
+    pub fn shared(model: &'a InfluenceModel, cache: &'a ScorerCache) -> Self {
+        Self::shared_variant(model, cache, InfluenceVariant::Full)
+    }
+
+    /// [`InfluenceScorer::shared`] for an ablation variant.
+    pub fn shared_variant(
+        model: &'a InfluenceModel,
+        cache: &'a ScorerCache,
+        variant: InfluenceVariant,
+    ) -> Self {
+        cache.sync_population(model.n_workers());
+        InfluenceScorer {
+            model,
+            variant,
+            cache: CacheRef::Shared(cache),
         }
     }
 
@@ -115,43 +308,56 @@ impl<'a> InfluenceScorer<'a> {
     /// The per-task quantities every score of `task` needs — derived
     /// purely from task content and the frozen model, so any thread
     /// computing the entry produces the same bytes.
-    fn compute_task_cache(&self, task: &Task) -> TaskCache {
+    fn compute_task_entry(&self, task: &Task) -> TaskEntry {
         let topics = self.model.task_topics(task);
         let mut willingness = Vec::new();
         self.model.willingness_all(&task.location, &mut willingness);
-        TaskCache {
+        TaskEntry {
             topics,
             willingness,
         }
     }
 
     /// Pre-fills the per-task cache for `tasks` using up to `threads`
-    /// worker threads. Each task is one work item; items are evaluated
-    /// over the workspace's chunked-shard scheduler and merged into the
-    /// cache in index order. Warming is an optimization only: values
-    /// are identical whether entries were warmed or computed lazily,
-    /// at any thread count. Already-cached and duplicate ids are
-    /// skipped.
-    pub fn warm_tasks(&self, tasks: &[&Task], threads: usize) {
-        let todo: Vec<&Task> = {
-            let cache = self.cache.read();
-            let mut seen = std::collections::HashSet::new();
-            tasks
-                .iter()
-                .filter(|t| !cache.contains_key(&t.id.raw()) && seen.insert(t.id.raw()))
-                .copied()
-                .collect()
-        };
+    /// worker threads. Each distinct content key is one work item;
+    /// items are evaluated over the workspace's chunked-shard scheduler
+    /// and merged into the cache in index order. Warming is an
+    /// optimization only: values are identical whether entries were
+    /// warmed or computed lazily, at any thread count. The returned
+    /// hit/miss counts come from the sequential todo filter, so they
+    /// are thread-count-independent too.
+    pub fn warm_tasks(&self, tasks: &[&Task], threads: usize) -> WarmStats {
+        let mut stats = WarmStats::default();
+        let mut seen = std::collections::HashSet::new();
+        let mut todo: Vec<(&Task, TaskKey)> = Vec::new();
+        {
+            let inner = self.cache.get().inner.read();
+            for &task in tasks {
+                let key = task_key(task);
+                if !seen.insert(key) {
+                    continue; // duplicate content within the batch
+                }
+                if inner.map.contains_key(&key) {
+                    stats.hits += 1;
+                } else {
+                    todo.push((task, key));
+                }
+            }
+        }
+        stats.misses = todo.len();
         if todo.is_empty() {
-            return;
+            stats.entries = self.cache.get().len();
+            return stats;
         }
         let entries = sc_stats::par::map_chunked(todo.len(), threads.max(1), |i| {
-            self.compute_task_cache(todo[i])
+            self.compute_task_entry(todo[i].0)
         });
-        let mut cache = self.cache.write();
-        for (task, entry) in todo.iter().zip(entries) {
-            cache.entry(task.id.raw()).or_insert(entry);
+        let mut inner = self.cache.get().inner.write();
+        for (&(_, key), entry) in todo.iter().zip(entries) {
+            inner.map.entry(key).or_insert(entry);
         }
+        stats.entries = inner.map.len();
+        stats
     }
 
     /// Warms the cache for every task of `instance` that has at least
@@ -159,7 +365,12 @@ impl<'a> InfluenceScorer<'a> {
     /// scored, so warming them would be wasted fold-in work). The one
     /// eligibility-driven warming rule, shared by [`crate::DitaPipeline`]'s
     /// assign paths and the sweep harness.
-    pub fn warm_eligible(&self, instance: &Instance, matrix: &EligibilityMatrix, threads: usize) {
+    pub fn warm_eligible(
+        &self,
+        instance: &Instance,
+        matrix: &EligibilityMatrix,
+        threads: usize,
+    ) -> WarmStats {
         let mut used = vec![false; instance.tasks.len()];
         for pair in matrix.pairs() {
             used[pair.task_idx as usize] = true;
@@ -171,25 +382,25 @@ impl<'a> InfluenceScorer<'a> {
             .filter(|&(ti, _)| used[ti])
             .map(|(_, t)| t)
             .collect();
-        self.warm_tasks(&tasks, threads);
+        self.warm_tasks(&tasks, threads)
     }
 
-    fn with_task_cache<T>(&self, task: &Task, f: impl FnOnce(&TaskCache) -> T) -> T {
-        let key = task.id.raw();
+    fn with_task_entry<T>(&self, task: &Task, f: impl FnOnce(&TaskEntry) -> T) -> T {
+        let key = task_key(task);
         {
             // Warm path: a shared read — concurrent scorers (the
             // sharded pair scan) never serialize on the lock.
-            let cache = self.cache.read();
-            if let Some(entry) = cache.get(&key) {
+            let inner = self.cache.get().inner.read();
+            if let Some(entry) = inner.map.get(&key) {
                 return f(entry);
             }
         }
         // Miss: compute outside any lock (another thread may race on
-        // the same task; both compute identical bytes and the first
+        // the same content; both compute identical bytes and the first
         // insert wins), then publish.
-        let computed = self.compute_task_cache(task);
-        let mut cache = self.cache.write();
-        let entry = cache.entry(key).or_insert(computed);
+        let computed = self.compute_task_entry(task);
+        let mut inner = self.cache.get().inner.write();
+        let entry = inner.map.entry(key).or_insert(computed);
         f(entry)
     }
 
@@ -198,7 +409,7 @@ impl<'a> InfluenceScorer<'a> {
         if worker.index() >= self.model.n_workers() {
             return 0.0;
         }
-        self.with_task_cache(task, |cache| match self.variant {
+        self.with_task_entry(task, |cache| match self.variant {
             InfluenceVariant::Full => {
                 let aff = self.model.affinity_with(worker, &cache.topics);
                 if aff == 0.0 {
@@ -239,7 +450,7 @@ impl InfluenceScorer<'_> {
                 score: 0.0,
             };
         }
-        self.with_task_cache(task, |cache| {
+        self.with_task_entry(task, |cache| {
             let affinity = self.model.affinity_with(worker, &cache.topics);
             let weighted_propagation = self
                 .model
@@ -449,6 +660,61 @@ mod tests {
         let b = scorer.explain(WorkerId::new(99), &task_a());
         assert_eq!(b.score, 0.0);
         assert_eq!(b.total_propagation, 0.0);
+    }
+
+    #[test]
+    fn shared_cache_persists_across_scorers_and_keys_by_content() {
+        let (social, store) = world();
+        let model = InfluenceModel::train(&config(), &social, &store);
+        let cache = ScorerCache::new();
+
+        let first = {
+            let scorer = InfluenceScorer::shared(&model, &cache);
+            let stats = scorer.warm_tasks(&[&task_a()], 1);
+            assert_eq!((stats.hits, stats.misses, stats.entries), (0, 1, 1));
+            scorer.score(WorkerId::new(1), &task_a())
+        };
+        // A *different* posting (fresh id, same venue content) re-hits
+        // the surviving entry through a brand-new scorer.
+        let mut same_venue = task_a();
+        same_venue.id = TaskId::new(77);
+        let scorer = InfluenceScorer::shared(&model, &cache);
+        let stats = scorer.warm_tasks(&[&same_venue], 1);
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 0, 1));
+        assert_eq!(scorer.score(WorkerId::new(1), &same_venue), first);
+
+        // Shared-cache values match the private-cache path bit for bit.
+        let fresh = InfluenceScorer::new(&model);
+        assert_eq!(fresh.score(WorkerId::new(1), &task_a()), first);
+    }
+
+    #[test]
+    fn shared_cache_clears_when_population_grows() {
+        let (social, store) = world();
+        let model = InfluenceModel::train(&config(), &social, &store);
+        let cache = ScorerCache::new();
+        InfluenceScorer::shared(&model, &cache).score(WorkerId::new(0), &task_a());
+        assert_eq!(cache.len(), 1);
+        // Simulate a fold-in having grown the population: re-binding the
+        // cache under a different population tag must drop the entries.
+        cache.sync_population(model.n_workers() + 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn task_keys_separate_content_not_ids() {
+        let a = task_a();
+        let mut renamed = task_a();
+        renamed.id = TaskId::new(9);
+        assert_eq!(task_key(&a), task_key(&renamed));
+
+        let mut moved = task_a();
+        moved.location = Location::new(0.5 + 1e-12, 0.0);
+        assert_ne!(task_key(&a), task_key(&moved));
+
+        let mut recat = task_a();
+        recat.categories = vec![CategoryId::new(1)];
+        assert_ne!(task_key(&a), task_key(&recat));
     }
 
     #[test]

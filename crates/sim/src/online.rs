@@ -51,9 +51,22 @@
 //! above survives intra-round parallelism
 //! (`crates/sim/tests/round_parallel_determinism.rs` pins it;
 //! `bench_round` measures the speedup).
+//!
+//! Rounds are also *incremental* by default
+//! ([`OnlineConfig::incremental`]): the engine carries an
+//! [`EligibilityState`] across rounds — eligibility is advanced by a
+//! delta from the previous round instead of rebuilt — and scores
+//! through the pipeline's persistent content-keyed scorer cache, which
+//! only worker fold-ins invalidate. Both reuse paths are exact, so a
+//! round's [`RoundReport`] is bit-identical to the `--no-incremental`
+//! rebuild baseline at any thread count
+//! (`crates/sim/tests/incremental_round_determinism.rs` pins it;
+//! `bench_round` measures the steady-state speedup). The report's
+//! telemetry fields (`cache_hits`, `elig_*`, the `*_ms` phase split)
+//! describe how the round was served and are excluded from equality.
 
 use sc_assign::AlgorithmKind;
-use sc_core::{DitaPipeline, OnlineConfig};
+use sc_core::{DitaPipeline, EligibilityState, OnlineConfig};
 use sc_datagen::SyntheticDataset;
 use sc_influence::SocialNetwork;
 use sc_types::{Duration, History, Task, TaskId, TimeInstant, VenueId, Worker, WorkerId};
@@ -89,8 +102,12 @@ pub fn scripted_arrival(
 
 /// Outcome of one assignment round.
 ///
-/// Equality ignores the wall-clock field (`maintenance_ms`) so
-/// determinism suites can compare whole reports across thread counts.
+/// Equality ignores the wall-clock fields (`maintenance_ms` and the
+/// per-phase `*_ms` split) **and** the cache/delta telemetry counters:
+/// those describe *how* the round was served (incremental vs rebuild,
+/// warm vs cold cache), while equality asserts *what* the round
+/// decided — so the determinism suites can compare whole reports
+/// across thread counts and across the incremental/rebuild paths.
 #[derive(Debug, Clone)]
 pub struct RoundReport {
     /// Round counter (0-based).
@@ -121,6 +138,29 @@ pub struct RoundReport {
     /// Wall time of pool maintenance, milliseconds (excluded from
     /// `PartialEq`).
     pub maintenance_ms: f64, // lint: timing
+    /// Eligibility phase wall time (delta apply or full build),
+    /// milliseconds (excluded from `PartialEq`).
+    pub eligibility_ms: f64, // lint: timing
+    /// Scorer-cache warm wall time, milliseconds (excluded).
+    pub warm_ms: f64, // lint: timing
+    /// Pair-scan wall time, milliseconds (excluded).
+    pub score_ms: f64, // lint: timing
+    /// Assignment-solve wall time, milliseconds (excluded).
+    pub solve_ms: f64, // lint: timing
+    /// Distinct task-content keys already warm in the scorer cache
+    /// (serving-mode telemetry, excluded from `PartialEq`).
+    pub cache_hits: usize,
+    /// Distinct task-content keys computed this round (excluded).
+    pub cache_misses: usize,
+    /// Worker rows carried by the eligibility delta (excluded).
+    pub elig_rows_carried: usize,
+    /// Worker rows rebuilt by the eligibility delta (excluded).
+    pub elig_rows_rebuilt: usize,
+    /// Pairs reused from the previous round's matrix (excluded).
+    pub elig_pairs_carried: usize,
+    /// Whether eligibility fell back to a from-scratch build this
+    /// round (always `true` on the `--no-incremental` path; excluded).
+    pub elig_full_rebuild: bool,
 }
 
 impl PartialEq for RoundReport {
@@ -137,7 +177,10 @@ impl PartialEq for RoundReport {
             && self.pool_sets == other.pool_sets
             && self.sets_evicted == other.sets_evicted
             && self.sets_added == other.sets_added
-        // maintenance_ms is a run condition, not a result.
+        // Wall-clock (`*_ms`) and serving-mode telemetry (cache hit
+        // counts, eligibility delta shape) are run conditions, not
+        // results: incremental and rebuild runs of the same script
+        // must compare equal.
     }
 }
 
@@ -285,6 +328,10 @@ pub struct OnlineEngine<'a> {
     /// arrival. Rebuilt after the (already linear) removal passes.
     online_index: HashMap<WorkerId, usize>,
     round: u64,
+    /// Carried eligibility CSR + fingerprints for the incremental
+    /// round path ([`OnlineConfig::incremental`]); unused (left
+    /// unprimed) when running rebuild rounds.
+    elig: EligibilityState,
     pending_tasks: usize,
     pending_workers: usize,
     published: usize,
@@ -377,6 +424,7 @@ impl<'a> OnlineEngine<'a> {
             workers: Vec::new(),
             online_index: HashMap::new(),
             round: 0,
+            elig: EligibilityState::new(),
             pending_tasks: 0,
             pending_workers: 0,
             published: 0,
@@ -543,10 +591,15 @@ impl<'a> OnlineEngine<'a> {
         let available_tasks = tasks.len();
         let online_workers = self.workers.len();
         let instance = sc_types::Instance::new(now, self.workers.clone(), tasks);
-        let assignment = self
+        let elig = if self.config.incremental {
+            Some(&mut self.elig)
+        } else {
+            None
+        };
+        let (assignment, perf) = self
             .pipeline
             .get()
-            .assign_with_venues(&instance, &venues, algorithm);
+            .assign_round(&instance, &venues, algorithm, elig);
 
         let assigned = assignment.len();
         let ai = assignment.average_influence();
@@ -578,6 +631,16 @@ impl<'a> OnlineEngine<'a> {
             sets_evicted,
             sets_added,
             maintenance_ms,
+            eligibility_ms: perf.eligibility_ms,
+            warm_ms: perf.warm_ms,
+            score_ms: perf.score_ms,
+            solve_ms: perf.solve_ms,
+            cache_hits: perf.cache_hits,
+            cache_misses: perf.cache_misses,
+            elig_rows_carried: perf.delta.rows_carried,
+            elig_rows_rebuilt: perf.delta.rows_rebuilt,
+            elig_pairs_carried: perf.delta.pairs_carried,
+            elig_full_rebuild: perf.delta.full_rebuild,
         };
         self.round += 1;
         report
@@ -792,6 +855,7 @@ mod tests {
             growth_cap: 256,
             eviction_horizon: 2,
             target_sets: 0,
+            incremental: true,
         };
         let (dataset, pipeline) = setup(online);
         let trained = pipeline.model().pool().n_sets();
@@ -1080,6 +1144,7 @@ mod tests {
             growth_cap: 256,
             eviction_horizon: 2,
             target_sets: 0,
+            incremental: true,
         };
         let (dataset, pipeline) = setup(online);
         let trained = pipeline.model().n_workers();

@@ -246,6 +246,7 @@ mod tests {
                 growth_cap: 256,
                 eviction_horizon: 4,
                 target_sets: 0,
+                incremental: true,
             },
             seed: 9,
         }

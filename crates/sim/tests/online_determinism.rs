@@ -33,6 +33,7 @@ fn pipeline(dataset: &SyntheticDataset, threads: Parallelism) -> DitaPipeline {
                 growth_cap: 512,
                 eviction_horizon: 3,
                 target_sets: 0,
+                incremental: true,
             },
             seed: 9,
         })

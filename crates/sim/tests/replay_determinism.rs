@@ -56,6 +56,7 @@ fn config(threads: usize) -> DitaConfig {
             growth_cap: 512,
             eviction_horizon: 4,
             target_sets: 0,
+            incremental: true,
         },
         seed: 0x5EED,
     }

@@ -74,6 +74,7 @@ fn round_reports_identical_across_thread_budgets() {
         growth_cap: 512,
         eviction_horizon: 3,
         target_sets: 0,
+        incremental: true,
     };
     let single = run_script(&data, Parallelism::Single, online);
     for threads in [2usize, 4, 8] {
@@ -107,6 +108,7 @@ fn maintained_pools_identical_across_thread_budgets() {
         growth_cap: 256,
         eviction_horizon: 2,
         target_sets: 0,
+        incremental: true,
     };
     let run_pool = |threads| {
         let pipeline = pipeline(&data, threads, online);

@@ -110,6 +110,11 @@ FLAGS                 applies to            meaning (default)
   --horizon R         online                rounds before a set becomes
                                             eviction-eligible (24; 0 = never)
   --target-sets N     online                live-set target (0 = trained size)
+  --no-incremental    online, replay        rebuild eligibility + scorer cache
+                                            from scratch every round instead of
+                                            advancing them by deltas (A/B
+                                            baseline; reports are identical
+                                            either way)
   --edges PATH        replay                social edge TSV (src\\tdst per line)
   --checkins PATH     replay                check-in TSV (the dita generate /
                                             io::write_checkins_tsv format)
@@ -161,6 +166,17 @@ fn threads_of(flags: &HashMap<String, String>) -> Result<Parallelism, String> {
 
 fn verbose_of(flags: &HashMap<String, String>) -> bool {
     matches!(flags.get("verbose").map(String::as_str), Some("true" | "1"))
+}
+
+/// `--no-incremental` opts a streaming run out of the delta round
+/// pipeline: every round rebuilds eligibility from scratch and scores
+/// through a cold cache. Reports are bit-identical either way; this is
+/// the A/B baseline the benches compare against.
+fn incremental_of(flags: &HashMap<String, String>) -> bool {
+    !matches!(
+        flags.get("no-incremental").map(String::as_str),
+        Some("true" | "1")
+    )
 }
 
 fn profile_of(flags: &HashMap<String, String>) -> Result<DatasetProfile, String> {
@@ -422,6 +438,7 @@ fn cmd_online(flags: &HashMap<String, String>) -> Result<(), String> {
         growth_cap: num(flags, "growth-cap", 1_024)?,
         eviction_horizon: num(flags, "horizon", 24)?,
         target_sets: num(flags, "target-sets", 0)?,
+        incremental: incremental_of(flags),
     };
 
     eprintln!(
@@ -536,6 +553,7 @@ fn cmd_replay(flags: &HashMap<String, String>) -> Result<(), String> {
         growth_cap: num(flags, "growth-cap", 1_024)?,
         eviction_horizon: num(flags, "horizon", 24)?,
         target_sets: num(flags, "target-sets", 0)?,
+        incremental: incremental_of(flags),
     };
 
     let data = LoadedDataset::from_tsv(
