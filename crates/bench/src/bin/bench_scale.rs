@@ -1,0 +1,286 @@
+//! Cold-start at scale under a memory budget → `BENCH_scale.json`.
+//!
+//! Drives the full million-worker-capable cold-start path on the
+//! [`ScaleProfile`] generator — streaming CSR network build, chunked
+//! [`RrrPool`] generation at several thread counts, growth/eviction
+//! rotation, and corpus-free [`StreamingLda`] training — and records
+//! peak memory (both the deterministic arena-capacity accounting and
+//! the OS's `VmHWM` view) plus cold-start wall time per phase.
+//!
+//! ```text
+//! cargo run --release -p sc-bench --bin bench_scale            # 10⁵ workers
+//! cargo run --release -p sc-bench --bin bench_scale -- --smoke # 10⁴ workers (CI)
+//! DITA_SCALE_WORKERS=1000000 cargo run --release -p sc-bench --bin bench_scale
+//! ```
+//!
+//! The run *asserts* its budget, it does not merely report it:
+//!
+//! * chunked pools must be bit-identical across thread counts and to
+//!   the contiguous reference pool (fingerprint equality);
+//! * the chunked pool's peak accounting must stay **additive** — live
+//!   bytes plus a bounded number of arena segments — while the
+//!   contiguous reference must exhibit the multiplicative replacement
+//!   copy (peak above capacity) the refactor removed; chunked peak must
+//!   undercut contiguous peak outright at this scale;
+//! * on Linux, whole-run peak RSS must stay under a ceiling
+//!   (`DITA_SCALE_RSS_CEILING_MB` to override; elsewhere the probe
+//!   honestly records `null` and the ceiling is skipped).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sc_datagen::ScaleProfile;
+use sc_influence::{arena::SEG_BYTES, ContiguousPool, PoolMemStats, PropagationModel, RrrPool};
+use sc_stats::{peak_rss_bytes, reset_peak_rss};
+use sc_topics::{LdaParams, StreamingLda};
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One measured phase: wall time plus the kernel's per-phase RSS peak
+/// (watermark reset before the phase; `None` off-Linux).
+struct Phase {
+    name: &'static str,
+    wall_ms: f64,
+    rss_peak: Option<u64>,
+}
+
+fn timed<T>(name: &'static str, phases: &mut Vec<Phase>, f: impl FnOnce() -> T) -> T {
+    reset_peak_rss();
+    let t0 = Instant::now();
+    let out = f();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let rss_peak = peak_rss_bytes();
+    let rss = rss_peak
+        .map(|b| format!("{:.0} MB peak RSS", b as f64 / (1 << 20) as f64))
+        .unwrap_or_else(|| "RSS unavailable".into());
+    eprintln!("[bench_scale] {name}: {wall_ms:.0} ms, {rss}");
+    phases.push(Phase {
+        name,
+        wall_ms,
+        rss_peak,
+    });
+    out
+}
+
+/// Additive-transient allowance for the chunked pool: the membership
+/// delta index (≤ live/8 — a quarter of the sets is rotated per round,
+/// and membership is about half the live bytes), the per-worker scatter
+/// scratch (count + cursor vectors, 12 B each), and a handful of arena
+/// segments in flight. Everything here is O(delta) + O(workers) —
+/// crucially NOT proportional to live bytes the way the contiguous
+/// layout's replacement copy is.
+fn additive_slack(live_bytes: usize, n_workers: usize) -> usize {
+    live_bytes / 8 + 12 * n_workers + 8 * SEG_BYTES
+}
+
+fn json_opt(v: Option<u64>) -> String {
+    v.map_or("null".into(), |b| b.to_string())
+}
+
+fn mem_json(m: &PoolMemStats) -> String {
+    format!(
+        "{{\"live_bytes\": {}, \"capacity_bytes\": {}, \"peak_bytes\": {}}}",
+        m.live_bytes, m.capacity_bytes, m.peak_bytes
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n_workers = env_usize("DITA_SCALE_WORKERS", if smoke { 10_000 } else { 100_000 });
+    let sets_per_worker = env_usize("DITA_SCALE_SETS_PER_WORKER", 2);
+    let n_sets = n_workers * sets_per_worker;
+    let n_topics = env_usize("DITA_SCALE_TOPICS", 16);
+    let sweeps = env_usize("DITA_SCALE_SWEEPS", 3);
+    // Generous by design: the ceiling catches budget *regressions*
+    // (forgotten copies, doubling growth), not normal variance.
+    let ceiling_mb = env_usize("DITA_SCALE_RSS_CEILING_MB", 512 + 2 * n_workers / 1_000);
+    let master_seed = 0xD17A_5CA1u64;
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4);
+
+    let profile = ScaleProfile::with_workers(n_workers);
+    eprintln!(
+        "[bench_scale] profile {}: {n_workers} workers, target {} directed edges, {n_sets} sets",
+        profile.name,
+        profile.target_directed_edges()
+    );
+
+    let mut phases: Vec<Phase> = Vec::new();
+    let whole_run_t0 = Instant::now();
+
+    // Phase 1 — streaming network build (generator → CsrBuilder → CSR).
+    let net = timed("network_build", &mut phases, || {
+        profile.social_network(master_seed)
+    });
+    assert!(
+        net.n_edges() > profile.target_directed_edges() * 9 / 10,
+        "generator fell far short of the target edge count: {}",
+        net.n_edges()
+    );
+
+    // Phase 2 — chunked cold start at 1 and N threads, bit-identical.
+    let pool1 = timed("cold_start_chunked_t1", &mut phases, || {
+        RrrPool::generate_sharded(
+            &net,
+            n_sets,
+            PropagationModel::WeightedCascade,
+            master_seed,
+            1,
+        )
+    });
+    let mut pool = timed("cold_start_chunked_tn", &mut phases, || {
+        RrrPool::generate_sharded(
+            &net,
+            n_sets,
+            PropagationModel::WeightedCascade,
+            master_seed,
+            max_threads,
+        )
+    });
+    let fingerprint = pool.fingerprint();
+    assert_eq!(
+        pool1.fingerprint(),
+        fingerprint,
+        "chunked pool diverged between 1 and {max_threads} threads"
+    );
+    assert_eq!(
+        pool1.mem_stats(),
+        pool.mem_stats(),
+        "deterministic byte accounting diverged across thread counts"
+    );
+    let cold = pool.mem_stats();
+    drop(pool1);
+    assert!(
+        cold.peak_bytes <= cold.live_bytes + additive_slack(cold.live_bytes, n_workers),
+        "chunked cold start transients not additive: peak {} vs live {}",
+        cold.peak_bytes,
+        cold.live_bytes
+    );
+
+    // Phase 3 — growth + eviction rotation: the maintained pool must
+    // keep its transients additive while sets rotate through it.
+    let rotated = timed("rotation", &mut phases, || {
+        for _ in 0..3 {
+            let epoch = pool.advance_epoch();
+            pool.evict_before_epoch(epoch, n_sets / 4);
+            pool.extend_to(&net, n_sets, max_threads);
+        }
+        pool.mem_stats()
+    });
+    assert!(
+        rotated.peak_bytes <= rotated.live_bytes + additive_slack(rotated.live_bytes, n_workers),
+        "rotation transients not additive: peak {} vs live {}",
+        rotated.peak_bytes,
+        rotated.live_bytes
+    );
+
+    // Phase 4 — contiguous reference A/B: same sets, doubling-Vec
+    // layout. Its replacement copies must show up as a multiplicative
+    // peak, and the chunked peak must undercut it outright.
+    let contiguous = timed("cold_start_contiguous", &mut phases, || {
+        ContiguousPool::generate_sharded(
+            &net,
+            n_sets,
+            PropagationModel::WeightedCascade,
+            master_seed,
+            max_threads,
+        )
+    });
+    assert_eq!(
+        contiguous.fingerprint(),
+        fingerprint,
+        "contiguous reference pool diverged from the chunked pool"
+    );
+    let contig = contiguous.mem_stats();
+    drop(contiguous);
+    assert!(
+        contig.peak_bytes > contig.capacity_bytes,
+        "contiguous pool shows no replacement copy — A/B reference is broken"
+    );
+    assert!(
+        cold.peak_bytes < contig.peak_bytes,
+        "chunked peak {} must undercut contiguous peak {} at {n_workers} workers",
+        cold.peak_bytes,
+        contig.peak_bytes
+    );
+
+    // Phase 5 — streaming LDA over per-worker documents, no corpus.
+    let docs = profile.documents(master_seed);
+    let n_tokens = timed("streaming_lda", &mut phases, || {
+        let params = LdaParams::with_topics(n_topics).sweeps(sweeps);
+        let mut rng = SmallRng::seed_from_u64(master_seed);
+        let mut lda = StreamingLda::new(params, docs.n_words());
+        let mut tokens = 0usize;
+        for w in 0..n_workers as u32 {
+            let doc = docs.document(w);
+            tokens += doc.len();
+            lda.feed_doc(doc, &mut rng);
+        }
+        let model = lda.finish(&mut rng);
+        assert_eq!(model.n_docs(), n_workers);
+        tokens
+    });
+
+    let total_wall_ms = whole_run_t0.elapsed().as_secs_f64() * 1e3;
+    let rss_whole = peak_rss_bytes();
+    let rss_ceiling_ok = match rss_whole {
+        // clear_refs resets the watermark per phase, so the whole-run
+        // peak is the max over phase peaks.
+        Some(_) => {
+            let peak = phases
+                .iter()
+                .filter_map(|p| p.rss_peak)
+                .max()
+                .unwrap_or_default();
+            assert!(
+                peak <= (ceiling_mb as u64) << 20,
+                "peak RSS {:.0} MB exceeds the {ceiling_mb} MB ceiling",
+                peak as f64 / (1 << 20) as f64
+            );
+            true
+        }
+        None => false,
+    };
+
+    let phase_rows: Vec<String> = phases
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"phase\": \"{}\", \"wall_ms\": {:.3}, \"rss_peak_bytes\": {}}}",
+                p.name,
+                p.wall_ms,
+                json_opt(p.rss_peak)
+            )
+        })
+        .collect();
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"scale_cold_start\",\n  \"profile\": \"{}\",\n  \"n_workers\": {n_workers},\n  \"n_edges\": {},\n  \"n_sets\": {n_sets},\n  \"n_topics\": {n_topics},\n  \"lda_sweeps\": {sweeps},\n  \"lda_tokens\": {n_tokens},\n  \"host_threads\": {host_threads},\n  \"bench_threads\": {max_threads},\n  \"master_seed\": {master_seed},\n  \"fingerprint\": \"{fingerprint:#018x}\",\n  \"identical_across_threads\": true,\n  \"chunked_matches_contiguous\": true,\n  \"pool_chunked\": {},\n  \"pool_rotated\": {},\n  \"pool_contiguous\": {},\n  \"chunked_vs_contiguous_peak_ratio\": {:.4},\n  \"rss_ceiling_mb\": {ceiling_mb},\n  \"rss_ceiling_checked\": {rss_ceiling_ok},\n  \"rss_whole_run_bytes\": {},\n  \"total_wall_ms\": {total_wall_ms:.3},\n  \"phases\": [\n{}\n  ]\n}}\n",
+        profile.name,
+        net.n_edges(),
+        mem_json(&cold),
+        mem_json(&rotated),
+        mem_json(&contig),
+        cold.peak_bytes as f64 / contig.peak_bytes as f64,
+        json_opt(rss_whole),
+        phase_rows.join(",\n")
+    );
+
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_scale.json");
+    std::fs::write(&path, &json).expect("write BENCH_scale.json");
+    println!("{json}");
+    eprintln!("[bench_scale] written to {}", path.display());
+}

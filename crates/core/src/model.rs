@@ -6,7 +6,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sc_influence::{Rpo, RpoStats, RrrPool, SocialNetwork};
 use sc_mobility::{LocationEntropy, WillingnessModel};
-use sc_topics::{topic_affinity, Corpus, LdaModel, LdaTrainer};
+use sc_topics::{topic_affinity, LdaModel, StreamingLda};
 use sc_types::{History, HistoryStore, Location, Task, VenueId, WorkerId};
 
 /// The frozen output of DITA's influence-modeling component
@@ -33,28 +33,47 @@ impl InfluenceModel {
     pub fn train(config: &DitaConfig, social: &SocialNetwork, histories: &HistoryStore) -> Self {
         let n_workers = social.n_workers().max(histories.n_workers());
 
-        // Affinity: one document per worker (paper Section III-A).
-        let mut corpus = Corpus::from_documents(
-            (0..n_workers)
-                .map(|w| {
+        // Affinity: one document per worker (paper Section III-A),
+        // streamed straight out of the history store into Gibbs state —
+        // no corpus copy of every check-in. A cheap max pre-pass sizes
+        // the vocabulary (what `Corpus::from_documents` inferred).
+        let vocab = (0..n_workers)
+            .map(|w| {
+                histories
+                    .history(WorkerId::from(w))
+                    .category_document()
+                    .iter()
+                    .map(|c| c.raw() as usize + 1)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0);
+        let mut lda_rng = SmallRng::seed_from_u64(config.phase_seed("lda"));
+        let (lda, worker_topics) = if vocab == 0 {
+            // No check-ins anywhere: train over the clamped 1-word
+            // vocabulary with zero documents so inference stays
+            // well-defined (the pre-streaming fallback path, bit
+            // included).
+            let lda = StreamingLda::new(config.lda_params(), 1).finish(&mut lda_rng);
+            (lda, Vec::new())
+        } else {
+            let mut gibbs = StreamingLda::new(config.lda_params(), vocab);
+            for w in 0..n_workers {
+                gibbs.feed_doc(
                     histories
                         .history(WorkerId::from(w))
                         .category_document()
                         .iter()
-                        .map(|c| c.raw())
-                        .collect()
-                })
-                .collect(),
-        );
-        // Guarantee a non-empty vocabulary so inference is well-defined.
-        if corpus.n_words() == 0 {
-            corpus = Corpus::new(1);
-        }
-        let mut lda_rng = SmallRng::seed_from_u64(config.phase_seed("lda"));
-        let lda = LdaTrainer::new(config.lda_params()).train(&corpus, &mut lda_rng);
-        let worker_topics: Vec<Vec<f64>> = (0..corpus.n_docs())
-            .map(|d| lda.doc_topics(d).to_vec())
-            .collect();
+                        .map(|c| c.raw()),
+                    &mut lda_rng,
+                );
+            }
+            let lda = gibbs.finish(&mut lda_rng);
+            let worker_topics: Vec<Vec<f64>> =
+                (0..n_workers).map(|d| lda.doc_topics(d).to_vec()).collect();
+            (lda, worker_topics)
+        };
 
         // Willingness + entropy (Sections III-B, IV-B).
         let willingness = WillingnessModel::fit(histories);

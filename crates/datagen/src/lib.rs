@@ -31,6 +31,7 @@ pub mod io;
 pub mod loader;
 pub mod profile;
 pub mod replay;
+pub mod scale;
 pub mod social;
 pub mod venues;
 
@@ -38,5 +39,6 @@ pub use dataset::{DayInstance, InstanceOptions, SyntheticDataset};
 pub use loader::{LoadedDataset, LoadedVenue, TrainingSlice};
 pub use profile::DatasetProfile;
 pub use replay::{ReplayEvent, ReplayOptions, ReplayRoundEvents, ReplayStream};
-pub use social::generate_social_edges;
+pub use scale::{ScaleDocs, ScaleProfile};
+pub use social::{generate_social_edges, generate_social_edges_with};
 pub use venues::{Venue, VenueMap};

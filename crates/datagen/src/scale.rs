@@ -1,0 +1,251 @@
+//! Full-scale synthetic profiles for the memory-budget benchmarks.
+//!
+//! [`DatasetProfile`](crate::DatasetProfile) generates laptop-sized
+//! worlds with full check-in trajectories; this module generates the
+//! *cold-start inputs only* (social graph + worker category documents)
+//! at Brightkite-full scale — 10⁶ workers and 10⁷ directed edges — for
+//! `bench_scale`, which measures whether training survives that profile
+//! under a memory budget. Everything streams:
+//!
+//! * friendship edges go straight from the preferential-attachment
+//!   generator ([`generate_social_edges_with`]) into a
+//!   [`CsrBuilder`] — the edge `Vec` that would
+//!   double the graph's footprint is never materialized;
+//! * category documents are produced one worker at a time from
+//!   independent per-worker RNG streams, so streaming LDA can fold
+//!   them in without a corpus and any subset of workers can be
+//!   regenerated in any order, bit-identically.
+//!
+//! The same generator serves every scale: `10⁴` and `10⁵` worker runs
+//! use [`ScaleProfile::with_workers`], which changes only the worker
+//! count, never the generation code paths.
+
+use crate::social::generate_social_edges_with;
+use rand::rngs::SmallRng;
+use rand::{mix_stream, RngExt, SeedableRng};
+use sc_graph::CsrBuilder;
+use sc_influence::SocialNetwork;
+use sc_stats::Zipf;
+
+/// Substream of the master seed that drives edge generation.
+const STREAM_SOCIAL: u64 = 0x5CA1_E50C;
+/// Substream of the master seed that drives document generation.
+const STREAM_DOCS: u64 = 0x5CA1_ED0C;
+
+/// Shape parameters of a full-scale cold-start input set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleProfile {
+    /// Profile name used in reports ("BK-full").
+    pub name: String,
+    /// Number of workers (graph nodes, LDA documents).
+    pub n_workers: usize,
+    /// Preferential-attachment edges per new node. Each undirected
+    /// friendship becomes two directed edges in the CSR.
+    pub edges_per_node: usize,
+    /// Number of leaf categories (the LDA vocabulary).
+    pub n_categories: usize,
+    /// Mean category-document length; actual lengths are uniform in
+    /// `[mean/2, 3·mean/2]` per worker.
+    pub doc_len_mean: usize,
+    /// Zipf exponent of category popularity.
+    pub category_zipf: f64,
+}
+
+impl ScaleProfile {
+    /// Brightkite at full paper scale: 10⁶ workers with `m = 5`
+    /// attachments per node — ≈ 5·10⁶ undirected friendships, i.e. 10⁷
+    /// directed CSR edges — and Brightkite's 240-category vocabulary.
+    pub fn brightkite_full() -> Self {
+        ScaleProfile {
+            name: "BK-full".into(),
+            n_workers: 1_000_000,
+            edges_per_node: 5,
+            n_categories: 240,
+            doc_len_mean: 12,
+            category_zipf: 1.0,
+        }
+    }
+
+    /// The full profile scaled to `n` workers — same generator, same
+    /// parameters, only the worker count changes. `bench_scale` runs
+    /// this at 10⁴ (smoke) and 10⁵ (default), optionally 10⁶.
+    pub fn with_workers(n: usize) -> Self {
+        ScaleProfile {
+            name: format!("BK-full/{n}"),
+            n_workers: n,
+            ..Self::brightkite_full()
+        }
+    }
+
+    /// Directed edge count the profile aims for (`≈ 2·n·m`; the
+    /// realized count is marginally smaller because the seed path and
+    /// dedup drop a few attachments).
+    pub fn target_directed_edges(&self) -> usize {
+        2 * self.n_workers * self.edges_per_node
+    }
+
+    /// Generates the social network by streaming preferential-attachment
+    /// edges through a [`CsrBuilder`] — no intermediate edge list. The
+    /// result is bit-identical to collecting the same generator's edges
+    /// and calling `SocialNetwork::from_undirected_edges`.
+    pub fn social_network(&self, master_seed: u64) -> SocialNetwork {
+        let mut b = CsrBuilder::new_undirected(self.n_workers);
+        let mut rng = SmallRng::seed_from_stream(master_seed, STREAM_SOCIAL);
+        generate_social_edges_with(self.n_workers, self.edges_per_node, &mut rng, |u, v| {
+            b.push(u, v)
+        });
+        SocialNetwork::from_graph(b.finish())
+    }
+
+    /// The per-worker document source for this profile. Build it once
+    /// (the Zipf alias table is `O(n_categories)`) and draw documents
+    /// worker by worker.
+    pub fn documents(&self, master_seed: u64) -> ScaleDocs {
+        ScaleDocs {
+            master: mix_stream(master_seed, STREAM_DOCS),
+            n_workers: self.n_workers,
+            len_lo: self.doc_len_mean - self.doc_len_mean / 2,
+            len_hi: self.doc_len_mean + self.doc_len_mean / 2,
+            zipf: Zipf::new(self.n_categories, self.category_zipf),
+        }
+    }
+}
+
+/// Deterministic per-worker category documents.
+///
+/// Worker `w`'s document is drawn from its own RNG substream
+/// (`seed_from_stream(master, w)`), so documents are independent of
+/// generation order and batching: streaming them into
+/// `StreamingLda` (sc-topics) one at a time produces
+/// exactly the documents a materialized corpus would hold.
+#[derive(Debug, Clone)]
+pub struct ScaleDocs {
+    master: u64,
+    n_workers: usize,
+    len_lo: usize,
+    len_hi: usize,
+    zipf: Zipf,
+}
+
+impl ScaleDocs {
+    /// Number of workers (= number of documents).
+    #[inline]
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// The LDA vocabulary size (number of categories).
+    #[inline]
+    pub fn n_words(&self) -> usize {
+        self.zipf.n()
+    }
+
+    /// Worker `w`'s category document: Zipf-skewed category tokens,
+    /// length uniform in the profile's band. Panics when `w` is out of
+    /// range.
+    pub fn document(&self, w: u32) -> Vec<u32> {
+        assert!((w as usize) < self.n_workers, "worker {w} out of range");
+        let mut rng = SmallRng::seed_from_stream(self.master, w as u64);
+        let len = rng.random_range(self.len_lo..=self.len_hi);
+        (0..len)
+            .map(|_| self.zipf.sample_index(&mut rng) as u32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::social::generate_social_edges;
+
+    #[test]
+    fn streamed_network_matches_collected_path() {
+        let p = ScaleProfile::with_workers(2_000);
+        let streamed = p.social_network(7);
+        let mut rng = SmallRng::seed_from_stream(7, STREAM_SOCIAL);
+        let edges = generate_social_edges(p.n_workers, p.edges_per_node, &mut rng);
+        let collected = SocialNetwork::from_undirected_edges(p.n_workers, &edges);
+        assert_eq!(streamed.graph(), collected.graph());
+        assert_eq!(streamed.reverse_graph(), collected.reverse_graph());
+        for v in 0..p.n_workers as u32 {
+            assert_eq!(
+                streamed.inform_probability(v),
+                collected.inform_probability(v)
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_profiles_share_every_parameter_but_the_count() {
+        let full = ScaleProfile::brightkite_full();
+        let small = ScaleProfile::with_workers(10_000);
+        assert_eq!(small.n_workers, 10_000);
+        assert_eq!(small.edges_per_node, full.edges_per_node);
+        assert_eq!(small.n_categories, full.n_categories);
+        assert_eq!(small.doc_len_mean, full.doc_len_mean);
+        assert_eq!(small.category_zipf, full.category_zipf);
+        assert_eq!(full.n_workers, 1_000_000);
+        assert_eq!(full.target_directed_edges(), 10_000_000);
+    }
+
+    #[test]
+    fn edge_count_lands_near_the_target() {
+        let p = ScaleProfile::with_workers(5_000);
+        let net = p.social_network(3);
+        let target = p.target_directed_edges();
+        assert!(
+            net.n_edges() <= target && net.n_edges() > target - target / 10,
+            "{} directed edges vs target {target}",
+            net.n_edges()
+        );
+    }
+
+    #[test]
+    fn documents_are_deterministic_and_order_independent() {
+        let p = ScaleProfile::with_workers(500);
+        let docs = p.documents(11);
+        let again = p.documents(11);
+        // Draw in reverse order from the clone: same documents.
+        for w in (0..500u32).rev() {
+            assert_eq!(docs.document(w), again.document(w), "worker {w}");
+        }
+        // A different master seed moves the documents.
+        let other = p.documents(12);
+        assert!((0..500u32).any(|w| docs.document(w) != other.document(w)));
+    }
+
+    #[test]
+    fn documents_stay_in_vocab_and_in_the_length_band() {
+        let p = ScaleProfile::with_workers(300);
+        let docs = p.documents(5);
+        assert_eq!(docs.n_words(), p.n_categories);
+        assert_eq!(docs.n_workers(), 300);
+        for w in 0..300u32 {
+            let d = docs.document(w);
+            assert!(d.len() >= p.doc_len_mean / 2 && d.len() <= p.doc_len_mean * 3 / 2);
+            assert!(d.iter().all(|&c| (c as usize) < p.n_categories));
+        }
+    }
+
+    #[test]
+    fn categories_are_zipf_skewed() {
+        let p = ScaleProfile::with_workers(2_000);
+        let docs = p.documents(9);
+        let mut counts = vec![0u64; p.n_categories];
+        for w in 0..2_000u32 {
+            for c in docs.document(w) {
+                counts[c as usize] += 1;
+            }
+        }
+        // Rank 0 must dominate the tail by a wide margin under s = 1.
+        let head = counts[0];
+        let tail = counts[p.n_categories - 1].max(1);
+        assert!(head > 10 * tail, "head {head} vs tail {tail}: no skew");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_document_panics() {
+        ScaleProfile::with_workers(10).documents(0).document(10);
+    }
+}

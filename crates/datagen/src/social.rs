@@ -13,24 +13,45 @@ use rand::{Rng, RngExt};
 /// `n` nodes with `m` attachments per new node. Deterministic given the
 /// RNG. Panics when `n < 2` or `m < 1`.
 pub fn generate_social_edges<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Vec<(u32, u32)> {
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * m);
+    generate_social_edges_with(n, m, rng, |u, v| edges.push((u, v)));
+    edges
+}
+
+/// Streaming form of [`generate_social_edges`]: every generated edge is
+/// handed to `sink` instead of collected, so callers can scatter edges
+/// straight into a CSR builder without materializing the edge list.
+///
+/// The RNG draw sequence is identical to [`generate_social_edges`] (the
+/// collecting form is this function with a `Vec::push` sink), so both
+/// forms produce the same edges in the same order for the same RNG
+/// state. The degree-proportional endpoint pool (`2·n·m` u32s) is
+/// intrinsic to preferential attachment and still allocated; what the
+/// streaming form avoids is the second, same-sized edge `Vec`.
+pub fn generate_social_edges_with<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    rng: &mut R,
+    mut sink: impl FnMut(u32, u32),
+) {
     assert!(n >= 2, "need at least two nodes");
     assert!(m >= 1, "need at least one edge per node");
 
     // Endpoint pool: every edge contributes both endpoints, so uniform
     // sampling from the pool is degree-proportional.
     let mut endpoint_pool: Vec<u32> = Vec::with_capacity(2 * n * m);
-    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * m);
 
     // Seed: a path over the first min(m+1, n) nodes.
     let seed = (m + 1).min(n);
     for v in 1..seed as u32 {
-        edges.push((v - 1, v));
+        sink(v - 1, v);
         endpoint_pool.push(v - 1);
         endpoint_pool.push(v);
     }
 
+    let mut targets: Vec<u32> = Vec::with_capacity(m);
     for v in seed as u32..n as u32 {
-        let mut targets: Vec<u32> = Vec::with_capacity(m);
+        targets.clear();
         let mut guard = 0;
         while targets.len() < m.min(v as usize) && guard < 100 * m {
             guard += 1;
@@ -41,12 +62,11 @@ pub fn generate_social_edges<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -
         }
         for &t in &targets {
             let (a, b) = if t < v { (t, v) } else { (v, t) };
-            edges.push((a, b));
+            sink(a, b);
             endpoint_pool.push(v);
             endpoint_pool.push(t);
         }
     }
-    edges
 }
 
 /// Degree sequence of an undirected edge list over `n` nodes.
@@ -126,6 +146,16 @@ mod tests {
             max / mean > 5.0,
             "max degree {max} vs mean {mean}: tail too light"
         );
+    }
+
+    #[test]
+    fn streaming_sink_matches_collected_edges() {
+        let collected = generate_social_edges(800, 4, &mut SmallRng::seed_from_u64(21));
+        let mut streamed = Vec::new();
+        generate_social_edges_with(800, 4, &mut SmallRng::seed_from_u64(21), |u, v| {
+            streamed.push((u, v));
+        });
+        assert_eq!(collected, streamed);
     }
 
     #[test]

@@ -43,13 +43,39 @@ impl CsrGraph {
 
     /// Builds an undirected graph: every `(u, v)` edge is inserted in both
     /// directions.
+    ///
+    /// Both directions are scattered straight from the input — the
+    /// doubled edge list the old implementation materialized (8 bytes ×
+    /// 2 × edges, transiently) is never built. The scatter visits
+    /// `(u, v)` then `(v, u)` per input edge, which is exactly the
+    /// order the doubled list had, so the graph is bit-identical.
     pub fn from_undirected_edges(n: usize, edges: &[(u32, u32)]) -> Self {
-        let mut both = Vec::with_capacity(edges.len() * 2);
+        let mut counts = vec![0u32; n + 1];
+        let mut in_degrees = vec![0u32; n];
         for &(u, v) in edges {
-            both.push((u, v));
-            both.push((v, u));
+            assert!((u as usize) < n && (v as usize) < n, "edge out of range");
+            counts[u as usize + 1] += 1;
+            counts[v as usize + 1] += 1;
+            in_degrees[u as usize] += 1;
+            in_degrees[v as usize] += 1;
         }
-        Self::from_edges(n, &both)
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0u32; edges.len() * 2];
+        for &(u, v) in edges {
+            targets[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            in_degrees,
+        }
     }
 
     /// Number of nodes.
@@ -86,15 +112,37 @@ impl CsrGraph {
     }
 
     /// The reverse graph `G'` (every edge flipped), used to sample RRR sets.
+    ///
+    /// Built by scattering directly out of this graph's CSR — the
+    /// flipped edge list the old implementation collected (8 bytes ×
+    /// edges, transiently) is never built. The reverse offsets are the
+    /// prefix sums of this graph's in-degrees, the reverse in-degrees
+    /// are this graph's out-degrees, and the scatter walks edges in CSR
+    /// order — the same order the edge-list path used, so the result is
+    /// bit-identical.
     pub fn reverse(&self) -> CsrGraph {
         let n = self.n_nodes();
-        let mut edges = Vec::with_capacity(self.n_edges());
+        let mut offsets = vec![0u32; n + 1];
+        for u in 0..n {
+            offsets[u + 1] = offsets[u] + self.in_degrees[u];
+        }
+        let mut in_degrees = vec![0u32; n];
+        for u in 0..n as u32 {
+            in_degrees[u as usize] = self.out_degree(u);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; self.n_edges()];
         for u in 0..n as u32 {
             for &v in self.neighbors(u) {
-                edges.push((v, u));
+                targets[cursor[v as usize] as usize] = u;
+                cursor[v as usize] += 1;
             }
         }
-        CsrGraph::from_edges(n, &edges)
+        CsrGraph {
+            offsets,
+            targets,
+            in_degrees,
+        }
     }
 
     /// Iterates over all `(src, dst)` edges in CSR order.
@@ -108,6 +156,126 @@ impl CsrGraph {
             0.0
         } else {
             self.n_edges() as f64 / self.n_nodes() as f64
+        }
+    }
+}
+
+/// Edges per buffered chunk in [`CsrBuilder`] (8 MB of pairs). Chunks
+/// start small and double up to this cap so tiny graphs don't pay the
+/// full chunk.
+const EDGE_CHUNK: usize = 1 << 20;
+
+/// Streaming CSR construction: push edges one at a time, then
+/// [`CsrBuilder::finish`] into a [`CsrGraph`].
+///
+/// The builder buffers edges in fixed-cap chunks (never a doubling
+/// `Vec` reallocation) and counts degrees as edges arrive; `finish`
+/// prefix-sums the counts and scatters chunk by chunk, **freeing each
+/// chunk as it is consumed**. Peak footprint is therefore
+/// `pairs + targets` falling to `targets` during the scatter — the
+/// million-edge generators stream straight into this instead of
+/// materializing an edge `Vec` (with doubling slack) that
+/// [`CsrGraph::from_edges`] would copy out of.
+///
+/// Pushing the same edge sequence produces a graph bit-identical to
+/// [`CsrGraph::from_edges`] (directed) or
+/// [`CsrGraph::from_undirected_edges`] (undirected) on that sequence:
+/// the scatter order is the push order.
+#[derive(Debug)]
+pub struct CsrBuilder {
+    n: usize,
+    undirected: bool,
+    /// Per-node out-degree counts (both directions in undirected mode).
+    counts: Vec<u32>,
+    in_degrees: Vec<u32>,
+    chunks: Vec<Vec<(u32, u32)>>,
+    n_pushed: usize,
+}
+
+impl CsrBuilder {
+    /// A builder for a directed graph with `n` nodes.
+    pub fn new_directed(n: usize) -> Self {
+        CsrBuilder {
+            n,
+            undirected: false,
+            counts: vec![0u32; n],
+            in_degrees: vec![0u32; n],
+            chunks: Vec::new(),
+            n_pushed: 0,
+        }
+    }
+
+    /// A builder for an undirected graph with `n` nodes: every pushed
+    /// `(u, v)` is inserted in both directions.
+    pub fn new_undirected(n: usize) -> Self {
+        CsrBuilder {
+            undirected: true,
+            ..Self::new_directed(n)
+        }
+    }
+
+    /// Number of edge pairs pushed so far (an undirected pair counts
+    /// once here, twice in the finished graph).
+    #[inline]
+    pub fn n_pushed(&self) -> usize {
+        self.n_pushed
+    }
+
+    /// Buffers one edge. Panics when an endpoint is out of range.
+    pub fn push(&mut self, u: u32, v: u32) {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge out of range"
+        );
+        self.counts[u as usize] += 1;
+        self.in_degrees[v as usize] += 1;
+        if self.undirected {
+            self.counts[v as usize] += 1;
+            self.in_degrees[u as usize] += 1;
+        }
+        match self.chunks.last_mut() {
+            Some(chunk) if chunk.len() < chunk.capacity() => chunk.push((u, v)),
+            _ => {
+                // Fixed-cap chunks: 4k pairs doubling up to EDGE_CHUNK,
+                // so small graphs stay small and large ones amortize.
+                let cap = self
+                    .chunks
+                    .last()
+                    .map_or(4096, |c| (c.capacity() * 2).min(EDGE_CHUNK));
+                let mut chunk = Vec::with_capacity(cap);
+                chunk.push((u, v));
+                self.chunks.push(chunk);
+            }
+        }
+        self.n_pushed += 1;
+    }
+
+    /// Builds the graph, consuming the buffered chunks as it scatters.
+    pub fn finish(self) -> CsrGraph {
+        let n = self.n;
+        let mut offsets = vec![0u32; n + 1];
+        for (i, &c) in self.counts.iter().enumerate() {
+            offsets[i + 1] = offsets[i] + c;
+        }
+        drop(self.counts);
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![0u32; offsets[n] as usize];
+        for chunk in self.chunks {
+            for &(u, v) in &chunk {
+                targets[cursor[u as usize] as usize] = v;
+                cursor[u as usize] += 1;
+                if self.undirected {
+                    targets[cursor[v as usize] as usize] = u;
+                    cursor[v as usize] += 1;
+                }
+            }
+            // `chunk` drops here: the buffer is freed before the next
+            // one is scattered.
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            in_degrees: self.in_degrees,
         }
     }
 }
@@ -199,5 +367,54 @@ mod tests {
     fn average_degree() {
         let g = diamond();
         assert!((g.average_degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_matches_from_edges() {
+        let edges = [(0u32, 1u32), (2, 0), (1, 2), (0, 1), (2, 2)];
+        let mut b = CsrBuilder::new_directed(3);
+        for &(u, v) in &edges {
+            b.push(u, v);
+        }
+        assert_eq!(b.n_pushed(), edges.len());
+        assert_eq!(b.finish(), CsrGraph::from_edges(3, &edges));
+    }
+
+    #[test]
+    fn undirected_builder_matches_from_undirected_edges() {
+        let edges = [(0u32, 1u32), (1, 2), (0, 3), (2, 3), (1, 3)];
+        let mut b = CsrBuilder::new_undirected(4);
+        for &(u, v) in &edges {
+            b.push(u, v);
+        }
+        assert_eq!(b.finish(), CsrGraph::from_undirected_edges(4, &edges));
+    }
+
+    #[test]
+    fn builder_spans_many_chunks() {
+        // Cross several chunk boundaries (first chunk holds 4096 pairs)
+        // so the progressive-scatter path actually iterates chunks.
+        let n = 300usize;
+        let edges: Vec<(u32, u32)> = (0..40_000u32)
+            .map(|i| (i % n as u32, (i * 7 + 3) % n as u32))
+            .collect();
+        let mut b = CsrBuilder::new_directed(n);
+        for &(u, v) in &edges {
+            b.push(u, v);
+        }
+        assert_eq!(b.finish(), CsrGraph::from_edges(n, &edges));
+    }
+
+    #[test]
+    fn empty_builder_finishes_empty() {
+        let g = CsrBuilder::new_directed(5).finish();
+        assert_eq!(g.n_nodes(), 5);
+        assert_eq!(g.n_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge out of range")]
+    fn builder_rejects_out_of_range() {
+        CsrBuilder::new_directed(2).push(0, 2);
     }
 }

@@ -26,7 +26,7 @@ pub mod maxflow;
 pub mod mcmf;
 pub mod traverse;
 
-pub use csr::CsrGraph;
+pub use csr::{CsrBuilder, CsrGraph};
 pub use matching::HopcroftKarp;
 pub use maxflow::Dinic;
 pub use mcmf::{FlowResult, MinCostMaxFlow, ShortestPathEngine};

@@ -20,10 +20,16 @@
 //! * [`cascade`] — forward IC simulation (ground truth for tests and the
 //!   propagation-validation benches).
 //! * [`rrr`] — single RRR-set sampling on the reverse graph.
-//! * [`pool`] — a flat CSR arena of RRR sets with per-worker and
+//! * [`arena`] — the chunked [`RunArena`] both pool indexes live in:
+//!   segments of whole runs, grown by zero-copy segment adoption and
+//!   compacted in place, so no pool operation transiently holds a
+//!   second copy of the live data.
+//! * [`pool`] — chunked arenas of RRR sets with per-worker and
 //!   per-root indexes; all estimators read from it. Generation is
 //!   sharded across threads yet **bit-identical at any thread count**
 //!   (per-set RNG streams derived from `(master_seed, set_index)`).
+//! * [`contiguous`] — the pre-chunking doubling-`Vec` pool, kept as the
+//!   equality oracle and memory baseline for `bench_scale`.
 //! * [`rpo`] — Algorithm 1: decides how many sets the pool needs, with
 //!   incremental (never-resampling) top-ups.
 //! * [`parallel`] — the [`Parallelism`] thread-budget knob.
@@ -40,16 +46,20 @@
 #![warn(clippy::all)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod cascade;
+pub mod contiguous;
 pub mod network;
 pub mod parallel;
 pub mod pool;
 pub mod rpo;
 pub mod rrr;
 
+pub use arena::RunArena;
 pub use cascade::{IndependentCascade, LinearThreshold};
+pub use contiguous::ContiguousPool;
 pub use network::SocialNetwork;
 pub use parallel::Parallelism;
-pub use pool::{PropagationModel, RrrPool};
+pub use pool::{PoolMemStats, PropagationModel, RrrPool};
 pub use rpo::{Rpo, RpoParams, RpoStats};
 pub use rrr::{sample_rrr_set, sample_rrr_set_lt};

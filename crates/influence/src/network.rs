@@ -113,24 +113,29 @@ impl SocialNetwork {
     /// are updated accordingly. The rebuild is `O(|W| + |E|)`; callers
     /// folding in whole cohorts should batch them or accept the linear
     /// cost per arrival (see `bench_replay` for the measured cost
-    /// against a full retrain).
+    /// against a full retrain). Edges stream through a
+    /// [`CsrBuilder`](sc_graph::CsrBuilder) in the same order the old
+    /// collect-then-rebuild path enumerated them — bit-identical
+    /// result, without the doubling edge `Vec` it materialized.
     ///
     /// # Panics
     /// When a friend id is out of range (friends must already be in the
     /// network).
     pub fn fold_in_worker(&self, friends: &[u32]) -> SocialNetwork {
         let new_id = self.n_workers() as u32;
-        let mut edges: Vec<(u32, u32)> = self.forward.edges().collect();
-        edges.reserve(friends.len() * 2);
+        let mut b = sc_graph::CsrBuilder::new_directed(self.n_workers() + 1);
+        for (u, v) in self.forward.edges() {
+            b.push(u, v);
+        }
         for &f in friends {
             assert!(
                 f < new_id,
                 "fold-in friend {f} out of range (|W| = {new_id})"
             );
-            edges.push((new_id, f));
-            edges.push((f, new_id));
+            b.push(new_id, f);
+            b.push(f, new_id);
         }
-        Self::from_directed_edges(self.n_workers() + 1, &edges)
+        Self::from_graph(b.finish())
     }
 }
 

@@ -23,19 +23,24 @@
 //!
 //! # Storage and parallel generation
 //!
-//! Sets live in a flat CSR arena (`set_offsets` + `set_members`,
-//! mirroring `sc_graph::CsrGraph`), not in nested vectors: one
-//! allocation each, cache-linear scans for every estimator. Generation
-//! is sharded: the RNG of set `j` is derived from
+//! Sets and the membership index live in chunked
+//! [`RunArena`]s — segments of whole runs —
+//! instead of contiguous doubling `Vec`s, so no pool operation ever
+//! holds a transient second copy of the live data (see the arena module
+//! docs for the per-operation bounds; `bench_scale` A/Bs the layouts
+//! and asserts the budget at 10⁵–10⁶ workers). Generation is sharded:
+//! the RNG of set `j` is derived from
 //! `(master_seed, set_index = j)` via [`SeedableRng::seed_from_stream`],
 //! so set `j` is the same bytes no matter which shard — or how many
-//! threads — sampled it. Shards are contiguous index ranges run on
-//! `std::thread::scope`, each with its own epoch-reset visited buffer,
-//! and are concatenated in index order. The pool is therefore
-//! **bit-identical at any thread count**, and [`RrrPool::extend_to`]
-//! grows a pool to exactly the state a from-scratch generation of the
-//! larger size would produce — which is what makes RPO top-ups
-//! incremental instead of resampling the whole pool.
+//! threads — sampled it. Shards are contiguous index ranges run on the
+//! workspace scheduler, each emitting a sealed mini-arena whose
+//! segments are **adopted** into the pool zero-copy in index order.
+//! The pool is therefore **bit-identical at any thread count**, and
+//! [`RrrPool::extend_to`] grows a pool to exactly the state a
+//! from-scratch generation of the larger size would produce — which is
+//! what makes RPO top-ups incremental instead of resampling the whole
+//! pool. [`ContiguousPool`](crate::contiguous::ContiguousPool) keeps
+//! the pre-chunking algorithm alive as the equality/memory baseline.
 //!
 //! # Decay and eviction (online maintenance)
 //!
@@ -44,8 +49,9 @@
 //! ([`RrrPool::advance_epoch`]) and [`RrrPool::evict_before_epoch`]
 //! drops the oldest sets once they fall behind an eviction horizon.
 //! Eviction always removes a *prefix* of the arena (epochs are
-//! non-decreasing by construction), so re-indexing is one flat
-//! block-copy pass over the membership index — no set is re-derived.
+//! non-decreasing by construction), so the set arena drops whole
+//! segments in place and the membership index compacts each segment
+//! through a write cursor — no replacement arena is allocated.
 //! Evicted stream indices are **never reused**: the live window of a
 //! pool that evicted `E` sets covers stream indices
 //! `[E, E + n_sets)`, and [`RrrPool::extend_to`] keeps sampling from
@@ -53,6 +59,7 @@
 //! `(master_seed, set_index)` — a maintained pool is byte-identical to
 //! a from-scratch pool of the same stream window at any thread count.
 
+use crate::arena::RunArena;
 use crate::network::SocialNetwork;
 use crate::rrr::{sample_rrr_set, sample_rrr_set_lt};
 use rand::rngs::SmallRng;
@@ -69,6 +76,23 @@ pub enum PropagationModel {
     LinearThreshold,
 }
 
+/// Deterministic byte accounting of a pool's storage (all `u32`
+/// arenas). `peak_bytes` is sampled at every mutation checkpoint —
+/// including mid-merge transients — and is itself bit-identical at any
+/// thread count, which is what lets `bench_scale` assert memory
+/// budgets exactly instead of through noisy RSS thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolMemStats {
+    /// Bytes of live data (sets + membership + roots + epochs).
+    pub live_bytes: usize,
+    /// Currently allocated bytes (live + segment slack + eviction
+    /// debris awaiting segment turnover).
+    pub capacity_bytes: usize,
+    /// Largest allocated footprint observed over the pool's lifetime,
+    /// including transient merge/rebuild peaks.
+    pub peak_bytes: usize,
+}
+
 /// A pool of `N` RRR sets over a network of `|W|` workers.
 #[derive(Debug, Clone, Default)]
 pub struct RrrPool {
@@ -83,40 +107,37 @@ pub struct RrrPool {
     stream_base: usize,
     /// Sampling epoch stamped onto newly generated sets.
     epoch: u32,
-    /// Root of each set.
+    /// Root of each set. Dense (4 B/set) with exact reservation — the
+    /// arenas are the only structures large enough to need chunking.
     roots: Vec<u32>,
     /// Epoch each live set was sampled in (non-decreasing).
     set_epochs: Vec<u32>,
-    /// CSR arena of set members.
-    set_offsets: Vec<u32>,
-    set_members: Vec<u32>,
-    /// CSR index: worker -> ids of sets containing it.
-    member_offsets: Vec<u32>,
-    member_sets: Vec<u32>,
+    /// Chunked arena of set-member runs (run `j` = members of set `j`,
+    /// root first).
+    sets: RunArena,
+    /// Chunked membership index (run `w` = sorted ids of live sets
+    /// containing worker `w`). Empty until the first sets are indexed.
+    membership: RunArena,
+    /// High-water mark of [`RrrPool::current_bytes`] across mutation
+    /// checkpoints (not compared by any equality check).
+    peak_bytes: usize,
 }
 
-/// One shard's output: sets `[lo, hi)` in index order, ready to splice
-/// into the arena.
-struct ShardOut {
-    roots: Vec<u32>,
-    lens: Vec<u32>,
-    members: Vec<u32>,
-}
-
-/// Samples sets `[lo, hi)`. Every set's RNG comes from
-/// `(master_seed, set_index)`, so the output depends only on the index
-/// range — not on which thread runs it or what ran before it.
-fn sample_shard(
+/// Samples sets `[lo, hi)`, emitting `(root, members)` per set in index
+/// order. Every set's RNG comes from `(master_seed, set_index)`, so the
+/// output depends only on the index range — not on which thread runs it
+/// or what ran before it. Shared by [`RrrPool`] and
+/// [`ContiguousPool`](crate::contiguous::ContiguousPool) so the two
+/// layouts are bit-identical by construction.
+pub(crate) fn sample_stream_range(
     net: &SocialNetwork,
     model: PropagationModel,
     master_seed: u64,
     lo: usize,
     hi: usize,
-) -> ShardOut {
+    mut emit: impl FnMut(u32, &[u32]),
+) {
     let n = net.n_workers();
-    let mut roots = Vec::with_capacity(hi - lo);
-    let mut lens = Vec::with_capacity(hi - lo);
-    let mut members = Vec::new();
     let mut visited = vec![0u32; n];
     let mut buf = Vec::new();
     for j in lo..hi {
@@ -131,14 +152,7 @@ fn sample_shard(
                 sample_rrr_set_lt(net, root, &mut rng, &mut visited, epoch, &mut buf)
             }
         }
-        roots.push(root);
-        lens.push(buf.len() as u32);
-        members.extend_from_slice(&buf);
-    }
-    ShardOut {
-        roots,
-        lens,
-        members,
+        emit(root, &buf);
     }
 }
 
@@ -192,19 +206,17 @@ impl RrrPool {
         master_seed: u64,
         threads: usize,
     ) -> Self {
-        let n = net.n_workers();
         let mut pool = RrrPool {
-            n_workers: n,
+            n_workers: net.n_workers(),
             master_seed,
             model,
             stream_base: 0,
             epoch: 0,
             roots: Vec::new(),
             set_epochs: Vec::new(),
-            set_offsets: vec![0u32],
-            set_members: Vec::new(),
-            member_offsets: vec![0u32; n + 1],
-            member_sets: Vec::new(),
+            sets: RunArena::new(),
+            membership: RunArena::new(),
+            peak_bytes: 0,
         };
         pool.extend_to(net, n_sets, threads);
         pool
@@ -220,13 +232,15 @@ impl RrrPool {
     /// [`RrrPool::stream_base`]` + n_sets` — evicted indices are never
     /// resampled, so a maintained pool equals the from-scratch pool of
     /// its live stream window. New sets are stamped with the current
-    /// [`RrrPool::current_epoch`]. Sampling cost is linear in the
-    /// number of *added* sets;
-    /// folding them into the membership index costs one flat
-    /// block-copy pass over the index (O(total memberships), no
-    /// re-derivation of old sets) — cheap per RPO top-up, but a
-    /// high-frequency caller (e.g. a future online mode extending per
-    /// task) should batch extensions to amortize it.
+    /// [`RrrPool::current_epoch`].
+    ///
+    /// Memory: each shard emits a sealed mini-arena whose segments the
+    /// pool **adopts** (zero-copy) — the splice that used to copy every
+    /// shard's members into a doubling `Vec` is gone. The membership
+    /// delta is scatter-built into an exactly-sized arena and merged
+    /// with the old index by a draining zip that frees source segments
+    /// as it goes, so the peak is `live + O(segment)` instead of
+    /// `2 × live`.
     pub fn extend_to(&mut self, net: &SocialNetwork, target: usize, threads: usize) {
         debug_assert_eq!(net.n_workers(), self.n_workers, "pool/network mismatch");
         let first_new = self.n_sets();
@@ -240,26 +254,30 @@ impl RrrPool {
 
         // The shared chunked-shard scheduler splits the *new-set count*
         // into contiguous ranges; each shard samples its stream-index
-        // window `[s_lo + lo, s_lo + hi)` and outputs splice back in
-        // shard order — bit-identical to a single-threaded pass.
+        // window `[s_lo + lo, s_lo + hi)` into its own mini-arena, and
+        // the pool adopts the segments in shard order — bit-identical
+        // to a single-threaded pass.
         let (model, seed) = (self.model, self.master_seed);
-        let outs: Vec<ShardOut> = sc_stats::par::map_shards(count, threads, |lo, hi| {
-            sample_shard(net, model, seed, s_lo + lo, s_lo + hi)
-        });
+        let outs: Vec<(Vec<u32>, RunArena)> =
+            sc_stats::par::map_shards(count, threads, |lo, hi| {
+                let mut roots = Vec::with_capacity(hi - lo);
+                let mut sets = RunArena::new();
+                sample_stream_range(net, model, seed, s_lo + lo, s_lo + hi, |root, set| {
+                    roots.push(root);
+                    sets.push_run(set);
+                });
+                sets.seal();
+                (roots, sets)
+            });
 
-        self.roots.reserve(count);
-        self.set_offsets.reserve(count);
-        let added: usize = outs.iter().map(|o| o.members.len()).sum();
-        self.set_members.reserve(added);
-        for out in outs {
-            self.roots.extend_from_slice(&out.roots);
-            self.set_members.extend_from_slice(&out.members);
-            for len in out.lens {
-                let next = self.set_offsets.last().unwrap() + len;
-                self.set_offsets.push(next);
-            }
+        self.roots.reserve_exact(count);
+        self.set_epochs.reserve_exact(count);
+        for (roots, sets) in outs {
+            self.roots.extend_from_slice(&roots);
+            self.sets.absorb(sets);
         }
         self.set_epochs.resize(self.roots.len(), self.epoch);
+        self.note_peak();
         self.index_new_sets(first_new);
     }
 
@@ -300,49 +318,29 @@ impl RrrPool {
     /// `min_epoch`, returning how many were evicted.
     ///
     /// Epochs are non-decreasing along the arena, so the evicted sets
-    /// are always a prefix: the arena is spliced with one drain, and
-    /// the membership index is rebuilt in a single flat pass that
-    /// block-copies each worker's surviving run (ids shift down by the
-    /// evicted count; nothing is re-derived from the arena). The cost
-    /// is `O(live memberships)`, independent of how much history the
-    /// pool has rotated through. The freed stream indices are retired
-    /// permanently — see [`RrrPool::stream_base`] — which preserves the
-    /// `(master_seed, set_index)` determinism contract for every
-    /// surviving and future set.
+    /// are always a prefix. The set arena frees whole dead segments and
+    /// advances a cursor inside the boundary segment; the membership
+    /// index compacts **in place** (each run keeps its `>= k` suffix,
+    /// renumbered down by `k`, rewritten through a per-segment write
+    /// cursor) — no replacement arena is allocated, unlike the
+    /// pre-chunking layout which transiently held a second copy of the
+    /// whole index. The cost is `O(live memberships)`, independent of
+    /// how much history the pool has rotated through. The freed stream
+    /// indices are retired permanently — see [`RrrPool::stream_base`] —
+    /// which preserves the `(master_seed, set_index)` determinism
+    /// contract for every surviving and future set.
     pub fn evict_before_epoch(&mut self, min_epoch: u32, max_evict: usize) -> usize {
         let k = self.stale_sets(min_epoch).min(max_evict);
         if k == 0 {
             return 0;
         }
-        let cut = self.set_offsets[k] as usize;
-
-        // Arena: drop the first k sets and re-base the offsets.
+        // Dense prefix drains compact in place (capacity retained).
         self.roots.drain(..k);
         self.set_epochs.drain(..k);
-        self.set_members.drain(..cut);
-        self.set_offsets.drain(..k);
-        for o in &mut self.set_offsets {
-            *o -= cut as u32;
-        }
-
-        // Membership: each run is sorted, so the evicted ids are a
-        // prefix of it; keep the tail, renumbered down by k.
-        let kk = k as u32;
-        let n = self.n_workers;
-        let mut offsets = vec![0u32; n + 1];
-        let mut kept = Vec::with_capacity(self.member_sets.len() - cut);
-        for w in 0..n {
-            let lo = self.member_offsets[w] as usize;
-            let hi = self.member_offsets[w + 1] as usize;
-            let run = &self.member_sets[lo..hi];
-            let keep_from = run.partition_point(|&j| j < kk);
-            kept.extend(run[keep_from..].iter().map(|&j| j - kk));
-            offsets[w + 1] = kept.len() as u32;
-        }
-        debug_assert_eq!(kept.len(), self.member_sets.len() - cut);
-        self.member_offsets = offsets;
-        self.member_sets = kept;
-
+        self.sets.evict_front(k);
+        // Each membership run is sorted, so the evicted ids are exactly
+        // its `< k` prefix.
+        self.membership.retain_shift(k as u32);
         self.stream_base += k;
         k
     }
@@ -371,7 +369,8 @@ impl RrrPool {
     /// seeded by `(master_seed, worker, stream_base + j)`, so folding
     /// the same worker into the same live window joins the same sets no
     /// matter the thread budget or call ordering. Returns the number of
-    /// sets joined.
+    /// sets joined. The set-arena splice drains the old arena into the
+    /// rebuilt one segment-by-segment (peak `live + O(segment)`).
     ///
     /// # Panics
     /// When `net` has not been folded first (its size must be exactly
@@ -423,75 +422,106 @@ impl RrrPool {
         }
 
         // Membership index: the worker is the largest id, so its run is
-        // appended at the end (`joined` is ascending, runs stay sorted).
-        let last = *self.member_offsets.last().expect("offsets non-empty");
-        self.member_offsets.push(last + joined.len() as u32);
-        self.member_sets.extend_from_slice(&joined);
+        // appended at the end (`joined` is ascending, runs stay
+        // sorted). A pool that never indexed any sets materializes the
+        // older workers' empty runs first so run `w` stays worker `w`.
+        for _ in self.membership.n_runs()..self.n_workers - 1 {
+            self.membership.push_run(&[]);
+        }
+        self.membership.push_run(&joined);
 
-        // Set arena: splice the worker onto the tail of each joined
-        // set's member slice in one flat pass.
+        // Set arena: drain-rebuild with the worker spliced onto the
+        // tail of each joined set's run.
         if !joined.is_empty() {
-            let mut offsets = Vec::with_capacity(self.set_offsets.len());
-            let mut members = Vec::with_capacity(self.set_members.len() + joined.len());
-            offsets.push(0u32);
-            let mut ji = 0;
-            for j in 0..self.n_sets() {
-                let lo = self.set_offsets[j] as usize;
-                let hi = self.set_offsets[j + 1] as usize;
-                members.extend_from_slice(&self.set_members[lo..hi]);
-                if ji < joined.len() && joined[ji] == j as u32 {
-                    members.push(worker);
-                    ji += 1;
-                }
-                offsets.push(members.len() as u32);
-            }
-            self.set_offsets = offsets;
-            self.set_members = members;
+            let sets = std::mem::take(&mut self.sets);
+            let others = self.current_bytes();
+            let (rebuilt, op_peak) = sets.append_one_to_runs(&joined, worker);
+            self.sets = rebuilt;
+            self.note_peak_abs(others + 4 * op_peak);
         }
         joined.len()
     }
 
     /// Folds sets `[first_new, n_sets)` into the worker→sets index.
     ///
-    /// Existing per-worker runs are block-copied (never re-derived from
-    /// the arena) and the new set ids — all larger than the indexed ones
-    /// — are appended behind them, so each run stays sorted and the cost
-    /// is one flat pass instead of a full rebuild per top-up.
+    /// Two passes over the new sets: a counting pass sizes every
+    /// worker's delta run exactly ([`RunArena::with_layout`]), then a
+    /// scatter pass fills them in set order (so each run is ascending).
+    /// On a cold start the delta **is** the index — no merge, no copy.
+    /// On growth, the old index and the delta are zipped run-for-run by
+    /// a draining merge that frees source segments as they are
+    /// consumed, keeping the transient at `live + O(segment)` instead
+    /// of the full second copy the contiguous layout needed.
     fn index_new_sets(&mut self, first_new: usize) {
         let n = self.n_workers;
-        if n == 0 {
+        if n == 0 || first_new == self.n_sets() {
             return;
         }
-        debug_assert_eq!(self.member_offsets.len(), n + 1);
-        let new_lo = self.set_offsets[first_new] as usize;
         let mut add = vec![0u32; n];
-        for &w in &self.set_members[new_lo..] {
-            add[w as usize] += 1;
-        }
-        let mut offsets = vec![0u32; n + 1];
-        for w in 0..n {
-            let old_len = self.member_offsets[w + 1] - self.member_offsets[w];
-            offsets[w + 1] = offsets[w] + old_len + add[w];
-        }
-        let mut merged = vec![0u32; offsets[n] as usize];
-        let mut cursor = vec![0u32; n];
-        for w in 0..n {
-            let src_lo = self.member_offsets[w] as usize;
-            let src_hi = self.member_offsets[w + 1] as usize;
-            let dst = offsets[w] as usize;
-            merged[dst..dst + (src_hi - src_lo)].copy_from_slice(&self.member_sets[src_lo..src_hi]);
-            cursor[w] = offsets[w] + (src_hi - src_lo) as u32;
-        }
-        for j in first_new..self.n_sets() {
-            let lo = self.set_offsets[j] as usize;
-            let hi = self.set_offsets[j + 1] as usize;
-            for &w in &self.set_members[lo..hi] {
-                merged[cursor[w as usize] as usize] = j as u32;
-                cursor[w as usize] += 1;
+        self.sets.for_each_run_from(first_new, |_, run| {
+            for &w in run {
+                add[w as usize] += 1;
             }
+        });
+        let (mut delta, mut cursors) = RunArena::with_layout(&add);
+        let scatter_bytes =
+            4 * (delta.capacity_elems() + add.capacity()) + std::mem::size_of_val(&cursors[..]);
+        drop(add);
+        self.sets.for_each_run_from(first_new, |j, run| {
+            for &w in run {
+                delta.poke(&mut cursors[w as usize], j as u32);
+            }
+        });
+        drop(cursors);
+        self.note_peak_abs(self.current_bytes() + scatter_bytes);
+
+        if self.membership.is_empty() {
+            // Cold start: the scatter-built delta is the whole index.
+            self.membership = delta;
+            self.note_peak();
+        } else {
+            let base = std::mem::take(&mut self.membership);
+            let others = self.current_bytes();
+            let (merged, op_peak) = RunArena::merge_zip(base, delta);
+            self.membership = merged;
+            self.note_peak_abs(others + 4 * op_peak);
         }
-        self.member_offsets = offsets;
-        self.member_sets = merged;
+    }
+
+    /// Allocated bytes across all pool storage right now.
+    fn current_bytes(&self) -> usize {
+        4 * (self.sets.capacity_elems()
+            + self.membership.capacity_elems()
+            + self.roots.capacity()
+            + self.set_epochs.capacity())
+    }
+
+    /// Checkpoints the current footprint into the peak.
+    fn note_peak(&mut self) {
+        let b = self.current_bytes();
+        self.note_peak_abs(b);
+    }
+
+    /// Checkpoints an explicitly computed transient footprint.
+    fn note_peak_abs(&mut self, bytes: usize) {
+        if bytes > self.peak_bytes {
+            self.peak_bytes = bytes;
+        }
+    }
+
+    /// Deterministic byte accounting (live, allocated, lifetime peak).
+    /// The peak is sampled at mutation checkpoints — including the
+    /// transients inside merges and rebuilds — and is bit-identical at
+    /// any thread count, like the pool itself.
+    pub fn mem_stats(&self) -> PoolMemStats {
+        let live = 4
+            * (self.sets.len() + self.membership.len() + self.roots.len() + self.set_epochs.len());
+        let capacity = self.current_bytes();
+        PoolMemStats {
+            live_bytes: live,
+            capacity_bytes: capacity,
+            peak_bytes: self.peak_bytes.max(capacity),
+        }
     }
 
     /// The master seed the pool's per-set RNG streams derive from.
@@ -506,11 +536,13 @@ impl RrrPool {
         self.model
     }
 
-    /// The set arena: `(offsets, members)` CSR slices. Set `j`'s members
-    /// are `members[offsets[j]..offsets[j + 1]]`, root first.
+    /// The chunked set arena (run `j` = members of set `j`, root
+    /// first). Arena equality is logical (run-for-run), so two pools
+    /// built through different shard counts or growth histories
+    /// compare equal whenever their sets match.
     #[inline]
-    pub fn set_arena(&self) -> (&[u32], &[u32]) {
-        (&self.set_offsets, &self.set_members)
+    pub fn set_arena(&self) -> &RunArena {
+        &self.sets
     }
 
     /// Roots of all sets, indexed by set id.
@@ -519,15 +551,26 @@ impl RrrPool {
         &self.roots
     }
 
-    /// The membership index: `(offsets, set_ids)` CSR slices mapping
-    /// worker `w` to the sorted ids of sets containing it.
+    /// The chunked membership index (run `w` = sorted ids of live sets
+    /// containing worker `w`; empty arena until sets are indexed).
     #[inline]
-    pub fn membership_arena(&self) -> (&[u32], &[u32]) {
-        (&self.member_offsets, &self.member_sets)
+    pub fn membership_arena(&self) -> &RunArena {
+        &self.membership
+    }
+
+    /// Total memberships (== total set-arena elements).
+    #[inline]
+    pub fn n_set_members(&self) -> usize {
+        self.sets.len()
     }
 
     /// Order-sensitive digest of the sampled bytes (roots + arena) —
     /// cheap bit-identity checks for the determinism tests and benches.
+    /// Digests the *logical* contiguous layout (leading 0 plus one
+    /// cumulative end per set), so the value is unchanged from the
+    /// pre-chunking pool and equal to
+    /// [`ContiguousPool::fingerprint`](crate::contiguous::ContiguousPool::fingerprint)
+    /// on identical sets.
     pub fn fingerprint(&self) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         let mut eat = |v: u64| {
@@ -538,12 +581,17 @@ impl RrrPool {
         for &r in &self.roots {
             eat(r as u64);
         }
-        for &o in &self.set_offsets {
-            eat(o as u64);
-        }
-        for &m in &self.set_members {
-            eat(m as u64);
-        }
+        eat(0);
+        let mut cum = 0u32;
+        self.sets.for_each_run(|_, run| {
+            cum += run.len() as u32;
+            eat(cum as u64);
+        });
+        self.sets.for_each_run(|_, run| {
+            for &m in run {
+                eat(m as u64);
+            }
+        });
         h
     }
 
@@ -562,9 +610,7 @@ impl RrrPool {
     /// Members of set `j` (root first).
     #[inline]
     pub fn set(&self, j: usize) -> &[u32] {
-        let lo = self.set_offsets[j] as usize;
-        let hi = self.set_offsets[j + 1] as usize;
-        &self.set_members[lo..hi]
+        self.sets.run(j)
     }
 
     /// Root of set `j`.
@@ -576,9 +622,15 @@ impl RrrPool {
     /// Ids of sets containing `worker`.
     #[inline]
     pub fn sets_containing(&self, worker: u32) -> &[u32] {
-        let lo = self.member_offsets[worker as usize] as usize;
-        let hi = self.member_offsets[worker as usize + 1] as usize;
-        &self.member_sets[lo..hi]
+        if self.membership.is_empty() {
+            assert!(
+                (worker as usize) < self.n_workers,
+                "worker {worker} out of range ({})",
+                self.n_workers
+            );
+            return &[];
+        }
+        self.membership.run(worker as usize)
     }
 
     /// The estimator scale `|W| / N`.
@@ -799,6 +851,9 @@ mod tests {
         assert_eq!(pool.n_sets(), 0);
         assert_eq!(pool.scale(), 0.0);
         assert!(pool.greedy_informed_worker().is_none());
+        for w in 0..4 {
+            assert!(pool.sets_containing(w).is_empty());
+        }
     }
 
     #[test]
@@ -815,7 +870,8 @@ mod tests {
         let a = RrrPool::generate(&net, 100, &mut SmallRng::seed_from_u64(13));
         let b = RrrPool::generate(&net, 100, &mut SmallRng::seed_from_u64(13));
         assert_eq!(a.roots, b.roots);
-        assert_eq!(a.set_members, b.set_members);
+        assert_eq!(a.sets, b.sets);
+        assert_eq!(a.membership, b.membership);
     }
 
     #[test]
@@ -843,7 +899,7 @@ mod tests {
             }
         }
         let total_memberships: usize = (0..4).map(|w| pool.sets_containing(w).len()).sum();
-        assert_eq!(total_memberships, pool.set_arena().1.len());
+        assert_eq!(total_memberships, pool.n_set_members());
     }
 
     #[test]
@@ -905,6 +961,43 @@ mod tests {
         fresh.advance_epoch();
         fresh.evict_before_epoch(1, 400);
         assert_eq!(pool.fingerprint(), fresh.fingerprint());
+    }
+
+    #[test]
+    fn mem_stats_track_live_and_peak() {
+        let net = diamond_net();
+        let mut pool =
+            RrrPool::generate_sharded(&net, 2_000, PropagationModel::WeightedCascade, 25, 2);
+        let after_gen = pool.mem_stats();
+        assert!(after_gen.live_bytes > 0);
+        assert!(after_gen.capacity_bytes >= after_gen.live_bytes);
+        assert!(after_gen.peak_bytes >= after_gen.capacity_bytes);
+        pool.advance_epoch();
+        pool.evict_before_epoch(1, 500);
+        let after_evict = pool.mem_stats();
+        assert!(after_evict.live_bytes < after_gen.live_bytes);
+        assert!(after_evict.peak_bytes >= after_gen.peak_bytes);
+    }
+
+    #[test]
+    fn peak_accounting_is_thread_invariant() {
+        // The determinism contract covers the accounting too: the same
+        // call sequence reports the same peak at any thread count.
+        let net = diamond_net();
+        let run = |threads: usize| {
+            let mut pool = RrrPool::generate_sharded(
+                &net,
+                3_000,
+                PropagationModel::WeightedCascade,
+                26,
+                threads,
+            );
+            pool.advance_epoch();
+            pool.evict_before_epoch(1, 700);
+            pool.extend_to(&net, 3_500, threads);
+            pool.mem_stats()
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

@@ -43,7 +43,7 @@ fn assert_consistent(pool: &RrrPool) {
         .sum();
     assert_eq!(
         total,
-        pool.set_arena().1.len(),
+        pool.n_set_members(),
         "index covers the arena exactly"
     );
 }

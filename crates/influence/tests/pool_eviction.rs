@@ -30,18 +30,17 @@ fn sparse_net(n: usize, seed: u64) -> SocialNetwork {
 
 fn assert_invariants(pool: &RrrPool) {
     let n_sets = pool.n_sets();
-    let (set_offsets, set_members) = pool.set_arena();
-    let (member_offsets, member_sets) = pool.membership_arena();
+    let sets = pool.set_arena();
+    let membership = pool.membership_arena();
 
-    // Offsets: correct lengths, monotone, closed over the arenas.
-    assert_eq!(set_offsets.len(), n_sets + 1);
-    assert!(set_offsets.windows(2).all(|w| w[0] <= w[1]));
-    assert_eq!(*set_offsets.last().unwrap() as usize, set_members.len());
-    assert_eq!(member_offsets.len(), pool.n_workers() + 1);
-    assert!(member_offsets.windows(2).all(|w| w[0] <= w[1]));
-    assert_eq!(*member_offsets.last().unwrap() as usize, member_sets.len());
-    // Same total memberships seen from both sides.
-    assert_eq!(member_sets.len(), set_members.len());
+    // Arenas: one run per set, one run per worker (once indexed), and
+    // the same total memberships seen from both sides.
+    assert_eq!(sets.n_runs(), n_sets);
+    if n_sets > 0 {
+        assert_eq!(membership.n_runs(), pool.n_workers());
+    }
+    assert_eq!(membership.len(), sets.len());
+    assert_eq!(pool.n_set_members(), sets.len());
 
     // Arena → index: every member of every set is indexed.
     for j in 0..n_sets {

@@ -17,7 +17,15 @@ pub mod s001;
 /// True when the file lives in a crate whose output feeds assignment
 /// reports — the blast radius of order-nondeterminism (D001).
 pub fn is_report_affecting(path: &str) -> bool {
-    ["assign", "core", "influence", "sim", "datagen"]
-        .iter()
-        .any(|c| path.starts_with(&format!("crates/{c}/src/")))
+    [
+        "assign",
+        "core",
+        "datagen",
+        "graph",
+        "influence",
+        "sim",
+        "topics",
+    ]
+    .iter()
+    .any(|c| path.starts_with(&format!("crates/{c}/src/")))
 }

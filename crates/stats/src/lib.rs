@@ -15,6 +15,9 @@
 //! * [`Histogram`] — fixed-width binning for distribution sanity checks.
 //! * [`power_iteration`] — stationary distributions of row-stochastic
 //!   matrices (the RWR model of Section III-B1).
+//! * [`rss`] — peak/current resident-set-size probes (`/proc` on
+//!   Linux, honest `None` elsewhere) backing the scale benchmarks'
+//!   recorded memory numbers.
 //! * [`par`] — the workspace's budget-respecting chunked-shard
 //!   scheduler: every parallel phase (RRR sampling, eligibility,
 //!   scoring, sweeps) maps contiguous index ranges onto at most
@@ -32,6 +35,7 @@ pub mod moments;
 pub mod par;
 pub mod pareto;
 pub mod power_iter;
+pub mod rss;
 pub mod zipf;
 
 pub use alias::AliasTable;
@@ -41,4 +45,5 @@ pub use moments::{OnlineMoments, Summary};
 pub use par::{chunk_bounds, map_chunked, map_shards};
 pub use pareto::Pareto;
 pub use power_iter::{power_iteration, PowerIterationResult};
+pub use rss::{current_rss_bytes, peak_rss_bytes, reset_peak_rss};
 pub use zipf::Zipf;

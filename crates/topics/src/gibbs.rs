@@ -176,6 +176,28 @@ pub struct LdaModel {
 }
 
 impl LdaModel {
+    /// Assembles a model from frozen estimates (crate-internal: the
+    /// streaming trainer produces the same parts through its own state).
+    pub(crate) fn from_parts(
+        n_topics: usize,
+        n_words: usize,
+        alpha: f64,
+        beta: f64,
+        phi: Vec<f64>,
+        theta: Vec<f64>,
+        n_docs: usize,
+    ) -> Self {
+        LdaModel {
+            n_topics,
+            n_words,
+            alpha,
+            beta,
+            phi,
+            theta,
+            n_docs,
+        }
+    }
+
     /// Number of topics.
     #[inline]
     pub fn n_topics(&self) -> usize {

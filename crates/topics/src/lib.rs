@@ -15,7 +15,10 @@
 //! The model is a from-scratch collapsed Gibbs sampler ([`LdaTrainer`])
 //! with symmetric Dirichlet priors, plus fold-in inference for unseen
 //! documents ([`LdaModel::infer`]) so that tasks appearing at assignment
-//! time can be scored online.
+//! time can be scored online. [`StreamingLda`] trains the identical
+//! model without materializing a corpus — documents are folded into
+//! Gibbs state as they arrive, which is how the million-worker training
+//! path stays inside its memory budget.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -24,7 +27,9 @@
 pub mod affinity;
 pub mod corpus;
 pub mod gibbs;
+pub mod streaming;
 
 pub use affinity::topic_affinity;
 pub use corpus::Corpus;
 pub use gibbs::{LdaModel, LdaParams, LdaTrainer};
+pub use streaming::StreamingLda;

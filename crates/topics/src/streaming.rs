@@ -1,0 +1,314 @@
+//! Streaming collapsed Gibbs LDA.
+//!
+//! [`StreamingLda`] trains the same model as [`LdaTrainer`](crate::LdaTrainer) without a
+//! [`Corpus`](crate::Corpus): check-in batches are folded straight into
+//! Gibbs state via [`StreamingLda::feed_doc`], which draws each token's
+//! initial topic **at feed time** and stores token + assignment in
+//! fixed-capacity blocks (never a doubling reallocation over the full
+//! token stream, and none of the per-document `Vec` headers a nested
+//! corpus carries — the million-worker training path's corpus copy is
+//! gone entirely). [`StreamingLda::finish`] then runs the configured
+//! sweeps and freezes `φ`/`θ`.
+//!
+//! # Equivalence contract
+//!
+//! Feeding documents in corpus order with RNG state `r`, then finishing
+//! with the same RNG, performs **exactly the operation sequence** of
+//! `LdaTrainer::train` on that corpus with `r`: the batch trainer also
+//! draws every token's init topic in document order before its first
+//! sweep, and the sweep arithmetic here is token-for-token identical.
+//! The resulting [`LdaModel`]s compare equal to the last bit — the
+//! `streaming_equality` suite pins this against the independent batch
+//! implementation at several shapes. The dense `n_docs × n_topics`
+//! count/θ matrices are unavoidable (they *are* the model output); what
+//! streaming removes is the second, corpus-shaped copy of every token.
+
+use crate::gibbs::{LdaModel, LdaParams};
+use rand::{Rng, RngExt};
+
+/// Tokens per storage block (256 KB of `u32` per plane). Blocks are
+/// allocated at exactly this capacity and filled completely before the
+/// next one opens, so flat position → `(block, offset)` is a shift+mask.
+const BLOCK: usize = 1 << 16;
+
+/// Exactly-`BLOCK`-capacity block list with flat addressing.
+#[derive(Debug, Clone, Default)]
+struct BlockVec {
+    blocks: Vec<Vec<u32>>,
+    len: usize,
+}
+
+impl BlockVec {
+    fn push(&mut self, v: u32) {
+        if self.len == self.blocks.len() * BLOCK {
+            self.blocks.push(Vec::with_capacity(BLOCK));
+        }
+        self.blocks.last_mut().expect("block exists").push(v);
+        self.len += 1;
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> u32 {
+        self.blocks[i / BLOCK][i % BLOCK]
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, v: u32) {
+        self.blocks[i / BLOCK][i % BLOCK] = v;
+    }
+}
+
+/// The streaming trainer (see module docs).
+#[derive(Debug, Clone)]
+pub struct StreamingLda {
+    params: LdaParams,
+    /// Vocabulary size `V` (like the batch trainer, an empty vocabulary
+    /// is clamped to 1).
+    v: usize,
+    /// Token word ids, in feed order.
+    tokens: BlockVec,
+    /// Current topic assignment per token.
+    z: BlockVec,
+    /// Cumulative token count at the end of each fed document.
+    doc_ends: Vec<u32>,
+    /// `n_dk`, row-major per fed document.
+    doc_topic: Vec<u32>,
+    /// `n_kw`, row-major `n_topics × V`.
+    topic_word: Vec<u32>,
+    /// `n_k`.
+    topic_total: Vec<u32>,
+}
+
+impl StreamingLda {
+    /// Creates a streaming trainer over a vocabulary of `n_words` words.
+    ///
+    /// Unlike [`Corpus::from_documents`](crate::Corpus::from_documents),
+    /// the vocabulary is declared up front — a streaming pass cannot
+    /// infer it after the fact. Callers typically take a cheap max over
+    /// their word source first.
+    pub fn new(params: LdaParams, n_words: usize) -> Self {
+        let k = params.n_topics;
+        let v = n_words.max(1);
+        StreamingLda {
+            params,
+            v,
+            tokens: BlockVec::default(),
+            z: BlockVec::default(),
+            doc_ends: Vec::new(),
+            doc_topic: Vec::new(),
+            topic_word: vec![0u32; k * v],
+            topic_total: vec![0u32; k],
+        }
+    }
+
+    /// Number of documents fed so far.
+    #[inline]
+    pub fn n_docs(&self) -> usize {
+        self.doc_ends.len()
+    }
+
+    /// Number of tokens fed so far.
+    #[inline]
+    pub fn n_tokens(&self) -> usize {
+        self.tokens.len
+    }
+
+    /// Folds one document into the Gibbs state, drawing each token's
+    /// initial topic from `rng` — the same draws, in the same order,
+    /// that `LdaTrainer::train`'s initialization loop would make.
+    ///
+    /// # Panics
+    /// When a word id is outside the declared vocabulary.
+    pub fn feed_doc<I, R>(&mut self, doc: I, rng: &mut R)
+    where
+        I: IntoIterator<Item = u32>,
+        R: Rng + ?Sized,
+    {
+        let k = self.params.n_topics;
+        let di = self.doc_ends.len();
+        self.doc_topic.resize((di + 1) * k, 0);
+        for w in doc {
+            assert!((w as usize) < self.v, "word id {w} out of vocabulary");
+            let t = rng.random_range(0..k);
+            self.tokens.push(w);
+            self.z.push(t as u32);
+            self.doc_topic[di * k + t] += 1;
+            self.topic_word[t * self.v + w as usize] += 1;
+            self.topic_total[t] += 1;
+        }
+        self.doc_ends.push(self.tokens.len as u32);
+    }
+
+    /// Runs the configured Gibbs sweeps over everything fed and freezes
+    /// the point estimates — arithmetic identical to the batch trainer.
+    pub fn finish<R: Rng + ?Sized>(self, rng: &mut R) -> LdaModel {
+        let StreamingLda {
+            params,
+            v,
+            tokens,
+            mut z,
+            doc_ends,
+            mut doc_topic,
+            mut topic_word,
+            mut topic_total,
+        } = self;
+        let k = params.n_topics;
+        let d = doc_ends.len();
+        let alpha = params.alpha;
+        let beta = params.beta;
+
+        let mut weights = vec![0.0f64; k];
+        for _sweep in 0..params.sweeps {
+            let mut pos = 0usize;
+            for di in 0..d {
+                let end = doc_ends[di] as usize;
+                while pos < end {
+                    let w = tokens.get(pos) as usize;
+                    let old = z.get(pos) as usize;
+                    doc_topic[di * k + old] -= 1;
+                    topic_word[old * v + w] -= 1;
+                    topic_total[old] -= 1;
+
+                    let mut total = 0.0;
+                    for t in 0..k {
+                        let wgt = (doc_topic[di * k + t] as f64 + alpha)
+                            * (topic_word[t * v + w] as f64 + beta)
+                            / (topic_total[t] as f64 + v as f64 * beta);
+                        weights[t] = wgt;
+                        total += wgt;
+                    }
+                    let mut u = rng.random::<f64>() * total;
+                    let mut new = k - 1;
+                    for (t, &wgt) in weights.iter().enumerate() {
+                        u -= wgt;
+                        if u <= 0.0 {
+                            new = t;
+                            break;
+                        }
+                    }
+
+                    z.set(pos, new as u32);
+                    doc_topic[di * k + new] += 1;
+                    topic_word[new * v + w] += 1;
+                    topic_total[new] += 1;
+                    pos += 1;
+                }
+            }
+        }
+
+        let mut phi = vec![0.0f64; k * v];
+        for t in 0..k {
+            let denom = topic_total[t] as f64 + v as f64 * beta;
+            for w in 0..v {
+                phi[t * v + w] = (topic_word[t * v + w] as f64 + beta) / denom;
+            }
+        }
+        let mut theta = vec![0.0f64; d * k];
+        for di in 0..d {
+            let len: u32 = doc_topic[di * k..(di + 1) * k].iter().sum();
+            let denom = len as f64 + k as f64 * alpha;
+            for t in 0..k {
+                theta[di * k + t] = (doc_topic[di * k + t] as f64 + alpha) / denom;
+            }
+        }
+
+        LdaModel::from_parts(k, v, alpha, beta, phi, theta, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use crate::gibbs::LdaTrainer;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn themed_docs() -> Vec<Vec<u32>> {
+        (0..20)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0u32 } else { 5u32 };
+                (0..30).map(|j| base + (j % 5) as u32).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_equals_batch_bit_for_bit() {
+        let docs = themed_docs();
+        let params = LdaParams::with_topics(3).priors(0.5, 0.01).sweeps(40);
+
+        let corpus = Corpus::from_documents(docs.clone());
+        let mut batch_rng = SmallRng::seed_from_u64(9);
+        let batch = LdaTrainer::new(params).train(&corpus, &mut batch_rng);
+
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut s = StreamingLda::new(params, corpus.n_words());
+        for doc in &docs {
+            s.feed_doc(doc.iter().copied(), &mut rng);
+        }
+        assert_eq!(s.n_docs(), docs.len());
+        assert_eq!(s.n_tokens(), corpus.n_tokens());
+        let streamed = s.finish(&mut rng);
+
+        assert_eq!(streamed, batch, "models must match to the last bit");
+    }
+
+    #[test]
+    fn docs_spanning_blocks_stay_equal() {
+        // One document larger than a storage block forces tokens to
+        // straddle block boundaries mid-document.
+        let docs = vec![
+            (0..(BLOCK + 123) as u32).map(|i| i % 7).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4],
+        ];
+        let params = LdaParams::with_topics(2).sweeps(2);
+        let corpus = Corpus::from_documents(docs.clone());
+        let mut batch_rng = SmallRng::seed_from_u64(5);
+        let batch = LdaTrainer::new(params).train(&corpus, &mut batch_rng);
+
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut s = StreamingLda::new(params, corpus.n_words());
+        for doc in &docs {
+            s.feed_doc(doc.iter().copied(), &mut rng);
+        }
+        assert_eq!(s.finish(&mut rng), batch);
+    }
+
+    #[test]
+    fn empty_stream_matches_empty_corpus() {
+        let params = LdaParams::with_topics(4);
+        let mut batch_rng = SmallRng::seed_from_u64(1);
+        let batch = LdaTrainer::new(params).train(&Corpus::new(1), &mut batch_rng);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let streamed = StreamingLda::new(params, 0).finish(&mut rng);
+        assert_eq!(streamed, batch);
+        assert_eq!(streamed.n_docs(), 0);
+        assert_eq!(streamed.n_words(), 1, "vocabulary clamps to 1");
+    }
+
+    #[test]
+    fn empty_documents_are_preserved() {
+        let docs = vec![vec![], vec![0, 1, 0], vec![]];
+        let params = LdaParams::with_topics(2).sweeps(3);
+        let corpus = Corpus::from_documents(docs.clone());
+        let mut batch_rng = SmallRng::seed_from_u64(2);
+        let batch = LdaTrainer::new(params).train(&corpus, &mut batch_rng);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut s = StreamingLda::new(params, corpus.n_words());
+        for doc in &docs {
+            s.feed_doc(doc.iter().copied(), &mut rng);
+        }
+        let streamed = s.finish(&mut rng);
+        assert_eq!(streamed, batch);
+        assert_eq!(streamed.n_docs(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn oov_word_panics() {
+        let mut s = StreamingLda::new(LdaParams::with_topics(2), 3);
+        let mut rng = SmallRng::seed_from_u64(0);
+        s.feed_doc([0u32, 3], &mut rng);
+    }
+}

@@ -51,9 +51,14 @@ macro_rules! define_id {
         }
 
         impl From<usize> for $name {
+            /// # Panics
+            /// When `raw` exceeds `u32::MAX`. The check is a hard
+            /// `assert!` (not debug-only): million-scale loaders hit
+            /// this path with untrusted sizes, and a silent truncation
+            /// in release would alias two distinct entities.
             #[inline]
             fn from(raw: usize) -> Self {
-                debug_assert!(raw <= u32::MAX as usize, "id overflows u32");
+                assert!(raw <= u32::MAX as usize, "id overflows u32");
                 Self(raw as u32)
             }
         }
