@@ -3,7 +3,7 @@
 use crate::eligibility::EligibilityMatrix;
 use crate::graph::AssignmentGraph;
 use crate::oracle::InfluenceOracle;
-use sc_graph::Dinic;
+use sc_graph::{Dinic, ShortestPathEngine};
 use sc_types::{Assignment, AssignmentPair, Instance};
 use std::fmt;
 
@@ -67,10 +67,17 @@ pub struct AssignInput<'a> {
     /// when absent.
     pub task_entropy: Option<&'a [f64]>,
     /// Thread budget for the scoring passes (eligibility construction
-    /// in [`run`] and the per-pair influence scan). Results are
-    /// bit-identical at any value — shards are contiguous index ranges
-    /// merged in order — so this trades wall time only. Defaults to 1.
+    /// in [`run`] and the per-pair influence scan) and for the MCMF
+    /// engine's batched candidate searches. Results are bit-identical
+    /// at any value — shards are contiguous index ranges merged in
+    /// order — so this trades wall time only. Defaults to 1.
     pub threads: usize,
+    /// The shortest-path engine the MCMF-backed algorithms (IA / EIA /
+    /// DIA) solve with. Every engine returns the same assignment (the
+    /// tie-break jitter makes the optimum unique); the ablation
+    /// references only change wall time. Defaults to
+    /// [`ShortestPathEngine::Dijkstra`].
+    pub solver: ShortestPathEngine,
 }
 
 impl<'a> AssignInput<'a> {
@@ -81,6 +88,7 @@ impl<'a> AssignInput<'a> {
             influence,
             task_entropy: None,
             threads: 1,
+            solver: ShortestPathEngine::default(),
         }
     }
 
@@ -101,6 +109,14 @@ impl<'a> AssignInput<'a> {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Selects the MCMF shortest-path engine (assignments are identical
+    /// under every engine; see [`AssignInput::solver`]).
+    #[must_use]
+    pub fn with_solver(mut self, solver: ShortestPathEngine) -> Self {
+        self.solver = solver;
         self
     }
 }
@@ -134,14 +150,41 @@ pub fn run_scored(
     matrix: &EligibilityMatrix,
     influences: &[f64],
 ) -> Assignment {
+    run_scored_with_stats(kind, input, matrix, influences).0
+}
+
+/// Solver-phase telemetry from one [`run_scored_with_stats`] call.
+/// Zero for the non-flow algorithms (MI, greedy) and for MTA (Dinic
+/// does not count augmentations). Deterministic facts of the instance
+/// and the chosen engine — but *engine-dependent* (batching collapses
+/// passes), so round-report equality must never compare them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Shortest-path search passes the MCMF solve ran.
+    pub passes: usize,
+    /// Augmenting paths the MCMF solve committed.
+    pub augmentations: usize,
+}
+
+/// [`run_scored`], also returning the solver-phase telemetry (round
+/// drivers record it in their perf split).
+pub fn run_scored_with_stats(
+    kind: AlgorithmKind,
+    input: &AssignInput<'_>,
+    matrix: &EligibilityMatrix,
+    influences: &[f64],
+) -> (Assignment, SolveStats) {
     debug_assert_eq!(influences.len(), matrix.n_pairs());
     match kind {
-        AlgorithmKind::Mta => mta(input, matrix, influences),
+        AlgorithmKind::Mta => (mta(input, matrix, influences), SolveStats::default()),
         AlgorithmKind::Ia => mcmf_assign(input, matrix, influences, CostModel::Influence),
         AlgorithmKind::Eia => mcmf_assign(input, matrix, influences, CostModel::EntropyInfluence),
         AlgorithmKind::Dia => mcmf_assign(input, matrix, influences, CostModel::DistanceInfluence),
-        AlgorithmKind::Mi => mi(input, matrix, influences),
-        AlgorithmKind::GreedyNearest => greedy_nearest(input, matrix, influences),
+        AlgorithmKind::Mi => (mi(input, matrix, influences), SolveStats::default()),
+        AlgorithmKind::GreedyNearest => (
+            greedy_nearest(input, matrix, influences),
+            SolveStats::default(),
+        ),
     }
 }
 
@@ -205,12 +248,68 @@ fn to_assignment(
     assignment
 }
 
+/// Lattice quantum of the tie-break jitter: `2⁻³⁷ ≈ 7.3e-12`. Every
+/// jitter is an integer multiple of this, so any two *distinct* path
+/// or matching costs built from plateau edges differ by at least one
+/// quantum — two orders of magnitude above the solver tolerances
+/// (`1e-13`) and four above accumulated `f64` path-sum rounding.
+const JITTER_QUANTUM: f64 = 1.0 / (1u64 << 37) as f64;
+
+/// Deterministic per-pair tie-break jitter: a bijective 18-bit scramble
+/// of the pair index placed on a dyadic lattice, `2⁻³⁷ · [2¹⁸, 2¹⁹)`
+/// (≈ `1.9e-6 ..= 3.8e-6`).
+///
+/// The influence cost models produce *exact* ties (every zero-influence
+/// pair costs exactly `1.0`), and on a tied plateau different exact
+/// engines may legitimately pick different optimal assignments. Adding
+/// a unique sub-`1e-5` perturbation per pair makes the min-cost optimum
+/// unique, so every exact engine — and every thread budget — returns
+/// the same assignment byte for byte (the cross-engine determinism
+/// suite pins this). Three properties make the separation real rather
+/// than wishful:
+///
+/// * **Lattice-quantized.** Jitters are exact dyadic multiples of
+///   [`JITTER_QUANTUM`], so on a plateau (equal bases, which are the
+///   only pairs the jitter must separate) distinct path costs differ
+///   by ≥ one quantum — far above the engines' `1e-13` comparison
+///   tolerances. A full-granularity random jitter fails here: two
+///   near-optimal matchings can land within the solver tolerance of
+///   each other, and the batched Dijkstra engine will then commit a
+///   "tight" path that SPFA's exact relaxation rejects.
+/// * **Bijective.** The scramble is a 4-round Feistel permutation of
+///   the low 18 bits of the pair index, so any two pairs (below `2¹⁸`)
+///   get *provably distinct* offsets — no birthday collisions.
+/// * **Hashed, not linear.** Offsets linear in the index cancel on
+///   crossing squares (`δ·a + δ·(b+1) = δ·(a+1) + δ·b`), leaving the
+///   tie unbroken; the Feistel rounds destroy that structure.
+///
+/// The magnitude cap (`< 4e-6` per pair) keeps the jitter far below
+/// any real cost gap (costs live in `(0, 1]` quantized no finer than
+/// ~`1e-4` by the influence estimates), so it never reorders genuinely
+/// different pairs.
+fn tie_jitter(pi: usize) -> f64 {
+    // 4-round Feistel over 9-bit halves: a bijection on [0, 2^18).
+    let x = (pi as u32) & 0x3_FFFF;
+    let (mut l, mut r) = (x >> 9, x & 0x1FF);
+    for round in 1..=4u32 {
+        let mut f = r
+            .wrapping_add(round.wrapping_mul(0x9E37_79B9))
+            .wrapping_mul(0x85EB_CA6B);
+        f ^= f >> 13;
+        let next = l ^ (f & 0x1FF);
+        l = r;
+        r = next;
+    }
+    let k = (1u32 << 18) | (l << 9) | r;
+    JITTER_QUANTUM * f64::from(k)
+}
+
 fn mcmf_assign(
     input: &AssignInput<'_>,
     matrix: &EligibilityMatrix,
     influences: &[f64],
     model: CostModel,
-) -> Assignment {
+) -> (Assignment, SolveStats) {
     let zeros;
     let entropy: &[f64] = match (&model, input.task_entropy) {
         (CostModel::EntropyInfluence, Some(e)) => e,
@@ -221,21 +320,31 @@ fn mcmf_assign(
         _ => &[],
     };
 
-    let mut graph = AssignmentGraph::build(matrix, |pi| {
-        let p = &matrix.pairs()[pi];
-        let inf = influences[pi];
-        match model {
-            CostModel::Influence => 1.0 / (inf + 1.0),
-            CostModel::EntropyInfluence => (entropy[p.task_idx as usize] + 1.0) / (inf + 1.0),
-            CostModel::DistanceInfluence => {
-                let worker = &input.instance.workers[p.worker_idx as usize];
-                let f = 1.0 - (p.distance_km / worker.radius_km).min(1.0);
-                1.0 / (f * inf + 1.0)
-            }
-        }
-    });
-    let (_result, chosen) = graph.solve();
-    to_assignment(input, matrix, influences, &chosen)
+    let mut graph = AssignmentGraph::build_with(
+        matrix,
+        |pi| {
+            let p = &matrix.pairs()[pi];
+            let inf = influences[pi];
+            let base = match model {
+                CostModel::Influence => 1.0 / (inf + 1.0),
+                CostModel::EntropyInfluence => (entropy[p.task_idx as usize] + 1.0) / (inf + 1.0),
+                CostModel::DistanceInfluence => {
+                    let worker = &input.instance.workers[p.worker_idx as usize];
+                    let f = 1.0 - (p.distance_km / worker.radius_km).min(1.0);
+                    1.0 / (f * inf + 1.0)
+                }
+            };
+            base + tie_jitter(pi)
+        },
+        input.solver,
+        input.threads,
+    );
+    let (result, chosen) = graph.solve();
+    let stats = SolveStats {
+        passes: result.passes,
+        augmentations: result.augmentations,
+    };
+    (to_assignment(input, matrix, influences, &chosen), stats)
 }
 
 /// MTA: pure max-flow (Dinic), ignoring influence for the choice but still
@@ -417,6 +526,25 @@ mod tests {
         assert_eq!(ia.worker_of(TaskId::new(0)), Some(WorkerId::new(1)));
         assert!(ia.total_influence() >= mta.total_influence());
         assert!((ia.total_influence() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mta_tie_break_takes_first_augmenting_path() {
+        // Pins the Dinic augmenting order documented above: with both
+        // workers eligible for the one task, MTA deterministically
+        // assigns w0 (the first augmenting path in pair order). The
+        // MCMF engine rewrite must not disturb the max-flow baseline's
+        // output — replay traces and figure sweeps depend on it.
+        let inst = Instance::new(
+            TimeInstant::at(0, 0),
+            vec![worker(0, 1.0, 100.0), worker(1, 2.0, 100.0)],
+            vec![task(0, 0.0)],
+        );
+        let oracle = InfluenceFn(|w: WorkerId, _t: &Task| if w.raw() == 1 { 5.0 } else { 0.1 });
+        let mta = run(AlgorithmKind::Mta, &AssignInput::new(&inst, &oracle));
+        assert_eq!(mta.len(), 1);
+        assert_eq!(mta.worker_of(TaskId::new(0)), Some(WorkerId::new(0)));
+        assert!((mta.total_influence() - 0.1).abs() < 1e-9);
     }
 
     #[test]

@@ -50,8 +50,12 @@ pub mod eligibility;
 pub mod graph;
 pub mod oracle;
 
-pub use algorithms::{run, run_scored, run_with_matrix, score_pairs, AlgorithmKind, AssignInput};
+pub use algorithms::{
+    run, run_scored, run_scored_with_stats, run_with_matrix, score_pairs, AlgorithmKind,
+    AssignInput, SolveStats,
+};
 pub use delta::{DeltaStats, EligibilityState};
 pub use eligibility::{EligibilityMatrix, EligiblePair};
 pub use graph::AssignmentGraph;
 pub use oracle::{InfluenceFn, InfluenceOracle, ZeroInfluence};
+pub use sc_graph::ShortestPathEngine;

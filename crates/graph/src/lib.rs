@@ -29,4 +29,6 @@ pub mod traverse;
 pub use csr::{CsrBuilder, CsrGraph};
 pub use matching::HopcroftKarp;
 pub use maxflow::Dinic;
-pub use mcmf::{FlowResult, MinCostMaxFlow, ShortestPathEngine};
+pub use mcmf::{
+    run_pair, verify, CertificateError, FlowResult, MinCostMaxFlow, ShortestPathEngine,
+};

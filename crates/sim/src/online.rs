@@ -152,6 +152,13 @@ pub struct RoundReport {
     pub cache_hits: usize,
     /// Distinct task-content keys computed this round (excluded).
     pub cache_misses: usize,
+    /// Shortest-path search passes the MCMF solve ran (excluded:
+    /// engine-dependent — batching collapses passes — while the
+    /// assignment itself is engine-invariant).
+    pub solve_passes: usize,
+    /// Augmenting paths the MCMF solve committed (excluded, like
+    /// `solve_passes`).
+    pub solve_augmentations: usize,
     /// Worker rows carried by the eligibility delta (excluded).
     pub elig_rows_carried: usize,
     /// Worker rows rebuilt by the eligibility delta (excluded).
@@ -637,6 +644,8 @@ impl<'a> OnlineEngine<'a> {
             solve_ms: perf.solve_ms,
             cache_hits: perf.cache_hits,
             cache_misses: perf.cache_misses,
+            solve_passes: perf.solve_passes,
+            solve_augmentations: perf.solve_augmentations,
             elig_rows_carried: perf.delta.rows_carried,
             elig_rows_rebuilt: perf.delta.rows_rebuilt,
             elig_pairs_carried: perf.delta.pairs_carried,
@@ -791,6 +800,7 @@ mod tests {
                     ..Default::default()
                 },
                 online,
+                solver: Default::default(),
                 seed: 2,
             })
             .build(&dataset.social, &dataset.histories)

@@ -248,6 +248,7 @@ mod tests {
                 target_sets: 0,
                 incremental: true,
             },
+            solver: Default::default(),
             seed: 9,
         }
     }
