@@ -24,8 +24,8 @@
 use sc_core::{AlgorithmKind, DitaBuilder, OnlineConfig};
 use sc_datagen::{DatasetProfile, InstanceOptions, SyntheticDataset};
 use sc_influence::Rpo;
-use sc_sim::{scripted_arrival, OnlineEngine};
-use sc_types::{Task, TimeInstant, VenueId, Worker};
+use sc_sim::{scripted_event, EngineBuilder, EventKind, NetworkMode, PipelineMode};
+use sc_types::{TimeInstant, Worker};
 use std::time::Instant;
 
 fn env_usize(key: &str, default: usize) -> usize {
@@ -39,7 +39,7 @@ fn env_usize(key: &str, default: usize) -> usize {
 struct RoundScript {
     now: TimeInstant,
     workers: Vec<Worker>,
-    tasks: Vec<(Task, VenueId)>,
+    tasks: Vec<EventKind>,
 }
 
 /// Builds the deterministic multi-day arrival script shared by the
@@ -68,7 +68,7 @@ fn build_script(
             };
             let mut tasks = Vec::new();
             for _ in 0..tasks_per_round {
-                tasks.push(scripted_arrival(data, seed, next_id, now, phi));
+                tasks.push(scripted_event(data, seed, next_id, now, phi));
                 next_id += 1;
             }
             script.push(RoundScript {
@@ -124,15 +124,18 @@ fn main() {
     eprintln!(
         "[bench_online] live engine: {rounds} rounds, quantum {growth_cap}, horizon {horizon}…"
     );
-    let mut engine = OnlineEngine::new(pipeline.clone(), &data.social);
+    let mut engine = EngineBuilder::new()
+        .pipeline(PipelineMode::Owned(Box::new(pipeline.clone())))
+        .network(NetworkMode::Fixed(&data.social))
+        .build();
     let mut maint_ms = Vec::with_capacity(rounds);
     let t0 = Instant::now();
     for r in &script {
         for w in &r.workers {
-            engine.worker_arrives(w.clone());
+            engine.ingest(EventKind::WorkerArrival { worker: w.clone() });
         }
-        for (t, v) in &r.tasks {
-            engine.task_arrives(t.clone(), *v);
+        for t in &r.tasks {
+            engine.ingest(t.clone());
         }
         let report = engine.run_round(r.now, algorithm);
         maint_ms.push(report.maintenance_ms);
@@ -159,17 +162,21 @@ fn main() {
 
     // --- Retrain-every-round oracle on the same script. ----------------
     eprintln!("[bench_online] oracle: retraining the pool every round…");
-    let mut oracle = OnlineEngine::with_config(pipeline, &data.social, OnlineConfig::default());
+    let mut oracle = EngineBuilder::new()
+        .pipeline(PipelineMode::Owned(Box::new(pipeline)))
+        .network(NetworkMode::Fixed(&data.social))
+        .config(OnlineConfig::default())
+        .build();
     let t1 = Instant::now();
     for (i, r) in script.iter().enumerate() {
         let round_seed = rand::mix_stream(master_seed, i as u64 + 1);
         let (pool, _) = Rpo::new(rpo_params).build_pool_seeded(&data.social, round_seed);
         *oracle.pipeline_mut().model_mut().pool_mut() = pool;
         for w in &r.workers {
-            oracle.worker_arrives(w.clone());
+            oracle.ingest(EventKind::WorkerArrival { worker: w.clone() });
         }
-        for (t, v) in &r.tasks {
-            oracle.task_arrives(t.clone(), *v);
+        for t in &r.tasks {
+            oracle.ingest(t.clone());
         }
         oracle.run_round(r.now, algorithm);
     }

@@ -54,7 +54,7 @@ use sc_core::{
 };
 use sc_datagen::{DatasetProfile, InstanceOptions, SyntheticDataset};
 use sc_influence::RpoParams;
-use sc_sim::{scripted_arrival, OnlineEngine, RoundReport};
+use sc_sim::{scripted_event, EngineBuilder, EventKind, NetworkMode, PipelineMode, RoundReport};
 use sc_types::TimeInstant;
 use std::time::Instant;
 
@@ -120,7 +120,11 @@ fn drive(
         incremental,
         ..OnlineConfig::default()
     };
-    let mut engine = OnlineEngine::with_config(pipeline, &data.social, config);
+    let mut engine = EngineBuilder::new()
+        .pipeline(PipelineMode::Owned(Box::new(pipeline)))
+        .network(NetworkMode::Fixed(&data.social))
+        .config(config)
+        .build();
     let opts = InstanceOptions {
         valid_hours: phi,
         radius_km,
@@ -133,11 +137,10 @@ fn drive(
     for round in 0..rounds {
         let now = TimeInstant::at(0, 8 + round as i64);
         for w in &cohort_workers {
-            engine.worker_arrives(w.clone());
+            engine.ingest(EventKind::WorkerArrival { worker: w.clone() });
         }
         for _ in 0..tasks_per_round {
-            let (task, venue) = scripted_arrival(data, seed, next_id, now, phi);
-            engine.task_arrives(task, venue);
+            engine.ingest(scripted_event(data, seed, next_id, now, phi));
             next_id += 1;
         }
         let t0 = Instant::now();

@@ -15,7 +15,7 @@ use sc_topics::LdaParams;
 /// maintenance work is bounded per round and no full retrain ever
 /// happens after warm-up. All maintenance is deterministic in the
 /// training master seed at any thread count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct OnlineConfig {
     /// Hours between assignment rounds (round length). The engine
     /// itself is cadence-agnostic (`run_round` takes the instant);
@@ -73,7 +73,7 @@ impl OnlineConfig {
 }
 
 /// Configuration of the DITA training pipeline.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DitaConfig {
     /// Number of LDA topics `|Top|` (paper: 50).
     pub n_topics: usize,

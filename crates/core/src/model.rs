@@ -15,7 +15,12 @@ use sc_types::{History, HistoryStore, Location, Task, VenueId, WorkerId};
 /// `Clone` exists so an online engine can take a private live copy of
 /// a trained model and maintain its RRR pool across rounds without
 /// disturbing the original.
-#[derive(Debug, Clone)]
+///
+/// Serde (snapshot support) round-trips every trained sub-model —
+/// LDA `φ`/`θ`, per-worker topic distributions, willingness fits,
+/// venue entropies, and the live RRR pool with its epoch window — so a
+/// restored model scores bit-identically to the original.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct InfluenceModel {
     config: DitaConfig,
     lda: LdaModel,

@@ -211,6 +211,28 @@ impl Clone for DitaPipeline {
     }
 }
 
+/// Snapshot serde: only the trained model travels. The scorer cache is
+/// derived data (entries are pure functions of task content and the
+/// frozen models), so a restored pipeline starts cold exactly like a
+/// [`Clone`] — and serves bit-identical scores from the first round.
+impl serde::Serialize for DitaPipeline {
+    fn to_value(&self) -> serde::json::Value {
+        serde::json::Value::Object(vec![("model".to_string(), self.model.to_value())])
+    }
+}
+
+impl serde::Deserialize for DitaPipeline {
+    fn from_value(value: &serde::json::Value) -> Result<Self, serde::Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| serde::Error::expected("pipeline object", value))?;
+        Ok(DitaPipeline {
+            model: serde::get_field(obj, "model")?,
+            cache: ScorerCache::new(),
+        })
+    }
+}
+
 impl DitaPipeline {
     /// The trained influence model.
     pub fn model(&self) -> &InfluenceModel {

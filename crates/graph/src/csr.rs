@@ -4,9 +4,11 @@
 //! generators never produce them, but the structure does not forbid them);
 //! self-loops are allowed but typically filtered by callers.
 
+use serde::{Deserialize, Serialize};
+
 /// A directed graph in CSR form: `offsets[u]..offsets[u+1]` indexes the
 /// out-neighbour slice of `u` in `targets`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CsrGraph {
     offsets: Vec<u32>,
     targets: Vec<u32>,

@@ -79,7 +79,7 @@ const TIGHT_EPS: f64 = 1e-13;
 const BATCH_SHARD_THRESHOLD: usize = 64;
 
 /// Which engine finds augmenting paths.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum ShortestPathEngine {
     /// Potential-based Dijkstra with deterministic batched multi-source
     /// augmentation (see the module docs) — the production engine.

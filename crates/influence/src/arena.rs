@@ -463,6 +463,58 @@ impl RunArena {
     }
 }
 
+/// Snapshot serde: like [`PartialEq`], the wire form is *logical* —
+/// the flat element stream plus cumulative run ends, with no trace of
+/// segmentation or eviction debris. A restored arena re-segments
+/// through [`RunArena::push_run`], so it compares equal to (and reads
+/// identically to) the original even though the segment layout may
+/// differ.
+impl serde::Serialize for RunArena {
+    fn to_value(&self) -> serde::json::Value {
+        let mut data: Vec<u32> = Vec::with_capacity(self.len);
+        let mut ends: Vec<u32> = Vec::with_capacity(self.n_runs);
+        self.for_each_run(|_, run| {
+            data.extend_from_slice(run);
+            ends.push(data.len() as u32);
+        });
+        serde::json::Value::Object(vec![
+            ("data".to_string(), data.to_value()),
+            ("ends".to_string(), ends.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for RunArena {
+    fn from_value(value: &serde::json::Value) -> Result<Self, serde::Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| serde::Error::expected("run-arena object", value))?;
+        let data: Vec<u32> = serde::get_field(obj, "data")?;
+        let ends: Vec<u32> = serde::get_field(obj, "ends")?;
+        let mut arena = RunArena::new();
+        let mut lo = 0usize;
+        for &end in &ends {
+            let hi = end as usize;
+            if hi < lo || hi > data.len() {
+                return Err(serde::Error::custom(format!(
+                    "run-arena ends not monotone within data ({hi} after {lo}, len {})",
+                    data.len()
+                )));
+            }
+            arena.push_run(&data[lo..hi]);
+            lo = hi;
+        }
+        if lo != data.len() {
+            return Err(serde::Error::custom(format!(
+                "run-arena data has {} trailing elements past the last run",
+                data.len() - lo
+            )));
+        }
+        arena.seal();
+        Ok(arena)
+    }
+}
+
 /// Logical equality: same run sequence, regardless of segment layout
 /// (a grown arena and a from-scratch arena segment differently but
 /// hold identical runs).

@@ -139,6 +139,25 @@ impl SocialNetwork {
     }
 }
 
+/// Snapshot serde: only the forward graph travels; the reverse graph
+/// and the `1/indeg` probabilities are derived at construction, so the
+/// restore path rebuilds them through [`SocialNetwork::from_graph`] —
+/// bit-identical by the same argument as the original construction.
+impl serde::Serialize for SocialNetwork {
+    fn to_value(&self) -> serde::json::Value {
+        serde::json::Value::Object(vec![("forward".to_string(), self.forward.to_value())])
+    }
+}
+
+impl serde::Deserialize for SocialNetwork {
+    fn from_value(value: &serde::json::Value) -> Result<Self, serde::Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| serde::Error::expected("social-network object", value))?;
+        Ok(SocialNetwork::from_graph(serde::get_field(obj, "forward")?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

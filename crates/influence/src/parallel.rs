@@ -6,7 +6,7 @@
 //! `DitaConfig`/`RpoParams` down to [`crate::pool::RrrPool`].
 
 /// How many threads the RRR sampling engine may use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum Parallelism {
     /// One shard per available core (`std::thread::available_parallelism`).
     #[default]

@@ -66,7 +66,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, RngExt, SeedableRng};
 
 /// Which diffusion model the RRR sets are sampled under.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum PropagationModel {
     /// Weighted-cascade Independent Cascade (the paper's model):
     /// each informed neighbour succeeds with probability `1/indeg`.
@@ -94,7 +94,13 @@ pub struct PoolMemStats {
 }
 
 /// A pool of `N` RRR sets over a network of `|W|` workers.
-#[derive(Debug, Clone, Default)]
+///
+/// Serde (snapshot support) round-trips the pool *logically*: the
+/// chunked arenas re-segment on restore, but every run — and therefore
+/// every estimator the scorers read — is bit-identical, and the
+/// `(master_seed, stream_base)` window restores exactly, so subsequent
+/// rotations continue the same sampling stream family.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct RrrPool {
     n_workers: usize,
     /// Seed every set's RNG stream derives from; [`RrrPool::extend_to`]

@@ -24,7 +24,7 @@ use rand::Rng;
 use std::time::Instant;
 
 /// Parameters of the RPO estimator.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RpoParams {
     /// Approximation slack `ε` (paper default 0.1).
     pub epsilon: f64,
@@ -144,6 +144,50 @@ impl PartialEq for RpoStats {
             && self.nr_prime == other.nr_prime
             && self.capped == other.capped
         // threads / search_ms / topup_ms are run conditions, not results.
+    }
+}
+
+/// Snapshot serde mirrors the equality contract: the deterministic
+/// diagnostics round-trip, the run conditions (`threads`) travel for
+/// reference, and the wall-clock fields are written as zero so the same
+/// trained model always snapshots to the same bytes.
+impl serde::Serialize for RpoStats {
+    fn to_value(&self) -> serde::json::Value {
+        serde::json::Value::Object(vec![
+            ("n_sets".to_string(), self.n_sets.to_value()),
+            ("sets_sampled".to_string(), self.sets_sampled.to_value()),
+            ("rounds".to_string(), self.rounds.to_value()),
+            ("k_final".to_string(), self.k_final.to_value()),
+            ("test_passed".to_string(), self.test_passed.to_value()),
+            (
+                "sigma_lower_bound".to_string(),
+                self.sigma_lower_bound.to_value(),
+            ),
+            ("nr_prime".to_string(), self.nr_prime.to_value()),
+            ("capped".to_string(), self.capped.to_value()),
+            ("threads".to_string(), self.threads.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for RpoStats {
+    fn from_value(value: &serde::json::Value) -> Result<Self, serde::Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| serde::Error::expected("rpo-stats object", value))?;
+        Ok(RpoStats {
+            n_sets: serde::get_field(obj, "n_sets")?,
+            sets_sampled: serde::get_field(obj, "sets_sampled")?,
+            rounds: serde::get_field(obj, "rounds")?,
+            k_final: serde::get_field(obj, "k_final")?,
+            test_passed: serde::get_field(obj, "test_passed")?,
+            sigma_lower_bound: serde::get_field(obj, "sigma_lower_bound")?,
+            nr_prime: serde::get_field(obj, "nr_prime")?,
+            capped: serde::get_field(obj, "capped")?,
+            threads: serde::get_field(obj, "threads")?,
+            search_ms: 0.0,
+            topup_ms: 0.0,
+        })
     }
 }
 

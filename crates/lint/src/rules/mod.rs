@@ -23,6 +23,7 @@ pub fn is_report_affecting(path: &str) -> bool {
         "datagen",
         "graph",
         "influence",
+        "serve",
         "sim",
         "topics",
     ]

@@ -56,6 +56,31 @@ impl LocationEntropy {
     }
 }
 
+/// Snapshot serde: the venue map is written as a `(venue, entropy)`
+/// list sorted by venue id, so identical tables always produce
+/// identical bytes (hash-map iteration order never leaks into a
+/// snapshot file).
+impl serde::Serialize for LocationEntropy {
+    fn to_value(&self) -> serde::json::Value {
+        let mut entries: Vec<(u32, f64)> =
+            self.per_venue.iter().map(|(v, &e)| (v.raw(), e)).collect();
+        entries.sort_unstable_by_key(|&(v, _)| v);
+        entries.to_value()
+    }
+}
+
+impl serde::Deserialize for LocationEntropy {
+    fn from_value(value: &serde::json::Value) -> Result<Self, serde::Error> {
+        let entries: Vec<(u32, f64)> = serde::Deserialize::from_value(value)?;
+        Ok(LocationEntropy {
+            per_venue: entries
+                .into_iter()
+                .map(|(v, e)| (VenueId::new(v), e))
+                .collect(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

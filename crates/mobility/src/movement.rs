@@ -57,6 +57,33 @@ impl MovementModel {
     }
 }
 
+/// Snapshot serde: the fitted Pareto is fully described by its shape
+/// and scale, so the wire form is the three scalars — the rebuilt model
+/// evaluates bit-identically.
+impl serde::Serialize for MovementModel {
+    fn to_value(&self) -> serde::json::Value {
+        serde::json::Value::Object(vec![
+            ("shape".to_string(), self.pareto.shape().to_value()),
+            ("scale".to_string(), self.pareto.scale().to_value()),
+            ("n_samples".to_string(), self.n_samples.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for MovementModel {
+    fn from_value(value: &serde::json::Value) -> Result<Self, serde::Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| serde::Error::expected("movement-model object", value))?;
+        let shape: f64 = serde::get_field(obj, "shape")?;
+        let scale: f64 = serde::get_field(obj, "scale")?;
+        Ok(MovementModel {
+            pareto: Pareto::new(shape, scale),
+            n_samples: serde::get_field(obj, "n_samples")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,7 +24,7 @@ const MAX_ITER: usize = 10_000;
 
 /// The stationary visit distribution of one worker: distinct venues with
 /// their locations and stationary probabilities.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct StationaryVisits {
     venues: Vec<VenueId>,
     locations: Vec<Location>,

@@ -13,7 +13,7 @@ use crate::rwr::StationaryVisits;
 use sc_types::{History, HistoryStore, Location, WorkerId};
 
 /// Fitted willingness evaluator for one worker.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct WorkerWillingness {
     visits: Option<StationaryVisits>,
     movement: MovementModel,
@@ -55,7 +55,7 @@ impl WorkerWillingness {
 }
 
 /// Willingness models for an entire population, indexed by [`WorkerId`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct WillingnessModel {
     workers: Vec<WorkerWillingness>,
 }

@@ -1,0 +1,46 @@
+//! A matching one-request-per-connection HTTP client.
+//!
+//! The serve surface speaks `Connection: close`, so a client is three
+//! steps: connect, write one request, read to EOF. This module is what
+//! the `dita` replay driver and the smoke tests use to talk to a
+//! running `dita serve` — same no-dependency constraint as the server
+//! side.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Sends one request and returns `(status, body)`. `addr` is anything
+/// resolvable (`"127.0.0.1:7117"`, a [`std::net::SocketAddr`], …).
+pub fn request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: dita\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed response: {raw:?}"),
+            )
+        })?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}

@@ -34,18 +34,30 @@
 #![warn(clippy::all)]
 #![forbid(unsafe_code)]
 
+pub mod event;
 pub mod harness;
 pub mod metrics;
 pub mod online;
 pub mod platform;
 pub mod replay;
+pub mod snapshot;
 pub mod sweep;
 pub mod table;
 
+pub use event::{Event, EventKind, Outcome, RejectReason};
 pub use harness::{AblationPoint, ComparisonPoint, ExperimentRunner};
 pub use metrics::MetricsRow;
-pub use online::{scripted_arrival, ArrivalOutcome, OnlineEngine, OnlineSummary, RoundReport};
+#[allow(deprecated)]
+pub use online::{scripted_arrival, ArrivalOutcome};
+pub use online::{
+    scripted_event, EngineBuilder, NetworkMode, OnlineEngine, OnlineSummary, PipelineMode,
+    RoundReport,
+};
 pub use replay::{replay_day, ReplayReport, ReplayRoundOutcome, ReplayRun};
 pub use sc_core::{OnlineConfig, Parallelism};
+pub use snapshot::{
+    load_snapshot, save_snapshot, snapshot_from_str, snapshot_to_string, SnapshotError,
+    SNAPSHOT_VERSION,
+};
 pub use sweep::{ExperimentScale, SweepAxis, SweepValues};
 pub use table::{render_table, to_csv};

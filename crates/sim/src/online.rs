@@ -6,20 +6,25 @@
 //! assigned a task"). [`OnlineEngine`] is that deployment mode as a
 //! first-class subsystem:
 //!
-//! * **streaming state** — tasks and workers arrive and depart between
-//!   rounds ([`OnlineEngine::task_arrives`],
-//!   [`OnlineEngine::worker_arrives`], [`OnlineEngine::worker_departs`]);
-//!   unassigned tasks persist until they expire, assigned workers
-//!   leave the pool;
-//! * **dynamic populations** — an [`OnlineEngine::adaptive`] engine
-//!   owns its social network and folds previously-unseen workers into
-//!   the live influence model on arrival
-//!   ([`OnlineEngine::worker_arrives_new`]): the graph grows, topic and
-//!   willingness entries are fitted from the arrival's evidence, and
-//!   the RRR pool splices the worker into live sets — so late arrivals
-//!   earn **non-zero influence without a retrain**. Engines that cannot
-//!   fold in (frozen or fixed-population) reject unknown workers
-//!   explicitly ([`ArrivalOutcome::Rejected`]) instead of silently
+//! * **streaming state** — every mutation is one typed
+//!   [`Event`] applied through [`OnlineEngine::apply`]
+//!   (or its auto-stamping sibling [`OnlineEngine::ingest`]): task
+//!   postings, worker logins, fold-ins, departures. Events are totally
+//!   ordered by `(round, seq)` and serde-able, so the in-process
+//!   drivers, the replay machinery, and the `dita serve` HTTP front all
+//!   share one code path. Unassigned tasks persist until they expire;
+//!   assigned workers leave the pool;
+//! * **dynamic populations** — an engine built with
+//!   [`NetworkMode::Adaptive`] owns its social network and folds
+//!   previously-unseen workers into the live influence model on arrival
+//!   ([`EventKind::WorkerNew`]): the graph
+//!   grows, topic and willingness entries are fitted from the arrival's
+//!   evidence, and the RRR pool splices the worker into live sets — so
+//!   late arrivals earn **non-zero influence without a retrain**.
+//!   Engines that cannot fold in (frozen or fixed-population) reject
+//!   unknown workers explicitly
+//!   ([`Outcome::Rejected`], with a named
+//!   [`RejectReason`]) instead of silently
 //!   accepting a worker that would always score zero;
 //! * **one expiry pass per round** — arrivals are ingested *before*
 //!   the expiry check, so a task that is already stale when the round
@@ -65,20 +70,51 @@
 //! telemetry fields (`cache_hits`, `elig_*`, the `*_ms` phase split)
 //! describe how the round was served and are excluded from equality.
 
+use crate::event::{Event, EventKind, Outcome, RejectReason};
 use sc_assign::AlgorithmKind;
 use sc_core::{DitaPipeline, EligibilityState, OnlineConfig};
 use sc_datagen::SyntheticDataset;
 use sc_influence::SocialNetwork;
 use sc_types::{Duration, History, Task, TaskId, TimeInstant, VenueId, Worker, WorkerId};
+use serde::json::Value;
 use std::collections::HashMap;
 use std::time::Instant;
 
-/// Builds the `id`-th task of a scripted arrival stream: a
+/// Builds the `id`-th event of a scripted arrival stream: a
 /// deterministic venue pick (via [`rand::mix_stream`], the same
 /// primitive that seeds RRR sets) and a `phi`-hour task published at
-/// `now` from that venue. Shared by the `dita online` CLI driver and
-/// the `bench_online` perf binary so their arrival streams cannot
-/// silently diverge.
+/// `now` from that venue, as an [`EventKind::TaskArrival`] ready for
+/// [`OnlineEngine::ingest`]. Shared by the `dita online` CLI driver and
+/// the `bench_online` / `bench_round` perf binaries so their arrival
+/// streams cannot silently diverge — and routed through the same
+/// `apply(Event)` path as wire events, so scripted and served streams
+/// share one expiry-unified code path.
+pub fn scripted_event(
+    data: &SyntheticDataset,
+    seed: u64,
+    id: u32,
+    now: TimeInstant,
+    phi: f64,
+) -> EventKind {
+    let pick = rand::mix_stream(seed, id as u64) as usize % data.venues.len();
+    let venue = data.venues.venue(VenueId::from(pick));
+    EventKind::TaskArrival {
+        task: Task::with_categories(
+            TaskId::new(id),
+            venue.location,
+            now,
+            Duration::hours_f64(phi),
+            venue.categories.clone(),
+        ),
+        venue: venue.id,
+    }
+}
+
+/// Deprecated tuple form of [`scripted_event`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `scripted_event` and route it through `OnlineEngine::ingest`"
+)]
 pub fn scripted_arrival(
     data: &SyntheticDataset,
     seed: u64,
@@ -86,18 +122,10 @@ pub fn scripted_arrival(
     now: TimeInstant,
     phi: f64,
 ) -> (Task, VenueId) {
-    let pick = rand::mix_stream(seed, id as u64) as usize % data.venues.len();
-    let venue = data.venues.venue(VenueId::from(pick));
-    (
-        Task::with_categories(
-            TaskId::new(id),
-            venue.location,
-            now,
-            Duration::hours_f64(phi),
-            venue.categories.clone(),
-        ),
-        venue.id,
-    )
+    match scripted_event(data, seed, id, now, phi) {
+        EventKind::TaskArrival { task, venue } => (task, venue),
+        _ => unreachable!("scripted_event only scripts task arrivals"),
+    }
 }
 
 /// Outcome of one assignment round.
@@ -191,6 +219,73 @@ impl PartialEq for RoundReport {
     }
 }
 
+/// The wire form of a [`RoundReport`] carries exactly the twelve
+/// deterministic fields its `PartialEq` compares — wall-clock and
+/// telemetry never reach the wire, so two serialized reports of the
+/// same round are byte-identical across thread counts and across the
+/// incremental/rebuild paths (the property the `dita serve` smoke job
+/// diffs on). Deserialization zeroes the telemetry, so a parsed report
+/// still compares equal to the original.
+impl serde::Serialize for RoundReport {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("round".to_string(), self.round.to_value()),
+            ("now".to_string(), self.now.to_value()),
+            ("task_arrivals".to_string(), self.task_arrivals.to_value()),
+            (
+                "worker_arrivals".to_string(),
+                self.worker_arrivals.to_value(),
+            ),
+            (
+                "available_tasks".to_string(),
+                self.available_tasks.to_value(),
+            ),
+            ("online_workers".to_string(), self.online_workers.to_value()),
+            ("assigned".to_string(), self.assigned.to_value()),
+            ("expired".to_string(), self.expired.to_value()),
+            ("ai".to_string(), self.ai.to_value()),
+            ("pool_sets".to_string(), self.pool_sets.to_value()),
+            ("sets_evicted".to_string(), self.sets_evicted.to_value()),
+            ("sets_added".to_string(), self.sets_added.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for RoundReport {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| serde::Error::expected("round report object", value))?;
+        Ok(RoundReport {
+            round: serde::get_field(obj, "round")?,
+            now: serde::get_field(obj, "now")?,
+            task_arrivals: serde::get_field(obj, "task_arrivals")?,
+            worker_arrivals: serde::get_field(obj, "worker_arrivals")?,
+            available_tasks: serde::get_field(obj, "available_tasks")?,
+            online_workers: serde::get_field(obj, "online_workers")?,
+            assigned: serde::get_field(obj, "assigned")?,
+            expired: serde::get_field(obj, "expired")?,
+            ai: serde::get_field(obj, "ai")?,
+            pool_sets: serde::get_field(obj, "pool_sets")?,
+            sets_evicted: serde::get_field(obj, "sets_evicted")?,
+            sets_added: serde::get_field(obj, "sets_added")?,
+            maintenance_ms: 0.0,
+            eligibility_ms: 0.0,
+            warm_ms: 0.0,
+            score_ms: 0.0,
+            solve_ms: 0.0,
+            cache_hits: 0,
+            cache_misses: 0,
+            solve_passes: 0,
+            solve_augmentations: 0,
+            elig_rows_carried: 0,
+            elig_rows_rebuilt: 0,
+            elig_pairs_carried: 0,
+            elig_full_rebuild: false,
+        })
+    }
+}
+
 /// Totals of an engine's lifetime, with the conservation invariant
 /// `published == assigned + expired + still_open`.
 ///
@@ -233,6 +328,46 @@ impl PartialEq for OnlineSummary {
     }
 }
 
+/// Like [`RoundReport`], the wire form of a summary carries only the
+/// deterministic fields; `maintenance_ms` never reaches the wire and
+/// parses back as zero.
+impl serde::Serialize for OnlineSummary {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("rounds".to_string(), self.rounds.to_value()),
+            ("published".to_string(), self.published.to_value()),
+            ("assigned".to_string(), self.assigned.to_value()),
+            ("expired".to_string(), self.expired.to_value()),
+            ("still_open".to_string(), self.still_open.to_value()),
+            (
+                "average_influence".to_string(),
+                self.average_influence.to_value(),
+            ),
+            ("sets_added".to_string(), self.sets_added.to_value()),
+            ("sets_evicted".to_string(), self.sets_evicted.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for OnlineSummary {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| serde::Error::expected("summary object", value))?;
+        Ok(OnlineSummary {
+            rounds: serde::get_field(obj, "rounds")?,
+            published: serde::get_field(obj, "published")?,
+            assigned: serde::get_field(obj, "assigned")?,
+            expired: serde::get_field(obj, "expired")?,
+            still_open: serde::get_field(obj, "still_open")?,
+            average_influence: serde::get_field(obj, "average_influence")?,
+            sets_added: serde::get_field(obj, "sets_added")?,
+            sets_evicted: serde::get_field(obj, "sets_evicted")?,
+            maintenance_ms: 0.0,
+        })
+    }
+}
+
 impl OnlineSummary {
     /// Fraction of published tasks that were assigned.
     pub fn assignment_rate(&self) -> f64 {
@@ -244,47 +379,173 @@ impl OnlineSummary {
     }
 }
 
-/// How the engine holds its pipeline: owned (live, maintainable) or
-/// borrowed (frozen — zero-copy for drivers that never rotate the
-/// pool, like [`crate::platform::simulate_day`]).
+/// How an engine holds its pipeline: owned (live, maintainable) or
+/// frozen (zero-copy borrow for drivers that never rotate the pool,
+/// like [`crate::platform::simulate_day`]). One of the two typed mode
+/// axes of [`EngineBuilder`].
 #[derive(Debug)]
-enum PipelineHandle<'a> {
-    /// Boxed: the pipeline struct is large and the borrowed variant is
-    /// one pointer (clippy::large_enum_variant).
+pub enum PipelineMode<'a> {
+    /// The engine owns (and may maintain / grow) the pipeline. Boxed:
+    /// the pipeline struct is large and the borrowed variant is one
+    /// pointer (clippy::large_enum_variant).
     Owned(Box<DitaPipeline>),
-    Borrowed(&'a DitaPipeline),
+    /// The engine borrows a frozen pipeline; maintenance is forced off.
+    Frozen(&'a DitaPipeline),
 }
 
-impl PipelineHandle<'_> {
+impl PipelineMode<'_> {
     fn get(&self) -> &DitaPipeline {
         match self {
-            PipelineHandle::Owned(p) => p,
-            PipelineHandle::Borrowed(p) => p,
+            PipelineMode::Owned(p) => p,
+            PipelineMode::Frozen(p) => p,
         }
     }
 }
 
-/// How the engine holds the social network: owned (growable — worker
-/// fold-in replaces it with the extended network) or borrowed
-/// (fixed-population drivers).
+/// How an engine holds the social network: adaptive (owned and
+/// growable — worker fold-in replaces it with the extended network) or
+/// fixed (borrowed, fixed-population drivers). The other typed mode
+/// axis of [`EngineBuilder`].
 #[derive(Debug)]
-enum NetworkHandle<'a> {
-    Owned(Box<SocialNetwork>),
-    Borrowed(&'a SocialNetwork),
+pub enum NetworkMode<'a> {
+    /// The engine owns the network and grows it on
+    /// [`EventKind::WorkerNew`].
+    Adaptive(Box<SocialNetwork>),
+    /// The engine borrows the trained network; fold-in is rejected.
+    Fixed(&'a SocialNetwork),
 }
 
-impl NetworkHandle<'_> {
+impl NetworkMode<'_> {
     fn get(&self) -> &SocialNetwork {
         match self {
-            NetworkHandle::Owned(n) => n,
-            NetworkHandle::Borrowed(n) => n,
+            NetworkMode::Adaptive(n) => n,
+            NetworkMode::Fixed(n) => n,
         }
     }
 }
 
-/// What happened to an arriving worker — the explicit contract that
-/// replaces the old silent acceptance of workers the trained model
-/// cannot score.
+/// Builds an [`OnlineEngine`] from its two typed mode axes — how the
+/// pipeline is held ([`PipelineMode`]) and how the network is held
+/// ([`NetworkMode`]) — replacing the old
+/// `new`/`with_config`/`adaptive`/`frozen` constructor sprawl.
+///
+/// Unless overridden with [`EngineBuilder::config`], the maintenance
+/// configuration comes from the pipeline's trained
+/// [`OnlineConfig`] for owned pipelines; a [`PipelineMode::Frozen`]
+/// pipeline always runs the non-maintaining [`OnlineConfig::default`]
+/// (a frozen engine cannot rotate a pool it does not own).
+///
+/// The three deployment modes:
+///
+/// ```
+/// use sc_core::{DitaBuilder, DitaConfig, OnlineConfig};
+/// use sc_datagen::{DatasetProfile, SyntheticDataset};
+/// use sc_sim::{EngineBuilder, NetworkMode, PipelineMode};
+///
+/// let mut profile = DatasetProfile::brightkite_small();
+/// profile.n_workers = 40;
+/// profile.n_venues = 30;
+/// let data = SyntheticDataset::generate(&profile, 7);
+/// let config = DitaConfig {
+///     n_topics: 3,
+///     lda_sweeps: 4,
+///     infer_sweeps: 2,
+///     rpo: sc_influence::RpoParams { max_sets: 500, ..Default::default() },
+///     ..Default::default()
+/// };
+/// let pipeline = DitaBuilder::new()
+///     .config(config)
+///     .build(&data.social, &data.histories)
+///     .unwrap();
+///
+/// // 1. Frozen: borrow everything, never maintain — the paper's
+/// //    trained-once setting over online dynamics.
+/// let frozen = EngineBuilder::new()
+///     .pipeline(PipelineMode::Frozen(&pipeline))
+///     .network(NetworkMode::Fixed(&data.social))
+///     .build();
+/// assert!(!frozen.config().maintains_pool());
+///
+/// // 2. Owned + fixed population: live maintenance, no fold-in.
+/// let owned = EngineBuilder::new()
+///     .pipeline(PipelineMode::Owned(Box::new(pipeline.clone())))
+///     .network(NetworkMode::Fixed(&data.social))
+///     .config(OnlineConfig::streaming())
+///     .build();
+/// assert!(owned.config().maintains_pool());
+///
+/// // 3. Adaptive: own both — the only mode that folds unseen workers
+/// //    into the live influence network.
+/// let adaptive = EngineBuilder::new()
+///     .pipeline(PipelineMode::Owned(Box::new(pipeline)))
+///     .network(NetworkMode::Adaptive(Box::new(data.social.clone())))
+///     .build();
+/// assert!(adaptive.fold_in_enabled());
+/// ```
+#[derive(Debug, Default)]
+pub struct EngineBuilder<'a> {
+    pipeline: Option<PipelineMode<'a>>,
+    network: Option<NetworkMode<'a>>,
+    config: Option<OnlineConfig>,
+}
+
+impl<'a> EngineBuilder<'a> {
+    /// An empty builder; [`EngineBuilder::pipeline`] and
+    /// [`EngineBuilder::network`] are mandatory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets how the engine holds its pipeline.
+    #[must_use]
+    pub fn pipeline(mut self, mode: PipelineMode<'a>) -> Self {
+        self.pipeline = Some(mode);
+        self
+    }
+
+    /// Sets how the engine holds the social network.
+    #[must_use]
+    pub fn network(mut self, mode: NetworkMode<'a>) -> Self {
+        self.network = Some(mode);
+        self
+    }
+
+    /// Overrides the maintenance configuration trained into the
+    /// pipeline. Ignored (forced to [`OnlineConfig::default`]) on a
+    /// frozen pipeline, which cannot maintain.
+    #[must_use]
+    pub fn config(mut self, config: OnlineConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Panics
+    /// When the pipeline or network mode was not set.
+    pub fn build(self) -> OnlineEngine<'a> {
+        let pipeline = self.pipeline.expect("EngineBuilder requires a pipeline");
+        let net = self.network.expect("EngineBuilder requires a network");
+        let config = match (&pipeline, self.config) {
+            // A frozen engine cannot rotate a pool it does not own.
+            (PipelineMode::Frozen(_), _) => OnlineConfig::default(),
+            (PipelineMode::Owned(p), None) => p.model().config().online,
+            (PipelineMode::Owned(_), Some(c)) => c,
+        };
+        let fold_in_enabled = matches!(
+            (&pipeline, &net),
+            (PipelineMode::Owned(_), NetworkMode::Adaptive(_))
+        );
+        OnlineEngine::assemble(pipeline, net, config, fold_in_enabled)
+    }
+}
+
+/// What happened to an arriving worker — superseded by the richer
+/// [`Outcome`] of the unified `apply(Event)` surface.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Outcome` from `OnlineEngine::apply`/`ingest` instead"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ArrivalOutcome {
     /// Newly online; the trained influence network knows the worker.
@@ -303,6 +564,7 @@ pub enum ArrivalOutcome {
     Rejected,
 }
 
+#[allow(deprecated)]
 impl ArrivalOutcome {
     /// Whether the worker is online after the call.
     pub fn is_online(self) -> bool {
@@ -312,6 +574,18 @@ impl ArrivalOutcome {
     /// Whether the call added a worker that was not online before.
     pub fn is_new(self) -> bool {
         matches!(self, ArrivalOutcome::Joined | ArrivalOutcome::FoldedIn)
+    }
+
+    /// The [`Outcome`] this legacy value corresponds to (wrappers
+    /// translate in the other direction; this exists for callers mid-
+    /// migration).
+    pub fn from_outcome(outcome: Outcome) -> Self {
+        match outcome {
+            Outcome::WorkerJoined => ArrivalOutcome::Joined,
+            Outcome::WorkerRefreshed => ArrivalOutcome::Refreshed,
+            Outcome::WorkerFoldedIn => ArrivalOutcome::FoldedIn,
+            _ => ArrivalOutcome::Rejected,
+        }
     }
 }
 
@@ -324,9 +598,15 @@ impl ArrivalOutcome {
 /// borrow the pipeline instead via [`OnlineEngine::frozen`].
 #[derive(Debug)]
 pub struct OnlineEngine<'a> {
-    pipeline: PipelineHandle<'a>,
-    net: NetworkHandle<'a>,
+    pipeline: PipelineMode<'a>,
+    net: NetworkMode<'a>,
     config: OnlineConfig,
+    /// Whether [`EventKind::WorkerNew`]
+    /// may grow the live model. Set by the builder (owned pipeline +
+    /// adaptive network), preserved by snapshot/restore — a restored
+    /// engine owns both handles by construction, but keeps the
+    /// fold-in policy of the engine it was snapshotted from.
+    fold_in_enabled: bool,
     /// Live-set target maintenance holds the pool at.
     target_sets: usize,
     open: Vec<(Task, VenueId)>,
@@ -335,6 +615,10 @@ pub struct OnlineEngine<'a> {
     /// arrival. Rebuilt after the (already linear) removal passes.
     online_index: HashMap<WorkerId, usize>,
     round: u64,
+    /// Sequence stamp the next in-round event must carry; reset at
+    /// every round close. Together with `round` this totally orders
+    /// the event stream ([`Event`]).
+    next_seq: u64,
     /// Carried eligibility CSR + fingerprints for the incremental
     /// round path ([`OnlineConfig::incremental`]); unused (left
     /// unprimed) when running rebuild rounds.
@@ -355,65 +639,78 @@ impl<'a> OnlineEngine<'a> {
     /// come from the pipeline's [`OnlineConfig`]
     /// (`pipeline.model().config().online`); `net` must be the social
     /// network the pipeline was trained on.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `EngineBuilder` with `PipelineMode::Owned` + `NetworkMode::Fixed`"
+    )]
     pub fn new(pipeline: DitaPipeline, net: &'a SocialNetwork) -> Self {
-        let config = pipeline.model().config().online;
-        Self::with_config(pipeline, net, config)
+        EngineBuilder::new()
+            .pipeline(PipelineMode::Owned(Box::new(pipeline)))
+            .network(NetworkMode::Fixed(net))
+            .build()
     }
 
-    /// Like [`OnlineEngine::new`] with an explicit maintenance
-    /// configuration (overrides the one trained into the pipeline).
+    /// Like `new` with an explicit maintenance configuration
+    /// (overrides the one trained into the pipeline).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `EngineBuilder` with `PipelineMode::Owned` + `NetworkMode::Fixed`"
+    )]
     pub fn with_config(
         pipeline: DitaPipeline,
         net: &'a SocialNetwork,
         config: OnlineConfig,
     ) -> Self {
-        Self::build(
-            PipelineHandle::Owned(Box::new(pipeline)),
-            NetworkHandle::Borrowed(net),
-            config,
-        )
+        EngineBuilder::new()
+            .pipeline(PipelineMode::Owned(Box::new(pipeline)))
+            .network(NetworkMode::Fixed(net))
+            .config(config)
+            .build()
     }
 
     /// An engine that owns both its pipeline *and* its social network —
-    /// the dynamic-population mode. Only this construction can fold
-    /// previously-unseen workers into the live influence network
-    /// ([`OnlineEngine::worker_arrives_new`]); the replay driver
-    /// (`crate::replay`) uses it to serve real traces where workers
-    /// appear mid-stream.
+    /// the dynamic-population mode.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `EngineBuilder` with `PipelineMode::Owned` + `NetworkMode::Adaptive`"
+    )]
     pub fn adaptive(
         pipeline: DitaPipeline,
         net: SocialNetwork,
         config: OnlineConfig,
     ) -> OnlineEngine<'static> {
-        OnlineEngine::build(
-            PipelineHandle::Owned(Box::new(pipeline)),
-            NetworkHandle::Owned(Box::new(net)),
-            config,
-        )
+        EngineBuilder::new()
+            .pipeline(PipelineMode::Owned(Box::new(pipeline)))
+            .network(NetworkMode::Adaptive(Box::new(net)))
+            .config(config)
+            .build()
     }
 
-    /// A zero-copy engine borrowing a frozen pipeline: streaming state
-    /// and round accounting without pool maintenance (the
-    /// configuration is forced to the non-maintaining
-    /// [`OnlineConfig::default`]). This is the
-    /// [`crate::platform::simulate_day`] path — the paper's
-    /// trained-once setting over online dynamics.
+    /// A zero-copy engine borrowing a frozen pipeline.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `EngineBuilder` with `PipelineMode::Frozen` + `NetworkMode::Fixed`"
+    )]
     pub fn frozen(pipeline: &'a DitaPipeline, net: &'a SocialNetwork) -> Self {
-        Self::build(
-            PipelineHandle::Borrowed(pipeline),
-            NetworkHandle::Borrowed(net),
-            OnlineConfig::default(),
-        )
+        EngineBuilder::new()
+            .pipeline(PipelineMode::Frozen(pipeline))
+            .network(NetworkMode::Fixed(net))
+            .build()
     }
 
-    fn build(pipeline: PipelineHandle<'a>, net: NetworkHandle<'a>, config: OnlineConfig) -> Self {
+    fn assemble(
+        pipeline: PipelineMode<'a>,
+        net: NetworkMode<'a>,
+        config: OnlineConfig,
+        fold_in_enabled: bool,
+    ) -> Self {
         debug_assert_eq!(
             net.get().n_workers(),
             pipeline.get().model().pool().n_workers(),
             "engine network must match the trained pool"
         );
         debug_assert!(
-            !config.maintains_pool() || matches!(pipeline, PipelineHandle::Owned(_)),
+            !config.maintains_pool() || matches!(pipeline, PipelineMode::Owned(_)),
             "a maintaining engine must own its pipeline"
         );
         let trained = pipeline.get().model().pool().n_sets();
@@ -426,11 +723,13 @@ impl<'a> OnlineEngine<'a> {
             pipeline,
             net,
             config,
+            fold_in_enabled,
             target_sets,
             open: Vec::new(),
             workers: Vec::new(),
             online_index: HashMap::new(),
             round: 0,
+            next_seq: 0,
             elig: EligibilityState::new(),
             pending_tasks: 0,
             pending_workers: 0,
@@ -444,53 +743,95 @@ impl<'a> OnlineEngine<'a> {
         }
     }
 
-    /// Queues a task arrival for the next round. The task is offered
-    /// from the next round on, unless it is already expired at that
-    /// round's instant — then it is counted expired without ever being
-    /// offered. Returns `true` if the task is newly published;
-    /// re-arrival of an id that is still open refreshes that entry in
-    /// place instead of duplicating it (a duplicated id would corrupt
-    /// the `published == assigned + expired + still_open` invariant,
-    /// because assignment and closing key tasks by id). The open list
-    /// is transient and small (bounded by arrival rate × φ), so the
-    /// screening scan is cheap.
-    pub fn task_arrives(&mut self, task: Task, venue: VenueId) -> bool {
+    /// Applies one explicitly stamped [`Event`] — the single ingestion
+    /// entry point behind every driver (in-process harnesses, trace
+    /// replay, the `dita serve` wire front).
+    ///
+    /// The stamp is validated before the payload: an event whose
+    /// `round` is not the engine's current round is
+    /// [`RejectReason::RoundMismatch`], and one whose `seq` is below
+    /// the next expected position is [`RejectReason::OutOfOrder`] —
+    /// within a round the sequence must be strictly increasing (gaps
+    /// are fine; regressions are not). Use [`OnlineEngine::ingest`]
+    /// when the engine itself should stamp the order.
+    pub fn apply(&mut self, event: Event) -> Outcome {
+        if event.round != self.round {
+            return Outcome::Rejected(RejectReason::RoundMismatch);
+        }
+        if event.seq < self.next_seq {
+            return Outcome::Rejected(RejectReason::OutOfOrder);
+        }
+        self.next_seq = event.seq + 1;
+        match event.kind {
+            EventKind::TaskArrival { task, venue } => self.apply_task(task, venue),
+            EventKind::WorkerArrival { worker } => self.apply_worker(worker),
+            EventKind::WorkerNew {
+                worker,
+                friends,
+                history,
+            } => self.apply_worker_new(worker, &friends, &history),
+            EventKind::WorkerDeparture { worker } => self.apply_departure(worker),
+        }
+    }
+
+    /// Applies an [`EventKind`], stamping it with the engine's current
+    /// `(round, next seq)` — the convenience form for in-process
+    /// drivers that generate events rather than receive them over a
+    /// wire.
+    pub fn ingest(&mut self, kind: EventKind) -> Outcome {
+        let event = Event {
+            round: self.round,
+            seq: self.next_seq,
+            kind,
+        };
+        self.apply(event)
+    }
+
+    /// A task arrival: offered from the next round on, unless it is
+    /// already expired at that round's instant — then it is counted
+    /// expired without ever being offered. Re-arrival of an id that is
+    /// still open refreshes that entry in place
+    /// ([`Outcome::TaskRefreshed`]) instead of duplicating it (a
+    /// duplicated id would corrupt the `published == assigned +
+    /// expired + still_open` invariant, because assignment and closing
+    /// key tasks by id). The open list is transient and small (bounded
+    /// by arrival rate × φ), so the screening scan is cheap.
+    fn apply_task(&mut self, task: Task, venue: VenueId) -> Outcome {
         if let Some(entry) = self.open.iter_mut().find(|(t, _)| t.id == task.id) {
             *entry = (task, venue);
-            return false;
+            return Outcome::TaskRefreshed;
         }
         self.open.push((task, venue));
         self.pending_tasks += 1;
         self.published += 1;
-        true
+        Outcome::TaskPublished
     }
 
-    /// Queues a worker arrival (online from the next round on).
+    /// A worker arrival (online from the next round on).
     ///
-    /// Re-arrival of an already-online id refreshes that worker's state
-    /// (location, radius) in place instead of duplicating it —
-    /// multi-day drivers re-sample cohorts from one population, and a
-    /// duplicated id would let one worker be assigned twice in a round.
+    /// Re-arrival of an already-online id refreshes that worker's
+    /// state (location, radius) in place — multi-day drivers re-sample
+    /// cohorts from one population, and a duplicated id would let one
+    /// worker be assigned twice in a round.
     ///
     /// A worker **outside the trained population** is
-    /// [`ArrivalOutcome::Rejected`]: the model cannot score them, so
-    /// admitting them could only ever produce zero-influence
+    /// [`RejectReason::UnknownWorker`]: the model cannot score them,
+    /// so admitting them could only ever produce zero-influence
     /// assignments (the silent trap this contract closes). Late
     /// arrivals with social evidence go through
-    /// [`OnlineEngine::worker_arrives_new`] instead, which folds them
-    /// into the live network so they earn real influence.
-    pub fn worker_arrives(&mut self, worker: Worker) -> ArrivalOutcome {
+    /// [`EventKind::WorkerNew`] instead.
+    fn apply_worker(&mut self, worker: Worker) -> Outcome {
         if worker.id.index() >= self.pipeline.get().model().n_workers() {
-            return ArrivalOutcome::Rejected;
+            return Outcome::Rejected(RejectReason::UnknownWorker);
         }
         if let Some(&idx) = self.online_index.get(&worker.id) {
             self.workers[idx] = worker;
-            return ArrivalOutcome::Refreshed;
+            return Outcome::WorkerRefreshed;
         }
         self.online_index.insert(worker.id, self.workers.len());
         self.workers.push(worker);
         self.pending_workers += 1;
-        ArrivalOutcome::Joined
+        Outcome::WorkerJoined
     }
 
     /// Arrival of a worker the trained model has **never seen**, with
@@ -498,45 +839,49 @@ impl<'a> OnlineEngine<'a> {
     /// arrival is befriended with, `history` is whatever check-in
     /// evidence exists so far (often a single record).
     ///
-    /// On an [`OnlineEngine::adaptive`] engine the worker is folded
-    /// into the live influence network without a retrain — the social
-    /// graph grows ([`SocialNetwork::fold_in_worker`]), the model gains
+    /// On a fold-in-enabled engine (owned pipeline + adaptive network)
+    /// the worker is folded into the live influence network without a
+    /// retrain — the social graph grows
+    /// ([`SocialNetwork::fold_in_worker`]), the model gains
     /// topic/willingness entries, and the RRR pool splices the worker
     /// into live sets (`sc_core::InfluenceModel::fold_in_worker`) — so
     /// the arrival scores non-zero influence from the next round on.
     /// The worker's id must be the next dense id
-    /// (`pipeline().model().n_workers()`); a known id degrades to the
-    /// plain [`OnlineEngine::worker_arrives`] path.
+    /// (`pipeline().model().n_workers()`, else
+    /// [`RejectReason::NonDenseId`]); a known id degrades to the plain
+    /// worker-arrival path.
     ///
-    /// Engines that borrow their pipeline or network (the frozen /
-    /// fixed-population constructions) return
-    /// [`ArrivalOutcome::Rejected`] — explicitly, instead of silently
-    /// accepting a worker that would always score zero. So does an
-    /// arrival with **no usable friendships** (none of `friends` is in
-    /// the current population): with zero social edges the fold-in
-    /// could never join an RRR set, and the worker would be exactly the
-    /// zero-influence admission this contract exists to prevent. Such a
-    /// worker can simply re-arrive later, once a friend of theirs has
-    /// been folded in.
-    pub fn worker_arrives_new(
+    /// Engines that cannot grow (frozen / fixed-population modes, or a
+    /// restored engine whose original could not) reject with
+    /// [`RejectReason::CannotFoldIn`]. An arrival with **no usable
+    /// friendships** (none of `friends` is in the current population)
+    /// rejects with [`RejectReason::NoUsableFriends`]: with zero
+    /// social edges the fold-in could never join an RRR set, and the
+    /// worker would be exactly the zero-influence admission this
+    /// contract exists to prevent. Such a worker can simply re-arrive
+    /// later, once a friend of theirs has been folded in.
+    fn apply_worker_new(
         &mut self,
         worker: Worker,
         friends: &[WorkerId],
         history: &History,
-    ) -> ArrivalOutcome {
+    ) -> Outcome {
         let population = self.pipeline.get().model().n_workers();
         if worker.id.index() < population {
-            return self.worker_arrives(worker);
+            return self.apply_worker(worker);
         }
-        let (PipelineHandle::Owned(pipeline), NetworkHandle::Owned(net)) =
+        if !self.fold_in_enabled {
+            return Outcome::Rejected(RejectReason::CannotFoldIn);
+        }
+        let (PipelineMode::Owned(pipeline), NetworkMode::Adaptive(net)) =
             (&mut self.pipeline, &mut self.net)
         else {
-            return ArrivalOutcome::Rejected;
+            return Outcome::Rejected(RejectReason::CannotFoldIn);
         };
         if worker.id.index() != population {
             // Fold-ins assign dense ids in arrival order; a gap means
             // the caller skipped an arrival.
-            return ArrivalOutcome::Rejected;
+            return Outcome::Rejected(RejectReason::NonDenseId);
         }
         let raw: Vec<u32> = friends
             .iter()
@@ -544,28 +889,83 @@ impl<'a> OnlineEngine<'a> {
             .map(|f| f.raw())
             .collect();
         if raw.is_empty() {
-            return ArrivalOutcome::Rejected;
+            return Outcome::Rejected(RejectReason::NoUsableFriends);
         }
         **net = net.fold_in_worker(&raw);
         pipeline.model_mut().fold_in_worker(net, history);
         self.online_index.insert(worker.id, self.workers.len());
         self.workers.push(worker);
         self.pending_workers += 1;
-        ArrivalOutcome::FoldedIn
+        Outcome::WorkerFoldedIn
     }
 
-    /// Removes an online worker (e.g. the worker logs off). Returns
-    /// whether the worker was online.
-    pub fn worker_departs(&mut self, id: WorkerId) -> bool {
+    /// Removes an online worker (e.g. the worker logs off); a worker
+    /// that was not online is [`RejectReason::NotOnline`].
+    fn apply_departure(&mut self, id: WorkerId) -> Outcome {
         if !self.online_index.contains_key(&id) {
-            return false;
+            return Outcome::Rejected(RejectReason::NotOnline);
         }
         // Order-preserving removal keeps the assignment input (and so
         // any tie-breaking) deterministic; the index is rebuilt by the
         // same linear pass.
         self.workers.retain(|w| w.id != id);
         self.reindex_workers();
-        true
+        Outcome::WorkerDeparted
+    }
+
+    /// Legacy form of [`EventKind::TaskArrival`](crate::EventKind) —
+    /// returns `true` iff the task was newly published.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ingest(EventKind::TaskArrival { .. })` (or `apply` with a stamped `Event`)"
+    )]
+    pub fn task_arrives(&mut self, task: Task, venue: VenueId) -> bool {
+        matches!(
+            self.ingest(EventKind::TaskArrival { task, venue }),
+            Outcome::TaskPublished
+        )
+    }
+
+    /// Legacy form of [`EventKind::WorkerArrival`](crate::EventKind).
+    #[allow(deprecated)]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ingest(EventKind::WorkerArrival { .. })` (or `apply` with a stamped `Event`)"
+    )]
+    pub fn worker_arrives(&mut self, worker: Worker) -> ArrivalOutcome {
+        ArrivalOutcome::from_outcome(self.ingest(EventKind::WorkerArrival { worker }))
+    }
+
+    /// Legacy form of [`EventKind::WorkerNew`](crate::EventKind).
+    #[allow(deprecated)]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ingest(EventKind::WorkerNew { .. })` (or `apply` with a stamped `Event`)"
+    )]
+    pub fn worker_arrives_new(
+        &mut self,
+        worker: Worker,
+        friends: &[WorkerId],
+        history: &History,
+    ) -> ArrivalOutcome {
+        ArrivalOutcome::from_outcome(self.ingest(EventKind::WorkerNew {
+            worker,
+            friends: friends.to_vec(),
+            history: history.clone(),
+        }))
+    }
+
+    /// Legacy form of [`EventKind::WorkerDeparture`](crate::EventKind)
+    /// — returns whether the worker was online.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ingest(EventKind::WorkerDeparture { .. })` (or `apply` with a stamped `Event`)"
+    )]
+    pub fn worker_departs(&mut self, id: WorkerId) -> bool {
+        matches!(
+            self.ingest(EventKind::WorkerDeparture { worker: id }),
+            Outcome::WorkerDeparted
+        )
     }
 
     /// Rebuilds the id→index map after an order-preserving removal.
@@ -652,6 +1052,7 @@ impl<'a> OnlineEngine<'a> {
             elig_full_rebuild: perf.delta.full_rebuild,
         };
         self.round += 1;
+        self.next_seq = 0;
         report
     }
 
@@ -667,7 +1068,7 @@ impl<'a> OnlineEngine<'a> {
         let horizon = self.config.eviction_horizon;
         let net = self.net.get();
         let (pool, threads) = match &mut self.pipeline {
-            PipelineHandle::Owned(p) => {
+            PipelineMode::Owned(p) => {
                 // Resolved per round, not cached at construction, so a
                 // live re-budget (`pipeline_mut().set_threads(..)`)
                 // reaches maintenance top-ups too — one knob governs
@@ -675,8 +1076,9 @@ impl<'a> OnlineEngine<'a> {
                 let threads = p.scoring_threads();
                 (p.model_mut().pool_mut(), threads)
             }
-            // Unreachable: `frozen` forces a non-maintaining config.
-            PipelineHandle::Borrowed(_) => return (0, 0, 0.0),
+            // Unreachable: the builder forces a non-maintaining config
+            // on frozen pipelines.
+            PipelineMode::Frozen(_) => return (0, 0, 0.0),
         };
 
         let epoch = pool.advance_epoch();
@@ -703,9 +1105,9 @@ impl<'a> OnlineEngine<'a> {
         self.pipeline.get()
     }
 
-    /// The social network the engine maintains the pool against. On an
-    /// [`OnlineEngine::adaptive`] engine this grows with every
-    /// fold-in; otherwise it is the trained network.
+    /// The social network the engine maintains the pool against. On a
+    /// [`NetworkMode::Adaptive`] engine this grows with every fold-in;
+    /// otherwise it is the trained network.
     pub fn network(&self) -> &SocialNetwork {
         self.net.get()
     }
@@ -715,12 +1117,12 @@ impl<'a> OnlineEngine<'a> {
     /// never need it.
     ///
     /// # Panics
-    /// On a borrowed-pipeline engine ([`OnlineEngine::frozen`]), which
+    /// On a borrowed-pipeline engine ([`PipelineMode::Frozen`]), which
     /// by construction never mutates its pipeline.
     pub fn pipeline_mut(&mut self) -> &mut DitaPipeline {
         match &mut self.pipeline {
-            PipelineHandle::Owned(p) => p,
-            PipelineHandle::Borrowed(_) => {
+            PipelineMode::Owned(p) => p,
+            PipelineMode::Frozen(_) => {
                 panic!("a frozen (borrowed-pipeline) engine cannot be mutated")
             }
         }
@@ -730,14 +1132,28 @@ impl<'a> OnlineEngine<'a> {
     /// borrowed-pipeline engine returns a clone of the frozen original.
     pub fn into_pipeline(self) -> DitaPipeline {
         match self.pipeline {
-            PipelineHandle::Owned(p) => *p,
-            PipelineHandle::Borrowed(p) => p.clone(),
+            PipelineMode::Owned(p) => *p,
+            PipelineMode::Frozen(p) => p.clone(),
         }
     }
 
     /// The maintenance configuration in effect.
     pub fn config(&self) -> &OnlineConfig {
         &self.config
+    }
+
+    /// Whether [`EventKind::WorkerNew`]
+    /// may grow the live model on this engine (owned pipeline +
+    /// adaptive network; preserved across snapshot/restore).
+    pub fn fold_in_enabled(&self) -> bool {
+        self.fold_in_enabled
+    }
+
+    /// The `(round, seq)` stamp the next [`Event`] must carry — what
+    /// [`OnlineEngine::ingest`] would stamp. Wire fronts use this to
+    /// label queued events without applying them yet.
+    pub fn next_stamp(&self) -> (u64, u64) {
+        (self.round, self.next_seq)
     }
 
     /// Tasks currently open (arrived, unexpired, unassigned — plus
@@ -776,6 +1192,95 @@ impl<'a> OnlineEngine<'a> {
     }
 }
 
+/// Snapshot serde of the whole engine: the live pipeline (model: LDA,
+/// topics, willingness, entropy, RRR pool with its epoch window and
+/// stream base), the social network, and every report-affecting
+/// counter of the engine itself.
+///
+/// Two states are deliberately **not** serialized, because they are
+/// derived and their exactness contracts make the rebuild
+/// bit-identical: the scorer cache (warm/cold serve the same scores)
+/// and the carried [`EligibilityState`] (the first restored round runs
+/// a full eligibility rebuild, which the incremental-determinism suite
+/// pins as byte-equal to the delta path). `online_index` is rebuilt
+/// from the worker list. A restored engine therefore emits the same
+/// [`RoundReport`] stream as the uninterrupted original, at any thread
+/// count — `crates/sim/tests/snapshot_roundtrip.rs` pins it.
+impl serde::Serialize for OnlineEngine<'_> {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("config".to_string(), self.config.to_value()),
+            (
+                "fold_in_enabled".to_string(),
+                self.fold_in_enabled.to_value(),
+            ),
+            ("target_sets".to_string(), self.target_sets.to_value()),
+            ("open".to_string(), self.open.to_value()),
+            ("workers".to_string(), self.workers.to_value()),
+            ("round".to_string(), self.round.to_value()),
+            ("next_seq".to_string(), self.next_seq.to_value()),
+            ("pending_tasks".to_string(), self.pending_tasks.to_value()),
+            (
+                "pending_workers".to_string(),
+                self.pending_workers.to_value(),
+            ),
+            ("published".to_string(), self.published.to_value()),
+            ("assigned_total".to_string(), self.assigned_total.to_value()),
+            ("expired_total".to_string(), self.expired_total.to_value()),
+            ("influence_sum".to_string(), self.influence_sum.to_value()),
+            (
+                "sets_added_total".to_string(),
+                self.sets_added_total.to_value(),
+            ),
+            (
+                "sets_evicted_total".to_string(),
+                self.sets_evicted_total.to_value(),
+            ),
+            (
+                "maintenance_ms_total".to_string(),
+                self.maintenance_ms_total.to_value(),
+            ),
+            ("pipeline".to_string(), self.pipeline.get().to_value()),
+            ("network".to_string(), self.net.get().to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for OnlineEngine<'static> {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| serde::Error::expected("engine object", value))?;
+        let workers: Vec<Worker> = serde::get_field(obj, "workers")?;
+        let online_index: HashMap<WorkerId, usize> =
+            workers.iter().enumerate().map(|(i, w)| (w.id, i)).collect();
+        let pipeline: DitaPipeline = serde::get_field(obj, "pipeline")?;
+        let network: SocialNetwork = serde::get_field(obj, "network")?;
+        Ok(OnlineEngine {
+            pipeline: PipelineMode::Owned(Box::new(pipeline)),
+            net: NetworkMode::Adaptive(Box::new(network)),
+            config: serde::get_field(obj, "config")?,
+            fold_in_enabled: serde::get_field(obj, "fold_in_enabled")?,
+            target_sets: serde::get_field(obj, "target_sets")?,
+            open: serde::get_field(obj, "open")?,
+            workers,
+            online_index,
+            round: serde::get_field(obj, "round")?,
+            next_seq: serde::get_field(obj, "next_seq")?,
+            elig: EligibilityState::new(),
+            pending_tasks: serde::get_field(obj, "pending_tasks")?,
+            pending_workers: serde::get_field(obj, "pending_workers")?,
+            published: serde::get_field(obj, "published")?,
+            assigned_total: serde::get_field(obj, "assigned_total")?,
+            expired_total: serde::get_field(obj, "expired_total")?,
+            influence_sum: serde::get_field(obj, "influence_sum")?,
+            sets_added_total: serde::get_field(obj, "sets_added_total")?,
+            sets_evicted_total: serde::get_field(obj, "sets_evicted_total")?,
+            maintenance_ms_total: serde::get_field(obj, "maintenance_ms_total")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -808,10 +1313,29 @@ mod tests {
         (dataset, pipeline)
     }
 
+    fn owned_engine(pipeline: DitaPipeline, net: &SocialNetwork) -> OnlineEngine<'_> {
+        EngineBuilder::new()
+            .pipeline(PipelineMode::Owned(Box::new(pipeline)))
+            .network(NetworkMode::Fixed(net))
+            .build()
+    }
+
+    fn adaptive_engine(
+        pipeline: DitaPipeline,
+        net: SocialNetwork,
+        config: OnlineConfig,
+    ) -> OnlineEngine<'static> {
+        EngineBuilder::new()
+            .pipeline(PipelineMode::Owned(Box::new(pipeline)))
+            .network(NetworkMode::Adaptive(Box::new(net)))
+            .config(config)
+            .build()
+    }
+
     fn feed_workers(engine: &mut OnlineEngine<'_>, dataset: &SyntheticDataset, n: usize) {
         let base = dataset.instance_for_day(0, 0, n, InstanceOptions::default());
-        for w in base.instance.workers {
-            engine.worker_arrives(w);
+        for worker in base.instance.workers {
+            engine.ingest(EventKind::WorkerArrival { worker });
         }
     }
 
@@ -840,13 +1364,13 @@ mod tests {
     fn frozen_config_never_touches_the_pool() {
         let (dataset, pipeline) = setup(OnlineConfig::default());
         let fp = pipeline.model().pool().fingerprint();
-        let mut engine = OnlineEngine::new(pipeline, &dataset.social);
+        let mut engine = owned_engine(pipeline, &dataset.social);
         feed_workers(&mut engine, &dataset, 40);
         for hour in 8..14 {
             let now = TimeInstant::at(0, hour);
             for i in 0..8u32 {
-                let (t, v) = hourly_task(&dataset, hour as u32 * 100 + i, now, 3.0);
-                engine.task_arrives(t, v);
+                let (task, venue) = hourly_task(&dataset, hour as u32 * 100 + i, now, 3.0);
+                engine.ingest(EventKind::TaskArrival { task, venue });
             }
             let r = engine.run_round(now, AlgorithmKind::Ia);
             assert_eq!(r.sets_added, 0);
@@ -869,13 +1393,13 @@ mod tests {
         };
         let (dataset, pipeline) = setup(online);
         let trained = pipeline.model().pool().n_sets();
-        let mut engine = OnlineEngine::new(pipeline, &dataset.social);
+        let mut engine = owned_engine(pipeline, &dataset.social);
         feed_workers(&mut engine, &dataset, 30);
         let mut evicted_any = false;
         for hour in 0..10 {
             let now = TimeInstant::at(0, hour);
-            let (t, v) = hourly_task(&dataset, hour as u32, now, 4.0);
-            engine.task_arrives(t, v);
+            let (task, venue) = hourly_task(&dataset, hour as u32, now, 4.0);
+            engine.ingest(EventKind::TaskArrival { task, venue });
             let r = engine.run_round(now, AlgorithmKind::Ia);
             assert!(r.sets_added <= 256, "growth cap violated: {}", r.sets_added);
             assert!(
@@ -898,15 +1422,21 @@ mod tests {
     #[test]
     fn stale_arrival_is_expired_not_offered() {
         let (dataset, pipeline) = setup(OnlineConfig::default());
-        let mut engine = OnlineEngine::new(pipeline, &dataset.social);
+        let mut engine = owned_engine(pipeline, &dataset.social);
         feed_workers(&mut engine, &dataset, 20);
         // Arrived long before the round instant, already expired.
         let (stale, v) = hourly_task(&dataset, 0, TimeInstant::at(0, 1), 1.0);
-        engine.task_arrives(stale, v);
+        engine.ingest(EventKind::TaskArrival {
+            task: stale,
+            venue: v,
+        });
         // Alive control task.
         let now = TimeInstant::at(0, 9);
         let (alive, v2) = hourly_task(&dataset, 1, now, 3.0);
-        engine.task_arrives(alive, v2);
+        engine.ingest(EventKind::TaskArrival {
+            task: alive,
+            venue: v2,
+        });
         let r = engine.run_round(now, AlgorithmKind::Ia);
         assert_eq!(r.task_arrivals, 2);
         assert_eq!(r.expired, 1, "stale arrival expires at the round open");
@@ -919,19 +1449,25 @@ mod tests {
     #[test]
     fn workers_depart_and_assigned_workers_leave() {
         let (dataset, pipeline) = setup(OnlineConfig::default());
-        let mut engine = OnlineEngine::new(pipeline, &dataset.social);
+        let mut engine = owned_engine(pipeline, &dataset.social);
         feed_workers(&mut engine, &dataset, 10);
         assert_eq!(engine.online_workers(), 10);
         let departing = WorkerId::new(0);
-        let went = engine.worker_departs(departing);
+        let went = engine.ingest(EventKind::WorkerDeparture { worker: departing });
         // The sampled instance may or may not include worker 0; if it
-        // did, the pool shrinks.
-        assert_eq!(engine.online_workers(), if went { 9 } else { 10 });
+        // did, the pool shrinks — and either way the outcome says which.
+        match went {
+            Outcome::WorkerDeparted => assert_eq!(engine.online_workers(), 9),
+            Outcome::Rejected(RejectReason::NotOnline) => {
+                assert_eq!(engine.online_workers(), 10)
+            }
+            other => panic!("unexpected departure outcome {other:?}"),
+        }
         let before = engine.online_workers();
         let now = TimeInstant::at(0, 9);
         for i in 0..20u32 {
-            let (t, v) = hourly_task(&dataset, i, now, 5.0);
-            engine.task_arrives(t, v);
+            let (task, venue) = hourly_task(&dataset, i, now, 5.0);
+            engine.ingest(EventKind::TaskArrival { task, venue });
         }
         let r = engine.run_round(now, AlgorithmKind::Mta);
         assert!(r.assigned > 0);
@@ -945,23 +1481,23 @@ mod tests {
         // duplicated (a duplicated id could be assigned two tasks in
         // one round).
         let (dataset, pipeline) = setup(OnlineConfig::default());
-        let mut engine = OnlineEngine::new(pipeline, &dataset.social);
+        let mut engine = owned_engine(pipeline, &dataset.social);
         feed_workers(&mut engine, &dataset, 15);
         let n = engine.online_workers();
         // Day-2 cohort drawn from the same population overlaps day 1's.
         let day2 = dataset.instance_for_day(0, 0, 15, InstanceOptions::default());
-        for w in day2.instance.workers {
+        for worker in day2.instance.workers {
             assert_eq!(
-                engine.worker_arrives(w),
-                ArrivalOutcome::Refreshed,
+                engine.ingest(EventKind::WorkerArrival { worker }),
+                Outcome::WorkerRefreshed,
                 "same cohort: every id re-arrives"
             );
         }
         assert_eq!(engine.online_workers(), n, "no duplicates added");
         let now = TimeInstant::at(0, 9);
         for i in 0..30u32 {
-            let (t, v) = hourly_task(&dataset, i, now, 5.0);
-            engine.task_arrives(t, v);
+            let (task, venue) = hourly_task(&dataset, i, now, 5.0);
+            engine.ingest(EventKind::TaskArrival { task, venue });
         }
         let r = engine.run_round(now, AlgorithmKind::Mta);
         assert!(
@@ -973,13 +1509,20 @@ mod tests {
     #[test]
     fn rearriving_open_task_is_refreshed_not_duplicated() {
         let (dataset, pipeline) = setup(OnlineConfig::default());
-        let mut engine = OnlineEngine::new(pipeline, &dataset.social);
+        let mut engine = owned_engine(pipeline, &dataset.social);
         feed_workers(&mut engine, &dataset, 20);
         let now = TimeInstant::at(0, 9);
         let (t, v) = hourly_task(&dataset, 7, now, 4.0);
-        assert!(engine.task_arrives(t.clone(), v));
-        assert!(
-            !engine.task_arrives(t, v),
+        assert_eq!(
+            engine.ingest(EventKind::TaskArrival {
+                task: t.clone(),
+                venue: v,
+            }),
+            Outcome::TaskPublished
+        );
+        assert_eq!(
+            engine.ingest(EventKind::TaskArrival { task: t, venue: v }),
+            Outcome::TaskRefreshed,
             "same open id refreshes in place"
         );
         assert_eq!(engine.open_tasks(), 1);
@@ -994,12 +1537,15 @@ mod tests {
     fn frozen_engine_borrows_without_cloning() {
         let (dataset, pipeline) = setup(OnlineConfig::default());
         let fp = pipeline.model().pool().fingerprint();
-        let mut engine = OnlineEngine::frozen(&pipeline, &dataset.social);
+        let mut engine = EngineBuilder::new()
+            .pipeline(PipelineMode::Frozen(&pipeline))
+            .network(NetworkMode::Fixed(&dataset.social))
+            .build();
         feed_workers(&mut engine, &dataset, 20);
         let now = TimeInstant::at(0, 10);
         for i in 0..10u32 {
-            let (t, v) = hourly_task(&dataset, i, now, 3.0);
-            engine.task_arrives(t, v);
+            let (task, venue) = hourly_task(&dataset, i, now, 3.0);
+            engine.ingest(EventKind::TaskArrival { task, venue });
         }
         let r = engine.run_round(now, AlgorithmKind::Ia);
         assert!(r.assigned > 0);
@@ -1017,7 +1563,10 @@ mod tests {
     #[should_panic(expected = "frozen (borrowed-pipeline) engine")]
     fn frozen_engine_rejects_mutation() {
         let (dataset, pipeline) = setup(OnlineConfig::default());
-        let mut engine = OnlineEngine::frozen(&pipeline, &dataset.social);
+        let mut engine = EngineBuilder::new()
+            .pipeline(PipelineMode::Frozen(&pipeline))
+            .network(NetworkMode::Fixed(&dataset.social))
+            .build();
         let _ = engine.pipeline_mut();
     }
 
@@ -1029,20 +1578,32 @@ mod tests {
         let (dataset, pipeline) = setup(OnlineConfig::default());
         let ghost = Worker::new(WorkerId::new(10_000), sc_types::Location::ORIGIN, 25.0);
 
-        let mut frozen = OnlineEngine::frozen(&pipeline, &dataset.social);
+        let mut frozen = EngineBuilder::new()
+            .pipeline(PipelineMode::Frozen(&pipeline))
+            .network(NetworkMode::Fixed(&dataset.social))
+            .build();
         assert_eq!(
-            frozen.worker_arrives(ghost.clone()),
-            ArrivalOutcome::Rejected
+            frozen.ingest(EventKind::WorkerArrival {
+                worker: ghost.clone(),
+            }),
+            Outcome::Rejected(RejectReason::UnknownWorker)
         );
         assert_eq!(
-            frozen.worker_arrives_new(ghost.clone(), &[WorkerId::new(0)], &History::new()),
-            ArrivalOutcome::Rejected,
+            frozen.ingest(EventKind::WorkerNew {
+                worker: ghost.clone(),
+                friends: vec![WorkerId::new(0)],
+                history: History::new(),
+            }),
+            Outcome::Rejected(RejectReason::CannotFoldIn),
             "a frozen engine cannot fold in"
         );
         assert_eq!(frozen.online_workers(), 0);
 
-        let mut owned = OnlineEngine::new(pipeline, &dataset.social);
-        assert_eq!(owned.worker_arrives(ghost), ArrivalOutcome::Rejected);
+        let mut owned = owned_engine(pipeline, &dataset.social);
+        assert_eq!(
+            owned.ingest(EventKind::WorkerArrival { worker: ghost }),
+            Outcome::Rejected(RejectReason::UnknownWorker)
+        );
         assert_eq!(owned.online_workers(), 0);
     }
 
@@ -1053,21 +1614,24 @@ mod tests {
         // zero-influence trap. They can re-arrive once a friend exists.
         let (dataset, pipeline) = setup(OnlineConfig::default());
         let trained = pipeline.model().n_workers();
-        let mut engine =
-            OnlineEngine::adaptive(pipeline, dataset.social.clone(), OnlineConfig::default());
+        let mut engine = adaptive_engine(pipeline, dataset.social.clone(), OnlineConfig::default());
         let late = Worker::new(WorkerId::from(trained), sc_types::Location::ORIGIN, 25.0);
         assert_eq!(
-            engine.worker_arrives_new(late.clone(), &[], &History::new()),
-            ArrivalOutcome::Rejected,
+            engine.ingest(EventKind::WorkerNew {
+                worker: late.clone(),
+                friends: vec![],
+                history: History::new(),
+            }),
+            Outcome::Rejected(RejectReason::NoUsableFriends),
             "no friends at all"
         );
         assert_eq!(
-            engine.worker_arrives_new(
-                late.clone(),
-                &[WorkerId::from(trained + 3)],
-                &History::new()
-            ),
-            ArrivalOutcome::Rejected,
+            engine.ingest(EventKind::WorkerNew {
+                worker: late.clone(),
+                friends: vec![WorkerId::from(trained + 3)],
+                history: History::new(),
+            }),
+            Outcome::Rejected(RejectReason::NoUsableFriends),
             "friends outside the population are unusable"
         );
         assert_eq!(engine.online_workers(), 0);
@@ -1078,8 +1642,12 @@ mod tests {
         );
         // With one real friend the same arrival folds in.
         assert_eq!(
-            engine.worker_arrives_new(late, &[WorkerId::new(0)], &History::new()),
-            ArrivalOutcome::FoldedIn
+            engine.ingest(EventKind::WorkerNew {
+                worker: late,
+                friends: vec![WorkerId::new(0)],
+                history: History::new(),
+            }),
+            Outcome::WorkerFoldedIn
         );
     }
 
@@ -1088,8 +1656,7 @@ mod tests {
         let (dataset, pipeline) = setup(OnlineConfig::default());
         let trained = pipeline.model().n_workers();
         let trained_sets = pipeline.model().pool().n_sets();
-        let mut engine =
-            OnlineEngine::adaptive(pipeline, dataset.social.clone(), OnlineConfig::default());
+        let mut engine = adaptive_engine(pipeline, dataset.social.clone(), OnlineConfig::default());
         feed_workers(&mut engine, &dataset, 30);
 
         // The arrival: checked in once at venue 0, friends with two
@@ -1104,10 +1671,14 @@ mod tests {
             venue.categories.clone(),
         ));
         let late = Worker::new(WorkerId::from(trained), venue.location, 25.0);
-        let friends = [WorkerId::new(0), WorkerId::new(1), WorkerId::new(2)];
+        let friends = vec![WorkerId::new(0), WorkerId::new(1), WorkerId::new(2)];
         assert_eq!(
-            engine.worker_arrives_new(late, &friends, &hist),
-            ArrivalOutcome::FoldedIn
+            engine.ingest(EventKind::WorkerNew {
+                worker: late,
+                friends: friends.clone(),
+                history: hist.clone(),
+            }),
+            Outcome::WorkerFoldedIn
         );
         assert_eq!(engine.pipeline().model().n_workers(), trained + 1);
         assert_eq!(engine.network().n_workers(), trained + 1);
@@ -1140,8 +1711,12 @@ mod tests {
         // rejected.
         let skipper = Worker::new(WorkerId::from(trained + 5), venue.location, 25.0);
         assert_eq!(
-            engine.worker_arrives_new(skipper, &friends, &hist),
-            ArrivalOutcome::Rejected
+            engine.ingest(EventKind::WorkerNew {
+                worker: skipper,
+                friends,
+                history: hist,
+            }),
+            Outcome::Rejected(RejectReason::NonDenseId)
         );
     }
 
@@ -1158,7 +1733,7 @@ mod tests {
         };
         let (dataset, pipeline) = setup(online);
         let trained = pipeline.model().n_workers();
-        let mut engine = OnlineEngine::adaptive(pipeline, dataset.social.clone(), online);
+        let mut engine = adaptive_engine(pipeline, dataset.social.clone(), online);
         feed_workers(&mut engine, &dataset, 20);
         let venue = dataset.venues.venue(sc_types::VenueId::new(3));
         let mut hist = History::new();
@@ -1171,13 +1746,17 @@ mod tests {
         ));
         let late = Worker::new(WorkerId::from(trained), venue.location, 25.0);
         assert!(engine
-            .worker_arrives_new(late, &[WorkerId::new(0)], &hist)
+            .ingest(EventKind::WorkerNew {
+                worker: late,
+                friends: vec![WorkerId::new(0)],
+                history: hist,
+            })
             .is_online());
         for hour in 9..14 {
             let now = TimeInstant::at(0, hour);
             for i in 0..6u32 {
-                let (t, v) = hourly_task(&dataset, hour as u32 * 10 + i, now, 4.0);
-                engine.task_arrives(t, v);
+                let (task, venue) = hourly_task(&dataset, hour as u32 * 10 + i, now, 4.0);
+                engine.ingest(EventKind::TaskArrival { task, venue });
             }
             let r = engine.run_round(now, AlgorithmKind::Ia);
             assert!(r.sets_added <= 256);
@@ -1190,15 +1769,15 @@ mod tests {
     #[test]
     fn summary_average_influence_is_assignment_weighted() {
         let (dataset, pipeline) = setup(OnlineConfig::default());
-        let mut engine = OnlineEngine::new(pipeline, &dataset.social);
+        let mut engine = owned_engine(pipeline, &dataset.social);
         feed_workers(&mut engine, &dataset, 50);
         let mut influence = 0.0;
         let mut assigned = 0usize;
         for hour in 8..12 {
             let now = TimeInstant::at(0, hour);
             for i in 0..10u32 {
-                let (t, v) = hourly_task(&dataset, hour as u32 * 50 + i, now, 2.0);
-                engine.task_arrives(t, v);
+                let (task, venue) = hourly_task(&dataset, hour as u32 * 50 + i, now, 2.0);
+                engine.ingest(EventKind::TaskArrival { task, venue });
             }
             let r = engine.run_round(now, AlgorithmKind::Ia);
             influence += r.ai * r.assigned as f64;
@@ -1207,5 +1786,125 @@ mod tests {
         let s = engine.summary();
         assert_eq!(s.assigned, assigned);
         assert!((s.average_influence - influence / assigned as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apply_enforces_the_total_order() {
+        let (dataset, pipeline) = setup(OnlineConfig::default());
+        let mut engine = owned_engine(pipeline, &dataset.social);
+        let worker_event = |id: u32, round: u64, seq: u64| {
+            let base = dataset.instance_for_day(0, 0, 5, InstanceOptions::default());
+            Event {
+                round,
+                seq,
+                kind: EventKind::WorkerArrival {
+                    worker: base.instance.workers[id as usize].clone(),
+                },
+            }
+        };
+        assert_eq!(engine.next_stamp(), (0, 0));
+        // A stamp from a future (or past) round is refused outright.
+        assert_eq!(
+            engine.apply(worker_event(0, 3, 0)),
+            Outcome::Rejected(RejectReason::RoundMismatch)
+        );
+        // In-order events advance the stamp; gaps are fine.
+        assert_eq!(engine.apply(worker_event(0, 0, 0)), Outcome::WorkerJoined);
+        assert_eq!(engine.apply(worker_event(1, 0, 5)), Outcome::WorkerJoined);
+        assert_eq!(engine.next_stamp(), (0, 6));
+        // A regression within the round is refused.
+        assert_eq!(
+            engine.apply(worker_event(2, 0, 4)),
+            Outcome::Rejected(RejectReason::OutOfOrder)
+        );
+        assert_eq!(engine.online_workers(), 2, "rejected events change nothing");
+        // Closing the round advances `round` and resets `seq` to zero.
+        let _ = engine.run_round(TimeInstant::at(0, 9), AlgorithmKind::Ia);
+        assert_eq!(engine.next_stamp(), (1, 0));
+        assert_eq!(
+            engine.apply(worker_event(2, 0, 0)),
+            Outcome::Rejected(RejectReason::RoundMismatch),
+            "last round's stamps are dead"
+        );
+        assert_eq!(engine.apply(worker_event(2, 1, 0)), Outcome::WorkerJoined);
+    }
+
+    #[test]
+    fn scripted_event_scripts_a_task_arrival() {
+        let (dataset, _) = setup(OnlineConfig::default());
+        match scripted_event(&dataset, 7, 17, TimeInstant::at(0, 9), 2.0) {
+            EventKind::TaskArrival { task, venue } => {
+                assert_eq!(task.id, sc_types::TaskId::new(17));
+                let v = dataset.venues.venue(venue);
+                assert_eq!(task.location, v.location);
+                assert_eq!(task.categories, v.categories);
+            }
+            other => panic!("scripted_event must be a task arrival, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_wrappers_translate_to_the_event_surface() {
+        // The deprecated method family must keep working mid-migration,
+        // returning the old vocabulary for the new outcomes.
+        let (dataset, pipeline) = setup(OnlineConfig::default());
+        let mut engine = OnlineEngine::new(pipeline, &dataset.social);
+        let base = dataset.instance_for_day(0, 0, 3, InstanceOptions::default());
+        let w = base.instance.workers[0].clone();
+        assert_eq!(engine.worker_arrives(w.clone()), ArrivalOutcome::Joined);
+        assert_eq!(engine.worker_arrives(w.clone()), ArrivalOutcome::Refreshed);
+        let ghost = Worker::new(WorkerId::new(10_000), sc_types::Location::ORIGIN, 25.0);
+        assert_eq!(engine.worker_arrives(ghost), ArrivalOutcome::Rejected);
+        let (t, v) = hourly_task(&dataset, 1, TimeInstant::at(0, 9), 3.0);
+        assert!(engine.task_arrives(t.clone(), v), "new task id");
+        assert!(!engine.task_arrives(t, v), "refresh is the old `false`");
+        assert!(engine.worker_departs(w.id));
+        assert!(!engine.worker_departs(w.id), "already gone");
+        assert_eq!(
+            ArrivalOutcome::from_outcome(Outcome::WorkerFoldedIn),
+            ArrivalOutcome::FoldedIn
+        );
+        assert_eq!(
+            ArrivalOutcome::from_outcome(Outcome::Rejected(RejectReason::UnknownWorker)),
+            ArrivalOutcome::Rejected
+        );
+    }
+
+    #[test]
+    fn engine_snapshot_roundtrips_mid_stream() {
+        // Snapshot an engine mid-round (open tasks, online workers,
+        // non-zero seq) and check the restored engine continues with
+        // bit-identical reports.
+        let (dataset, pipeline) = setup(OnlineConfig::default());
+        let mut engine = adaptive_engine(pipeline, dataset.social.clone(), OnlineConfig::default());
+        feed_workers(&mut engine, &dataset, 25);
+        let now = TimeInstant::at(0, 9);
+        for i in 0..6u32 {
+            let (task, venue) = hourly_task(&dataset, i, now, 4.0);
+            engine.ingest(EventKind::TaskArrival { task, venue });
+        }
+        let _ = engine.run_round(now, AlgorithmKind::Ia);
+        // Mid-round state: two more arrivals after the round closed.
+        let (task, venue) = hourly_task(&dataset, 100, TimeInstant::at(0, 10), 4.0);
+        engine.ingest(EventKind::TaskArrival { task, venue });
+
+        let text = crate::snapshot::snapshot_to_string(&engine).unwrap();
+        let mut restored = crate::snapshot::snapshot_from_str(&text).unwrap();
+        assert_eq!(restored.next_stamp(), engine.next_stamp());
+        assert_eq!(restored.open_tasks(), engine.open_tasks());
+        assert_eq!(restored.online_workers(), engine.online_workers());
+        assert_eq!(restored.fold_in_enabled(), engine.fold_in_enabled());
+
+        let later = TimeInstant::at(0, 10);
+        let a = engine.run_round(later, AlgorithmKind::Ia);
+        let b = restored.run_round(later, AlgorithmKind::Ia);
+        assert_eq!(a, b, "restored engine must continue bit-identically");
+        assert_eq!(engine.summary(), restored.summary());
+
+        // And the snapshot of the snapshot is stable.
+        let again = crate::snapshot::snapshot_to_string(&restored).unwrap();
+        let twice = crate::snapshot::snapshot_from_str(&again).unwrap();
+        assert_eq!(twice.next_stamp(), restored.next_stamp());
     }
 }

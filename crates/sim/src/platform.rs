@@ -17,7 +17,8 @@
 //! `published == assigned + expired + still_open` holds by
 //! construction.
 
-use crate::online::OnlineEngine;
+use crate::event::EventKind;
+use crate::online::{EngineBuilder, NetworkMode, PipelineMode};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use sc_assign::AlgorithmKind;
@@ -95,9 +96,11 @@ impl DayReport {
 
 /// Runs the online simulation of one day.
 ///
-/// A thin driver over [`OnlineEngine::frozen`]: the engine borrows the
-/// pipeline zero-copy (no per-round maintenance — the day-in-the-life
-/// workload matches the paper's trained-once setting), the initial
+/// A thin driver over a frozen-mode engine
+/// ([`PipelineMode::Frozen`] + [`NetworkMode::Fixed`]): the engine
+/// borrows the pipeline zero-copy (no per-round maintenance — the
+/// day-in-the-life workload matches the paper's trained-once setting),
+/// the initial
 /// worker cohort goes online at the first hour, and every hour
 /// publishes `tasks_per_hour` tasks from random venues before the
 /// engine runs its round. Deterministic in `(dataset seed, day)`.
@@ -116,13 +119,16 @@ pub fn simulate_day(
         dataset.seed() ^ 0x00D_A11 ^ (day as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
     );
 
-    let mut engine = OnlineEngine::frozen(pipeline, &dataset.social);
+    let mut engine = EngineBuilder::new()
+        .pipeline(PipelineMode::Frozen(pipeline))
+        .network(NetworkMode::Fixed(&dataset.social))
+        .build();
 
     // Initial online workers, sampled through the day-instance machinery
     // so locations match the dataset.
     let base = dataset.instance_for_day(day, 0, config.n_workers, config.options);
     for worker in base.instance.workers {
-        engine.worker_arrives(worker);
+        engine.ingest(EventKind::WorkerArrival { worker });
     }
 
     let mut next_task_id = 0u32;
@@ -136,16 +142,16 @@ pub fn simulate_day(
             let venue = dataset
                 .venues
                 .venue(VenueId::from(rng.random_range(0..dataset.venues.len())));
-            engine.task_arrives(
-                Task::with_categories(
+            engine.ingest(EventKind::TaskArrival {
+                task: Task::with_categories(
                     TaskId::new(next_task_id),
                     venue.location,
                     now,
                     Duration::hours_f64(config.options.valid_hours),
                     venue.categories.clone(),
                 ),
-                venue.id,
-            );
+                venue: venue.id,
+            });
             next_task_id += 1;
         }
 

@@ -27,7 +27,10 @@
 //! (`crates/sim/tests/replay_determinism.rs` pins this in release CI;
 //! `bench_replay` measures rounds/s and the fold-in cost).
 
-use crate::online::{ArrivalOutcome, OnlineEngine, OnlineSummary, RoundReport};
+use crate::event::{EventKind, Outcome};
+use crate::online::{
+    EngineBuilder, NetworkMode, OnlineEngine, OnlineSummary, PipelineMode, RoundReport,
+};
 use sc_assign::AlgorithmKind;
 use sc_core::{DitaBuilder, DitaConfig};
 use sc_datagen::{LoadedDataset, ReplayEvent, ReplayOptions, ReplayStream};
@@ -103,7 +106,11 @@ pub fn replay_day(
         .config(config)
         .build(&slice.social, &slice.histories)?;
     let trained_workers = pipeline.model().n_workers();
-    let mut engine = OnlineEngine::adaptive(pipeline, slice.social, config.online);
+    let mut engine = EngineBuilder::new()
+        .pipeline(PipelineMode::Owned(Box::new(pipeline)))
+        .network(NetworkMode::Adaptive(Box::new(slice.social)))
+        .config(config.online)
+        .build();
 
     let mut to_dense: HashMap<WorkerId, WorkerId> = slice.to_dense;
     let mut folded: Vec<(WorkerId, WorkerId)> = Vec::new();
@@ -123,10 +130,10 @@ pub fn replay_day(
                 } => {
                     checkins += 1;
                     if let Some(&dense) = to_dense.get(worker) {
-                        engine.worker_arrives(
-                            Worker::new(dense, *location, opts.radius_km)
+                        engine.ingest(EventKind::WorkerArrival {
+                            worker: Worker::new(dense, *location, opts.radius_km)
                                 .with_speed(opts.speed_kmh),
-                        );
+                        });
                     } else {
                         // First sighting of this worker: fold into the
                         // live network with the evidence observed so
@@ -149,23 +156,30 @@ pub fn replay_day(
                         }
                         let arrival = Worker::new(dense, *location, opts.radius_km)
                             .with_speed(opts.speed_kmh);
-                        match engine.worker_arrives_new(arrival, &friends, &evidence) {
-                            ArrivalOutcome::FoldedIn => {
+                        match engine.ingest(EventKind::WorkerNew {
+                            worker: arrival,
+                            friends,
+                            history: evidence,
+                        }) {
+                            Outcome::WorkerFoldedIn => {
                                 to_dense.insert(*worker, dense);
                                 folded.push((*worker, dense));
                                 fold_ins += 1;
                             }
-                            ArrivalOutcome::Rejected => rejected += 1,
+                            Outcome::Rejected(_) => rejected += 1,
                             _ => {}
                         }
                     }
                 }
                 ReplayEvent::TaskPosted { task, venue } => {
-                    engine.task_arrives(task.clone(), *venue);
+                    engine.ingest(EventKind::TaskArrival {
+                        task: task.clone(),
+                        venue: *venue,
+                    });
                 }
                 ReplayEvent::Departure { worker, .. } => {
                     if let Some(&dense) = to_dense.get(worker) {
-                        engine.worker_departs(dense);
+                        engine.ingest(EventKind::WorkerDeparture { worker: dense });
                     }
                 }
             }

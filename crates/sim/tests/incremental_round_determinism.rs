@@ -16,7 +16,9 @@
 use sc_core::{DitaBuilder, DitaConfig, DitaPipeline, OnlineConfig, Parallelism};
 use sc_datagen::{DatasetProfile, InstanceOptions, SyntheticDataset};
 use sc_influence::RpoParams;
-use sc_sim::{scripted_arrival, OnlineEngine, OnlineSummary, RoundReport};
+use sc_sim::{
+    scripted_event, EngineBuilder, EventKind, NetworkMode, OnlineSummary, PipelineMode, RoundReport,
+};
 use sc_types::{CheckIn, History, TimeInstant, VenueId, Worker, WorkerId};
 
 fn dataset() -> SyntheticDataset {
@@ -64,11 +66,15 @@ fn run_script(
     };
     let pipeline = pipeline(data, threads, online);
     let trained = pipeline.model().n_workers();
-    let mut engine = OnlineEngine::adaptive(pipeline, data.social.clone(), online);
+    let mut engine = EngineBuilder::new()
+        .pipeline(PipelineMode::Owned(Box::new(pipeline)))
+        .network(NetworkMode::Adaptive(Box::new(data.social.clone())))
+        .config(online)
+        .build();
 
     let cohort = data.instance_for_day(0, 0, 80, InstanceOptions::default());
-    for w in cohort.instance.workers {
-        engine.worker_arrives(w);
+    for worker in cohort.instance.workers {
+        engine.ingest(EventKind::WorkerArrival { worker });
     }
 
     let mut reports = Vec::new();
@@ -90,12 +96,15 @@ fn run_script(
             ));
             let late = Worker::new(WorkerId::from(trained), venue.location, 25.0);
             assert!(engine
-                .worker_arrives_new(late, &[WorkerId::new(0)], &hist)
+                .ingest(EventKind::WorkerNew {
+                    worker: late,
+                    friends: vec![WorkerId::new(0)],
+                    history: hist,
+                })
                 .is_online());
         }
         for _ in 0..20 {
-            let (task, venue) = scripted_arrival(data, 29, next_id, now, 2.5);
-            engine.task_arrives(task, venue);
+            engine.ingest(scripted_event(data, 29, next_id, now, 2.5));
             next_id += 1;
         }
         reports.push(engine.run_round(now, sc_assign::AlgorithmKind::Ia));

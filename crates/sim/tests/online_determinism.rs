@@ -6,7 +6,7 @@ use sc_assign::AlgorithmKind;
 use sc_core::{DitaBuilder, DitaConfig, DitaPipeline, OnlineConfig, Parallelism};
 use sc_datagen::{DatasetProfile, InstanceOptions, SyntheticDataset};
 use sc_influence::{PropagationModel, RpoParams, RrrPool};
-use sc_sim::{OnlineEngine, RoundReport};
+use sc_sim::{EngineBuilder, EventKind, NetworkMode, PipelineMode, RoundReport};
 use sc_types::{Duration, Task, TaskId, TimeInstant, VenueId};
 
 fn dataset() -> SyntheticDataset {
@@ -48,13 +48,16 @@ fn drive(
     dataset: &SyntheticDataset,
     pipeline: DitaPipeline,
 ) -> (Vec<RoundReport>, sc_sim::OnlineSummary, u64) {
-    let mut engine = OnlineEngine::new(pipeline, &dataset.social);
+    let mut engine = EngineBuilder::new()
+        .pipeline(PipelineMode::Owned(Box::new(pipeline)))
+        .network(NetworkMode::Fixed(&dataset.social))
+        .build();
     let mut reports = Vec::new();
     let mut next_id = 0u32;
     for day in 0..3i64 {
         let cohort = dataset.instance_for_day(day as usize, 0, 40, InstanceOptions::default());
-        for w in cohort.instance.workers {
-            engine.worker_arrives(w);
+        for worker in cohort.instance.workers {
+            engine.ingest(EventKind::WorkerArrival { worker });
         }
         for hour in 8..16 {
             let now = TimeInstant::at(day, hour);
@@ -62,16 +65,16 @@ fn drive(
                 let venue = dataset.venues.venue(VenueId::from(
                     ((next_id as usize) * 31 + i as usize) % dataset.venues.len(),
                 ));
-                engine.task_arrives(
-                    Task::with_categories(
+                engine.ingest(EventKind::TaskArrival {
+                    task: Task::with_categories(
                         TaskId::new(next_id),
                         venue.location,
                         now,
                         Duration::hours_f64(3.0),
                         venue.categories.clone(),
                     ),
-                    venue.id,
-                );
+                    venue: venue.id,
+                });
                 next_id += 1;
             }
             reports.push(engine.run_round(now, AlgorithmKind::Ia));
@@ -168,7 +171,10 @@ fn maintained_pool_equals_fresh_pool_of_same_stream_window() {
     let data = dataset();
     let (_, _, _) = drive(&data, pipeline(&data, Parallelism::Single));
     let p = pipeline(&data, Parallelism::Single);
-    let mut engine = OnlineEngine::new(p, &data.social);
+    let mut engine = EngineBuilder::new()
+        .pipeline(PipelineMode::Owned(Box::new(p)))
+        .network(NetworkMode::Fixed(&data.social))
+        .build();
     for hour in 0..6 {
         let now = TimeInstant::at(0, hour);
         engine.run_round(now, AlgorithmKind::Ia);

@@ -10,7 +10,7 @@ use sc_assign::{run_with_matrix, AlgorithmKind, AssignInput, EligibilityMatrix};
 use sc_core::{DitaBuilder, DitaConfig, DitaPipeline, OnlineConfig, Parallelism};
 use sc_datagen::{DatasetProfile, InstanceOptions, SyntheticDataset};
 use sc_influence::RpoParams;
-use sc_sim::{scripted_arrival, OnlineEngine, RoundReport};
+use sc_sim::{scripted_event, EngineBuilder, EventKind, NetworkMode, PipelineMode, RoundReport};
 use sc_types::TimeInstant;
 
 fn dataset() -> SyntheticDataset {
@@ -48,18 +48,20 @@ fn run_script(
     online: OnlineConfig,
 ) -> Vec<RoundReport> {
     let pipeline = pipeline(data, threads, online);
-    let mut engine = OnlineEngine::new(pipeline, &data.social);
+    let mut engine = EngineBuilder::new()
+        .pipeline(PipelineMode::Owned(Box::new(pipeline)))
+        .network(NetworkMode::Fixed(&data.social))
+        .build();
     let cohort = data.instance_for_day(0, 0, 90, InstanceOptions::default());
-    for w in cohort.instance.workers {
-        engine.worker_arrives(w);
+    for worker in cohort.instance.workers {
+        engine.ingest(EventKind::WorkerArrival { worker });
     }
     let mut reports = Vec::new();
     let mut next_id = 0u32;
     for hour in 8..16i64 {
         let now = TimeInstant::at(0, hour);
         for _ in 0..25 {
-            let (task, venue) = scripted_arrival(data, 21, next_id, now, 2.5);
-            engine.task_arrives(task, venue);
+            engine.ingest(scripted_event(data, 21, next_id, now, 2.5));
             next_id += 1;
         }
         reports.push(engine.run_round(now, AlgorithmKind::Ia));
@@ -113,16 +115,18 @@ fn maintained_pools_identical_across_thread_budgets() {
     };
     let run_pool = |threads| {
         let pipeline = pipeline(&data, threads, online);
-        let mut engine = OnlineEngine::new(pipeline, &data.social);
+        let mut engine = EngineBuilder::new()
+            .pipeline(PipelineMode::Owned(Box::new(pipeline)))
+            .network(NetworkMode::Fixed(&data.social))
+            .build();
         let cohort = data.instance_for_day(0, 0, 60, InstanceOptions::default());
-        for w in cohort.instance.workers {
-            engine.worker_arrives(w);
+        for worker in cohort.instance.workers {
+            engine.ingest(EventKind::WorkerArrival { worker });
         }
         for hour in 8..14i64 {
             let now = TimeInstant::at(0, hour);
             for i in 0..10u32 {
-                let (task, venue) = scripted_arrival(&data, 5, hour as u32 * 100 + i, now, 3.0);
-                engine.task_arrives(task, venue);
+                engine.ingest(scripted_event(&data, 5, hour as u32 * 100 + i, now, 3.0));
             }
             engine.run_round(now, AlgorithmKind::Ia);
         }

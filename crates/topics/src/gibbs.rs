@@ -162,7 +162,7 @@ impl LdaTrainer {
 }
 
 /// A trained LDA model: frozen `φ` plus the training-document `θ`s.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct LdaModel {
     n_topics: usize,
     n_words: usize,

@@ -22,15 +22,19 @@ use dita::core::{
     AlgorithmKind, DitaBuilder, DitaConfig, DitaPipeline, OnlineConfig, ShortestPathEngine,
 };
 use dita::datagen::{
-    io as dio, DatasetProfile, InstanceOptions, LoadedDataset, ReplayOptions, SyntheticDataset,
+    io as dio, DatasetProfile, InstanceOptions, LoadedDataset, ReplayEvent, ReplayOptions,
+    ReplayStream, SyntheticDataset,
 };
 use dita::influence::{Parallelism, RpoParams};
+use dita::serve::{client, ServeConfig, Server};
 use dita::sim::platform::{simulate_day, DayConfig};
 use dita::sim::{
-    render_table, replay_day, scripted_arrival, ExperimentRunner, OnlineEngine, SweepAxis,
-    SweepValues,
+    load_snapshot, render_table, replay_day, scripted_event, EngineBuilder, EventKind,
+    ExperimentRunner, NetworkMode, OnlineEngine, PipelineMode, SweepAxis, SweepValues,
 };
-use dita::types::TimeInstant;
+use dita::types::{History, TimeInstant, Worker, WorkerId};
+use serde::json::Value;
+use serde::Serialize as _;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -49,6 +53,8 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&flags),
         "online" => cmd_online(&flags),
         "replay" => cmd_replay(&flags),
+        "serve" => cmd_serve(&flags),
+        "post-replay" => cmd_post_replay(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -79,6 +85,13 @@ MODES
   replay       train on a trace's past, stream one day of its check-ins
                through the online engine (workers first seen mid-day are
                folded into the live influence network)
+  serve        long-running HTTP serving process around the online engine:
+               POST /events (batched, 429 on a full queue), POST /round,
+               GET /report, GET /healthz, POST /snapshot; start from
+               training (--profile or --edges/--checkins/--day) or from a
+               snapshot file (--restore)
+  post-replay  HTTP client driver: translate one trace day into wire
+               events and POST it round by round to a running dita serve
   help         print this text
 
 FLAGS                 applies to            meaning (default)
@@ -136,6 +149,27 @@ FLAGS                 applies to            meaning (default)
   --round-hours H     replay                hours between replay rounds (1)
   --growth-cap G      replay                as in online (1024)
   --horizon R         replay                as in online (24)
+  --addr A            serve, post-replay    bind / target address
+                                            (127.0.0.1:7117)
+  --queue-cap N       serve                 bound on queued-but-unapplied
+                                            events; full ⇒ 429 (4096)
+  --http-threads N    serve                 HTTP worker threads (2)
+  --snapshot PATH     serve                 where POST /snapshot writes
+  --restore PATH      serve                 start from a snapshot instead
+                                            of training; other training
+                                            flags are ignored
+  --edges PATH        serve, post-replay    as in replay (serve: train on
+  --checkins PATH                           days before --day)
+  --day D             serve, post-replay    trace day the server opens on /
+                                            the client posts (1)
+  --skip-rounds K     post-replay           translate but do not post the
+                                            first K rounds — resume a day
+                                            against a restored server (0)
+                                            (--rounds, --task-every, --phi,
+                                            --radius, --linger and
+                                            --round-hours apply as in
+                                            replay and must match the
+                                            server's training run)
 
 ENVIRONMENT
   DITA_SCALE=paper|small   sweep scale for the sc-bench figure binaries
@@ -487,7 +521,10 @@ fn cmd_online(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     let trained_sets = pipeline.model().pool().n_sets();
 
-    let mut engine = OnlineEngine::new(pipeline, &data.social);
+    let mut engine = EngineBuilder::new()
+        .pipeline(PipelineMode::Owned(Box::new(pipeline)))
+        .network(NetworkMode::Fixed(&data.social))
+        .build();
     let opts = InstanceOptions {
         valid_hours: phi,
         ..Default::default()
@@ -496,15 +533,14 @@ fn cmd_online(flags: &HashMap<String, String>) -> Result<(), String> {
     let mut next_task_id = 0u32;
     for day in 0..days {
         let cohort = data.instance_for_day(day, 0, n_workers, opts);
-        for w in cohort.instance.workers {
-            engine.worker_arrives(w);
+        for worker in cohort.instance.workers {
+            engine.ingest(EventKind::WorkerArrival { worker });
         }
         // Rounds run every `round_hours` across the operating window.
         for hour in (8..20i64).step_by(online.round_hours as usize) {
             let now = TimeInstant::at(day as i64, hour);
             for _ in 0..tasks_per_round {
-                let (task, venue) = scripted_arrival(&data, seed, next_task_id, now, phi);
-                engine.task_arrives(task, venue);
+                engine.ingest(scripted_event(&data, seed, next_task_id, now, phi));
                 next_task_id += 1;
             }
             let r = engine.run_round(now, algorithm);
@@ -670,6 +706,275 @@ fn cmd_replay(flags: &HashMap<String, String>) -> Result<(), String> {
         s.rounds
     );
     Ok(())
+}
+
+/// Builds the serving engine: restored from a snapshot (`--restore`),
+/// trained on a trace's past (`--edges`/`--checkins`/`--day`), or
+/// trained on a synthetic profile (`--profile`, the default). Trained
+/// engines are adaptive: previously-unseen workers arriving over the
+/// wire as `worker_new` events are folded into the live network.
+fn serve_engine(flags: &HashMap<String, String>) -> Result<OnlineEngine<'static>, String> {
+    if let Some(path) = flags.get("restore") {
+        eprintln!("restoring engine from {path}…");
+        return load_snapshot(std::path::Path::new(path)).map_err(|e| e.to_string());
+    }
+    let seed: u64 = num(flags, "seed", 42)?;
+    let threads = threads_of(flags)?;
+    let online = OnlineConfig {
+        round_hours: num(flags, "round-hours", 1)?,
+        growth_cap: num(flags, "growth-cap", 1_024)?,
+        eviction_horizon: num(flags, "horizon", 24)?,
+        target_sets: num(flags, "target-sets", 0)?,
+        incremental: incremental_of(flags),
+    };
+    let (pipeline, social) = if let Some(edges) = flags.get("edges") {
+        let checkins = flags
+            .get("checkins")
+            .ok_or("serve with --edges needs --checkins")?;
+        let day: i64 = num(flags, "day", 1)?;
+        let data = LoadedDataset::from_tsv(
+            std::path::Path::new(edges),
+            std::path::Path::new(checkins),
+            seed,
+        )
+        .map_err(|e| e.to_string())?;
+        let slice = data.training_slice(day).map_err(|e| e.to_string())?;
+        eprintln!(
+            "training on trace days < {day}: {} workers, {} check-ins \
+             ({} sampling thread(s))…",
+            slice.social.n_workers(),
+            slice.histories.total_checkins(),
+            threads
+        );
+        let pipeline = DitaBuilder::new()
+            .config(cli_config(
+                slice.social.n_workers(),
+                seed,
+                threads,
+                solver_of(flags)?,
+            ))
+            .online(online)
+            .build(&slice.social, &slice.histories)
+            .map_err(|e| e.to_string())?;
+        (pipeline, slice.social)
+    } else {
+        let profile = profile_of(flags)?;
+        eprintln!(
+            "training DITA on '{}' ({} workers, {} sampling thread(s))…",
+            profile.name, profile.n_workers, threads
+        );
+        let data = SyntheticDataset::generate(&profile, seed);
+        let pipeline = DitaBuilder::new()
+            .config(cli_config(
+                profile.n_workers,
+                seed,
+                threads,
+                solver_of(flags)?,
+            ))
+            .online(online)
+            .build(&data.social, &data.histories)
+            .map_err(|e| e.to_string())?;
+        (pipeline, data.social)
+    };
+    if verbose_of(flags) {
+        print_rpo_stats(&pipeline);
+    }
+    Ok(EngineBuilder::new()
+        .pipeline(PipelineMode::Owned(Box::new(pipeline)))
+        .network(NetworkMode::Adaptive(Box::new(social)))
+        .build())
+}
+
+/// `dita serve` — the long-running online-serving process: a bounded
+/// event queue behind `POST /events`, rounds on `POST /round`, state
+/// capture on `POST /snapshot`. Runs until killed; restartable from
+/// the last snapshot with `--restore`.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let config = ServeConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7117".to_string()),
+        queue_cap: num(flags, "queue-cap", 4_096)?,
+        http_threads: num(flags, "http-threads", 2)?,
+        algorithm: algorithm_of(flags)?,
+        snapshot_path: flags.get("snapshot").map(PathBuf::from),
+    };
+    let engine = serve_engine(flags)?;
+    let server = Server::start(engine, config).map_err(|e| e.to_string())?;
+    println!("dita serve listening on http://{}", server.local_addr());
+    println!(
+        "  POST /events    ingest a JSON event batch (202, or 429 when the queue is full)\n\
+         \x20 POST /round     drain the queue and close a round ({{\"day\",\"hour\"}} or {{\"at\"}})\n\
+         \x20 GET  /report    rounds served, lifetime summary, last round\n\
+         \x20 POST /snapshot  fold queued events in and write the snapshot file\n\
+         \x20 GET  /healthz   liveness and queue depth"
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `dita post-replay` — the wire twin of `dita replay`: translates one
+/// trace day into `EventKind` batches and drives a running `dita
+/// serve` with them, one `POST /events` + `POST /round` per replay
+/// round. Fold-in candidates are assigned dense ids optimistically, in
+/// first-sighting order — the same order the server assigns them — so
+/// client and server stay aligned; any server-side rejections are
+/// surfaced in the per-round counts.
+fn cmd_post_replay(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7117".to_string());
+    let edges = flags.get("edges").ok_or("post-replay needs --edges")?;
+    let checkins = flags
+        .get("checkins")
+        .ok_or("post-replay needs --checkins")?;
+    let day: i64 = num(flags, "day", 1)?;
+    let seed: u64 = num(flags, "seed", 42)?;
+    let opts = ReplayOptions {
+        round_hours: num(flags, "round-hours", 1)?,
+        task_every: num(flags, "task-every", 2)?,
+        valid_hours: num(flags, "phi", 3.0)?,
+        radius_km: num(flags, "radius", 25.0)?,
+        linger_hours: num(flags, "linger", 4)?,
+        max_rounds: num(flags, "rounds", 0)?,
+        ..Default::default()
+    };
+    // Rounds before `--skip-rounds` are translated (the dense-id
+    // mapping must advance through their fold-ins) but not posted —
+    // the tool that resumes a day against a snapshot-restored server.
+    let skip: usize = num(flags, "skip-rounds", 0)?;
+    let data = LoadedDataset::from_tsv(
+        std::path::Path::new(edges),
+        std::path::Path::new(checkins),
+        seed,
+    )
+    .map_err(|e| e.to_string())?;
+    let slice = data.training_slice(day).map_err(|e| e.to_string())?;
+    let stream = ReplayStream::from_dataset(&data, day, &opts).map_err(|e| e.to_string())?;
+
+    let mut to_dense = slice.to_dense;
+    let mut next_dense = slice.from_dense.len();
+    let mut posted = 0usize;
+    let mut rejected_total = 0usize;
+    for (round_idx, round) in stream.rounds().iter().enumerate() {
+        let mut batch: Vec<Value> = Vec::new();
+        for event in &round.events {
+            match event {
+                ReplayEvent::CheckIn {
+                    worker,
+                    location,
+                    at,
+                    ..
+                } => {
+                    if let Some(&dense) = to_dense.get(worker) {
+                        batch.push(
+                            EventKind::WorkerArrival {
+                                worker: Worker::new(dense, *location, opts.radius_km)
+                                    .with_speed(opts.speed_kmh),
+                            }
+                            .to_value(),
+                        );
+                    } else {
+                        // First sighting: mirror the server's dense-id
+                        // assignment (arrival order) and ship the
+                        // evidence observed so far.
+                        let dense = WorkerId::from(next_dense);
+                        let friends: Vec<WorkerId> = data
+                            .social
+                            .informs(worker.raw())
+                            .iter()
+                            .filter_map(|f| to_dense.get(&WorkerId::new(*f)).copied())
+                            .collect();
+                        let mut evidence = History::new();
+                        for r in data.histories.history(*worker).records() {
+                            if r.arrived <= *at {
+                                let mut rec = r.clone();
+                                rec.worker = dense;
+                                evidence.push(rec);
+                            }
+                        }
+                        batch.push(
+                            EventKind::WorkerNew {
+                                worker: Worker::new(dense, *location, opts.radius_km)
+                                    .with_speed(opts.speed_kmh),
+                                friends,
+                                history: evidence,
+                            }
+                            .to_value(),
+                        );
+                        to_dense.insert(*worker, dense);
+                        next_dense += 1;
+                    }
+                }
+                ReplayEvent::TaskPosted { task, venue } => {
+                    batch.push(
+                        EventKind::TaskArrival {
+                            task: task.clone(),
+                            venue: *venue,
+                        }
+                        .to_value(),
+                    );
+                }
+                ReplayEvent::Departure { worker, .. } => {
+                    if let Some(&dense) = to_dense.get(worker) {
+                        batch.push(EventKind::WorkerDeparture { worker: dense }.to_value());
+                    }
+                }
+            }
+        }
+        if round_idx < skip {
+            continue;
+        }
+        let n_events = batch.len();
+        if n_events > 0 {
+            let body = Value::Array(batch).to_json_string();
+            let (status, reply) =
+                client::request(&addr, "POST", "/events", &body).map_err(|e| e.to_string())?;
+            if status != 202 {
+                return Err(format!("POST /events failed ({status}): {reply}"));
+            }
+        }
+        let (status, reply) = client::request(
+            &addr,
+            "POST",
+            "/round",
+            &format!("{{\"at\": {}}}", round.now.as_seconds()),
+        )
+        .map_err(|e| e.to_string())?;
+        if status != 200 {
+            return Err(format!("POST /round failed ({status}): {reply}"));
+        }
+        let (applied, rejected) = round_counts(&reply)?;
+        rejected_total += rejected;
+        posted += 1;
+        println!(
+            "round at {}: {n_events} posted, {applied} applied, {rejected} rejected",
+            round.now
+        );
+    }
+    let (status, report) =
+        client::request(&addr, "GET", "/report", "").map_err(|e| e.to_string())?;
+    if status != 200 {
+        return Err(format!("GET /report failed ({status}): {report}"));
+    }
+    println!(
+        "posted {posted} round(s) ({} events rejected server-side); final report:",
+        rejected_total
+    );
+    println!("{report}");
+    Ok(())
+}
+
+/// Pulls `(applied, rejected)` out of a `POST /round` reply.
+fn round_counts(reply: &str) -> Result<(usize, usize), String> {
+    let value = serde::json::parse(reply).map_err(|e| format!("bad /round reply: {e}"))?;
+    let obj = value.as_object().ok_or("bad /round reply: not an object")?;
+    let applied: usize = serde::get_field(obj, "applied").map_err(|e| e.to_string())?;
+    let rejected: usize = serde::get_field(obj, "rejected").map_err(|e| e.to_string())?;
+    Ok((applied, rejected))
 }
 
 fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {

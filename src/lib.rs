@@ -16,6 +16,7 @@
 //! * [`datagen`] — synthetic Brightkite/FourSquare-like datasets.
 //! * [`sim`] — the SC-platform simulator and experiment harness.
 //! * [`core`] — the end-to-end DITA pipeline (start here).
+//! * [`serve`] — the `dita serve` HTTP front (events in, reports out).
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@ pub use sc_datagen as datagen;
 pub use sc_graph as graph;
 pub use sc_influence as influence;
 pub use sc_mobility as mobility;
+pub use sc_serve as serve;
 pub use sc_sim as sim;
 pub use sc_spatial as spatial;
 pub use sc_stats as stats;
